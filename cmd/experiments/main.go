@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// every table and figure of Section IV plus the measured claims of
+// Section III. Each experiment prints a table comparing this
+// reproduction against the paper's reported numbers.
+//
+//	experiments -list
+//	experiments -run fig16
+//	experiments -run all            # full paper-scale sweep
+//	experiments -run all -quick     # reduced scale, seconds instead of minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"monster"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id or 'all'")
+		quick = flag.Bool("quick", false, "reduced scale for fast runs")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range monster.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = monster.ExperimentIDs()
+	}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := monster.RunExperiment(id, *quick)
+		if err != nil {
+			log.Printf("experiments: %s failed: %v", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(tbl.Format())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

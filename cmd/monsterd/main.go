@@ -1,0 +1,153 @@
+// Command monsterd runs a complete MonSTer deployment over a simulated
+// cluster: node physics, BMC fleet, resource manager with a synthetic
+// workload, the Metrics Collector, and the Metrics Builder HTTP API.
+//
+// The simulation advances at -scale simulated seconds per wall-clock
+// second, so a day of telemetry can be produced in minutes. Query the
+// builder with cmd/mquery or any HTTP client:
+//
+//	monsterd -nodes 64 -scale 60 -listen :8080
+//	curl 'http://localhost:8080/v1/metrics?start=<epoch>&end=<epoch>&interval=5m&agg=max'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"monster"
+	"monster/internal/clock"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 64, "simulated cluster size (467 = paper scale)")
+		scale     = flag.Float64("scale", 60, "simulated seconds per wall-clock second")
+		listen    = flag.String("listen", ":8080", "Metrics Builder API listen address")
+		schedAddr = flag.String("sched-listen", "", "optional resource-manager API listen address (e.g. :8081)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		schema    = flag.String("schema", "optimized", "storage schema: optimized | previous")
+		duration  = flag.Duration("duration", 0, "stop after this wall-clock duration (0 = run until interrupted)")
+		warmup    = flag.Duration("warmup", 30*time.Minute, "simulated warmup before serving (fills the DB)")
+		retention = flag.Duration("retention", 0, "drop data older than this (0 = keep everything)")
+		snapshot  = flag.String("snapshot", "", "write a database snapshot to this file on shutdown")
+		workload  = flag.String("workload", "", "replay a workload trace (.json from SaveTrace, or .swf from the Parallel Workloads Archive)")
+	)
+	flag.Parse()
+
+	cfg := monster.Config{
+		Nodes: *nodes, Seed: *seed, ConcurrentQueries: true,
+		Retention:  *retention,
+		AlertRules: monster.DefaultAlertRules(),
+	}
+	switch *schema {
+	case "optimized":
+		cfg.Schema = monster.SchemaOptimized
+	case "previous":
+		cfg.Schema = monster.SchemaPrevious
+	default:
+		log.Fatalf("monsterd: unknown schema %q", *schema)
+	}
+	if *workload != "" {
+		f, err := os.Open(*workload)
+		if err != nil {
+			log.Fatalf("monsterd: %v", err)
+		}
+		if strings.HasSuffix(*workload, ".swf") {
+			trace, skipped, err := monster.LoadSWF(f, cfg.Start, 36)
+			if err != nil {
+				log.Fatalf("monsterd: %v", err)
+			}
+			log.Printf("monsterd: replaying %d SWF jobs (%d skipped)", trace.Len(), skipped)
+			cfg.Trace = trace
+		} else {
+			trace, err := monster.LoadTrace(f)
+			if err != nil {
+				log.Fatalf("monsterd: %v", err)
+			}
+			log.Printf("monsterd: replaying %d traced jobs", trace.Len())
+			cfg.Trace = trace
+		}
+		f.Close()
+	}
+	sys := monster.New(cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	log.Printf("monsterd: warming up %v of simulated time over %d nodes", *warmup, *nodes)
+	if err := sys.AdvanceCollecting(ctx, *warmup); err != nil {
+		log.Fatalf("monsterd: warmup: %v", err)
+	}
+	st := sys.Collector.Stats()
+	log.Printf("monsterd: warmup done: %d cycles, %d points, sim time %v", st.Cycles, st.PointsWritten, sys.Now().Format(time.RFC3339))
+
+	go func() {
+		log.Printf("monsterd: Metrics Builder API on %s", *listen)
+		if err := http.ListenAndServe(*listen, sys.BuilderAPI); err != nil {
+			log.Fatalf("monsterd: builder API: %v", err)
+		}
+	}()
+	if *schedAddr != "" {
+		go func() {
+			log.Printf("monsterd: resource-manager API on %s", *schedAddr)
+			if err := http.ListenAndServe(*schedAddr, sys.SchedAPI); err != nil {
+				log.Fatalf("monsterd: scheduler API: %v", err)
+			}
+		}()
+	}
+
+	go progress(ctx, sys)
+	err := sys.RunLive(ctx, clock.NewReal(), *scale, time.Second)
+	if err == context.Canceled || err == context.DeadlineExceeded {
+		final := sys.Collector.Stats()
+		fmt.Printf("monsterd: stopped at sim time %v after %d cycles, %d points written, %d BMC requests (%d failed)\n",
+			sys.Now().Format(time.RFC3339), final.Cycles, final.PointsWritten, final.BMCRequests, final.BMCFailures)
+		if *snapshot != "" {
+			if err := sys.DB.SaveFile(*snapshot); err != nil {
+				log.Fatalf("monsterd: snapshot: %v", err)
+			}
+			log.Printf("monsterd: snapshot written to %s", *snapshot)
+		}
+		return
+	}
+	if err != nil {
+		log.Fatalf("monsterd: %v", err)
+	}
+}
+
+func progress(ctx context.Context, sys *monster.System) {
+	t := time.NewTicker(10 * time.Second)
+	defer t.Stop()
+	seenAlerts := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st := sys.Collector.Stats()
+			d := sys.DB.Disk()
+			log.Printf("monsterd: sim=%v cycles=%d points=%d volume=%.1f MB jobs-running=%d",
+				sys.Now().Format("01-02 15:04"), st.Cycles, st.PointsWritten,
+				float64(d.TotalBytes())/1e6, len(sys.QMaster.Running()))
+			if sys.Alerts != nil {
+				hist := sys.Alerts.History()
+				for _, ev := range hist[seenAlerts:] {
+					log.Printf("monsterd: ALERT %s", ev)
+				}
+				seenAlerts = len(hist)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: bring up a complete MonSTer deployment over a 16-node
+// simulated cluster, let it monitor for 30 simulated minutes, and ask
+// the Metrics Builder for the last half hour of node power and
+// temperature — the paper's Section III-D request shape (time range +
+// interval + aggregate).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"monster"
+)
+
+func main() {
+	// A System wires the whole pipeline: simulated nodes with BMCs, a
+	// UGE-style resource manager running a synthetic workload, the
+	// Metrics Collector, the time-series database, and the Metrics
+	// Builder.
+	sys := monster.New(monster.Config{Nodes: 16, Seed: 42})
+	ctx := context.Background()
+
+	// Advance simulated time; the collector fires every 60 s.
+	if err := sys.AdvanceCollecting(ctx, 30*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Collector.Stats()
+	fmt.Printf("collected %d cycles, %d points, %d BMC requests (%d failed)\n",
+		st.Cycles, st.PointsWritten, st.BMCRequests, st.BMCFailures)
+
+	// Ask the builder: last 30 minutes, 5-minute buckets, max values.
+	resp, stats, err := sys.Builder.Fetch(ctx, monster.Request{
+		Start:     sys.Config.Start,
+		End:       sys.Now(),
+		Interval:  5 * time.Minute,
+		Aggregate: "max",
+		Metrics: []monster.Metric{
+			{Measurement: "Power", Label: "NodePower"},
+			{Measurement: "Thermal", Label: "CPU1Temp"},
+			{Measurement: "UGE", Label: "CPUUsage"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("builder ran %d queries, scanned %d points\n\n", stats.Queries, stats.TSDB.PointsScanned)
+
+	fmt.Printf("%-12s  %-10s  %-10s  %-10s\n", "node", "power (W)", "cpu1 (°C)", "cpu (%)")
+	for _, node := range resp.Nodes {
+		fmt.Printf("%-12s  %-10.1f  %-10.1f  %-10.1f\n",
+			node.NodeID,
+			lastValue(node.Metrics["Power/NodePower"]),
+			lastValue(node.Metrics["Thermal/CPU1Temp"]),
+			lastValue(node.Metrics["UGE/CPUUsage"]))
+	}
+}
+
+func lastValue(sd monster.SeriesData) float64 {
+	if len(sd.Values) == 0 {
+		return 0
+	}
+	return sd.Values[len(sd.Values)-1]
+}

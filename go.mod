@@ -1,0 +1,3 @@
+module monster
+
+go 1.23

@@ -1,0 +1,237 @@
+package alerting
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"monster/internal/tsdb"
+)
+
+var t0 = time.Date(2020, 4, 20, 12, 0, 0, 0, time.UTC)
+
+// writeTemp stores one CPU1Temp sample for a node.
+func writeTemp(t *testing.T, db *tsdb.DB, node string, ts time.Time, v float64) {
+	t.Helper()
+	err := db.WritePoint(tsdb.Point{
+		Measurement: "Thermal",
+		Tags:        tsdb.Tags{{Key: "NodeId", Value: node}, {Key: "Label", Value: "CPU1Temp"}},
+		Fields:      map[string]tsdb.Value{"Reading": tsdb.Float(v)},
+		Time:        ts.Unix(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tempEngine(t *testing.T, db *tsdb.DB, confirmations int) *Engine {
+	t.Helper()
+	e, err := New(db, []Rule{{
+		Name: "cpu1-temp", Measurement: "Thermal", Label: "CPU1Temp",
+		Warn: 85, Crit: 95, Confirmations: confirmations,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if SeverityOK.String() != "OK" || SeverityWarning.String() != "WARNING" || SeverityCritical.String() != "CRITICAL" {
+		t.Fatal("severity strings")
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{Measurement: "m", Warn: 1, Crit: 2},                               // no name
+		{Name: "x", Warn: 1, Crit: 2},                                      // no measurement
+		{Name: "x", Measurement: "m", Warn: 10, Crit: 5},                   // inverted above
+		{Name: "x", Measurement: "m", Warn: 5, Crit: 10, Direction: Below}, // inverted below
+	}
+	for i, r := range bad {
+		if _, err := New(tsdb.Open(tsdb.Options{}), []Rule{r}); err == nil {
+			t.Errorf("rule %d accepted", i)
+		}
+	}
+	e, err := New(tsdb.Open(tsdb.Options{}), []Rule{{Name: "x", Measurement: "m", Warn: 1, Crit: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Rules()[0]; got.Field != "Reading" || got.Confirmations != 2 {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+}
+
+func TestSeverityOfDirections(t *testing.T) {
+	above := Rule{Name: "a", Measurement: "m", Warn: 85, Crit: 95}
+	above.normalize()
+	if above.severityOf(80) != SeverityOK || above.severityOf(85) != SeverityWarning || above.severityOf(95) != SeverityCritical {
+		t.Fatal("above direction broken")
+	}
+	below := Rule{Name: "b", Measurement: "m", Warn: 1500, Crit: 500, Direction: Below}
+	below.normalize()
+	if below.severityOf(4000) != SeverityOK || below.severityOf(1200) != SeverityWarning || below.severityOf(100) != SeverityCritical {
+		t.Fatal("below direction broken")
+	}
+}
+
+func TestEscalationRequiresConfirmation(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{})
+	e := tempEngine(t, db, 2)
+
+	// First breach: pending, no event.
+	writeTemp(t, db, "n1", t0, 90)
+	events, err := e.Evaluate(t0.Add(time.Second), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("alert raised on first breach: %v", events)
+	}
+	if e.State("cpu1-temp", "n1") != SeverityOK {
+		t.Fatal("state escalated early")
+	}
+
+	// Second consecutive breach: raised.
+	writeTemp(t, db, "n1", t0.Add(time.Minute), 91)
+	events, err = e.Evaluate(t0.Add(time.Minute+time.Second), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].To != SeverityWarning || events[0].From != SeverityOK {
+		t.Fatalf("events = %v", events)
+	}
+	if e.State("cpu1-temp", "n1") != SeverityWarning {
+		t.Fatal("state not warning")
+	}
+}
+
+func TestFlappingSuppressed(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{})
+	e := tempEngine(t, db, 2)
+	// Alternate breach/normal: never two consecutive breaches, never an
+	// alert.
+	for i := 0; i < 6; i++ {
+		v := 80.0
+		if i%2 == 0 {
+			v = 90
+		}
+		ts := t0.Add(time.Duration(i) * time.Minute)
+		writeTemp(t, db, "n1", ts, v)
+		events, err := e.Evaluate(ts.Add(time.Second), time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 0 {
+			t.Fatalf("flap raised an alert at i=%d: %v", i, events)
+		}
+	}
+}
+
+func TestRecoveryIsImmediate(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{})
+	e := tempEngine(t, db, 1) // single confirmation for brevity
+	writeTemp(t, db, "n1", t0, 96)
+	if _, err := e.Evaluate(t0.Add(time.Second), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if e.State("cpu1-temp", "n1") != SeverityCritical {
+		t.Fatal("setup: not critical")
+	}
+	writeTemp(t, db, "n1", t0.Add(time.Minute), 60)
+	events, err := e.Evaluate(t0.Add(time.Minute+time.Second), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].To != SeverityOK || events[0].From != SeverityCritical {
+		t.Fatalf("recovery events = %v", events)
+	}
+}
+
+func TestEscalationWarningToCritical(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{})
+	e := tempEngine(t, db, 1)
+	writeTemp(t, db, "n1", t0, 88)
+	e.Evaluate(t0.Add(time.Second), time.Minute)
+	writeTemp(t, db, "n1", t0.Add(time.Minute), 97)
+	events, err := e.Evaluate(t0.Add(time.Minute+time.Second), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].From != SeverityWarning || events[0].To != SeverityCritical {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestPerNodeIsolationAndActive(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{})
+	e := tempEngine(t, db, 1)
+	for i, v := range []float64{96, 70, 88} {
+		writeTemp(t, db, fmt.Sprintf("n%d", i+1), t0, v)
+	}
+	events, err := e.Evaluate(t0.Add(time.Second), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %v", events)
+	}
+	active := e.Active()
+	if len(active) != 2 {
+		t.Fatalf("active = %v", active)
+	}
+	if active[0].Node != "n1" || active[0].To != SeverityCritical {
+		t.Fatalf("active[0] = %v", active[0])
+	}
+	if active[1].Node != "n3" || active[1].To != SeverityWarning {
+		t.Fatalf("active[1] = %v", active[1])
+	}
+	if e.State("cpu1-temp", "n2") != SeverityOK {
+		t.Fatal("healthy node flagged")
+	}
+}
+
+func TestLookbackExcludesStaleData(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{})
+	e := tempEngine(t, db, 1)
+	writeTemp(t, db, "n1", t0, 99) // old breach
+	// Evaluate an hour later with a 3-minute lookback: no data in
+	// window, no state change.
+	events, err := e.Evaluate(t0.Add(time.Hour), 3*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("stale data raised alert: %v", events)
+	}
+}
+
+func TestHistoryRetained(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{})
+	e := tempEngine(t, db, 1)
+	writeTemp(t, db, "n1", t0, 96)
+	e.Evaluate(t0.Add(time.Second), time.Minute)
+	writeTemp(t, db, "n1", t0.Add(time.Minute), 60)
+	e.Evaluate(t0.Add(time.Minute+time.Second), time.Minute)
+	hist := e.History()
+	if len(hist) != 2 {
+		t.Fatalf("history = %v", hist)
+	}
+	if hist[0].To != SeverityCritical || hist[1].To != SeverityOK {
+		t.Fatalf("history order = %v", hist)
+	}
+	if hist[0].String() == "" {
+		t.Fatal("event rendering empty")
+	}
+}
+
+func TestDefaultRulesNormalize(t *testing.T) {
+	e, err := New(tsdb.Open(tsdb.Options{}), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Rules()) != 5 {
+		t.Fatalf("rules = %d", len(e.Rules()))
+	}
+}

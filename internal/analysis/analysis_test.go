@@ -1,0 +1,483 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// threeBlobs generates n vectors around three well-separated centers.
+func threeBlobs(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{
+		{0.1, 0.1, 0.1},
+		{0.5, 0.5, 0.5},
+		{0.9, 0.9, 0.9},
+	}
+	vecs := make([][]float64, n)
+	truth := make([]int, n)
+	for i := range vecs {
+		c := i % 3
+		truth[i] = c
+		v := make([]float64, 3)
+		for d := range v {
+			v[d] = centers[c][d] + rng.NormFloat64()*0.03
+		}
+		vecs[i] = v
+	}
+	return vecs, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	vecs, truth := threeBlobs(300, 1)
+	res, err := KMeans(vecs, KMeansOptions{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	// Same-truth points must share a cluster (up to relabeling).
+	label := map[int]int{}
+	for i, a := range res.Assignment {
+		tr := truth[i]
+		if prev, ok := label[tr]; ok {
+			if prev != a {
+				t.Fatalf("blob %d split across clusters %d and %d", tr, prev, a)
+			}
+		} else {
+			label[tr] = a
+		}
+	}
+	if len(label) != 3 {
+		t.Fatalf("recovered %d clusters, want 3", len(label))
+	}
+}
+
+func TestKMeansDefaultsSevenGroups(t *testing.T) {
+	vecs, _ := threeBlobs(100, 3)
+	res, err := KMeans(vecs, KMeansOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 7 {
+		t.Fatalf("centroids = %d, want 7 (paper's host groups)", len(res.Centroids))
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 100 {
+		t.Fatalf("cluster sizes sum to %d", total)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, KMeansOptions{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {1}}, KMeansOptions{}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	res, err := KMeans([][]float64{{0}, {1}}, KMeansOptions{K: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("centroids = %d, want clamped to 2", len(res.Centroids))
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	vecs, _ := threeBlobs(120, 9)
+	a, _ := KMeans(vecs, KMeansOptions{K: 4, Seed: 7})
+	b, _ := KMeans(vecs, KMeansOptions{K: 4, Seed: 7})
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestNormalizeBounds(t *testing.T) {
+	vecs := [][]float64{{0, 10, 5}, {10, 20, 5}}
+	b := ComputeBounds(vecs)
+	if b.Min[0] != 0 || b.Max[0] != 10 || b.Min[1] != 10 || b.Max[1] != 20 {
+		t.Fatalf("bounds = %+v", b)
+	}
+	norm := Normalize(vecs, b)
+	if norm[0][0] != 0 || norm[1][0] != 1 {
+		t.Fatalf("norm = %v", norm)
+	}
+	// Degenerate dimension maps to 0.5.
+	if norm[0][2] != 0.5 || norm[1][2] != 0.5 {
+		t.Fatalf("degenerate dim = %v", norm)
+	}
+}
+
+func TestNormalizeClampsOutOfBounds(t *testing.T) {
+	b := Bounds{Min: []float64{0}, Max: []float64{1}}
+	norm := Normalize([][]float64{{-5}, {7}}, b)
+	if norm[0][0] != 0 || norm[1][0] != 1 {
+		t.Fatalf("clamp failed: %v", norm)
+	}
+}
+
+func TestPropNormalizeInUnitRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vecs := make([][]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			vecs = append(vecs, []float64{v})
+		}
+		norm := Normalize(vecs, ComputeBounds(vecs))
+		for _, v := range norm {
+			if v[0] < 0 || v[0] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterByActivity(t *testing.T) {
+	centroids := [][]float64{
+		{0.9, 0.9}, // hottest -> rank 2
+		{0.1, 0.1}, // coolest -> rank 0
+		{0.5, 0.5}, // middle -> rank 1
+	}
+	ranks := ClusterByActivity(centroids)
+	if ranks[0] != 2 || ranks[1] != 0 || ranks[2] != 1 {
+		t.Fatalf("ranks = %v", ranks)
+	}
+}
+
+func TestRadarProfilesAndMorphology(t *testing.T) {
+	dims := []string{"a", "b", "c", "d"}
+	raw := [][]float64{
+		{10, 10, 10, 10}, // uniform low
+		{90, 90, 90, 90}, // uniform high
+	}
+	profiles, err := BuildRadarProfiles([]string{"n1", "n2"}, dims, raw, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := profiles[0].Morph()
+	m2 := profiles[1].Morph()
+	if m2.Area <= m1.Area {
+		t.Fatalf("hot node area %v not above cool %v", m2.Area, m1.Area)
+	}
+	if profiles[0].Cluster != 0 || profiles[1].Cluster != 1 {
+		t.Fatal("cluster assignment lost")
+	}
+	if m2.Mean != 1 {
+		t.Fatalf("uniform-high mean = %v", m2.Mean)
+	}
+}
+
+func TestRadarPeakDimension(t *testing.T) {
+	dims := []string{"temp", "power", "mem"}
+	raw := [][]float64{{10, 10, 10}, {10, 99, 10}}
+	profiles, err := BuildRadarProfiles([]string{"a", "b"}, dims, raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := profiles[1].Morph(); m.PeakName != "power" {
+		t.Fatalf("peak = %q, want power", m.PeakName)
+	}
+}
+
+func TestBuildRadarProfilesLengthMismatch(t *testing.T) {
+	if _, err := BuildRadarProfiles([]string{"a"}, nil, [][]float64{{1}, {2}}, nil); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestRankAnomalies(t *testing.T) {
+	vecs := [][]float64{
+		{0.1, 0.1}, {0.12, 0.1}, {0.11, 0.09}, // tight cluster
+		{0.95, 0.9}, // loner far away
+	}
+	res, err := KMeans(vecs, KMeansOptions{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := RankAnomalies(vecs, res)
+	if ranked[0] != 3 {
+		t.Fatalf("top anomaly = %d, want 3", ranked[0])
+	}
+}
+
+func TestTimelineBuild(t *testing.T) {
+	jobs := []TimelineJob{
+		{JobID: "1", User: "jieyao", SubmitTime: 100, StartTime: 100, FinishTime: 500, Slots: 2088, NodeCount: 58},
+		{JobID: "2", User: "jieyao", SubmitTime: 120, StartTime: 300, FinishTime: 800, Slots: 2088, NodeCount: 58},
+		{JobID: "3", User: "abdumal", SubmitTime: 50, StartTime: 60, FinishTime: 0, Slots: 1, NodeCount: 1},
+		{JobID: "4", User: "abdumal", SubmitTime: 55, StartTime: 70, FinishTime: 400, Slots: 1, NodeCount: 1},
+		{JobID: "5", User: "abdumal", SubmitTime: 58, StartTime: 0, FinishTime: 0, Slots: 1, NodeCount: 0},
+		{JobID: "6", User: "late", SubmitTime: 5000, StartTime: 0, Slots: 1}, // outside window
+	}
+	tl := BuildTimeline(jobs, 0, 1000)
+	if len(tl.Jobs) != 5 {
+		t.Fatalf("jobs in window = %d, want 5", len(tl.Jobs))
+	}
+	if tl.Users[0].User != "abdumal" || tl.Users[0].Jobs != 3 {
+		t.Fatalf("top user = %+v", tl.Users[0])
+	}
+	var jy *UserSummary
+	for i := range tl.Users {
+		if tl.Users[i].User == "jieyao" {
+			jy = &tl.Users[i]
+		}
+	}
+	if jy == nil || jy.Jobs != 2 || jy.Hosts != 116 {
+		t.Fatalf("jieyao summary = %+v", jy)
+	}
+	if jy.MaxWait != 180e9 {
+		t.Fatalf("max wait = %v", jy.MaxWait)
+	}
+	// Wait/run segment math.
+	j := tl.Jobs[0] // earliest submit = abdumal job 3 at 50
+	if j.JobID != "3" {
+		t.Fatalf("first job = %s", j.JobID)
+	}
+	if j.WaitSeconds() != 10 {
+		t.Fatalf("wait = %d", j.WaitSeconds())
+	}
+	if j.RunSeconds(1000) != 940 {
+		t.Fatalf("run = %d (still-running clip)", j.RunSeconds(1000))
+	}
+}
+
+func TestTimelineJobEdgeCases(t *testing.T) {
+	j := TimelineJob{SubmitTime: 100}
+	if j.WaitSeconds() != 0 || j.RunSeconds(500) != 0 {
+		t.Fatal("pending job should have zero wait/run")
+	}
+	j2 := TimelineJob{SubmitTime: 100, StartTime: 90}
+	if j2.WaitSeconds() != 0 {
+		t.Fatal("negative wait not clamped")
+	}
+}
+
+func TestBuildTrendBands(t *testing.T) {
+	times := []int64{0, 60, 120, 180, 240, 300}
+	// Vectors: cool, cool, hot, hot, cool, cool.
+	vecs := [][]float64{
+		{0.1, 0.1}, {0.1, 0.12}, {0.9, 0.95}, {0.92, 0.9}, {0.1, 0.11}, {0.09, 0.1},
+	}
+	res, err := KMeans(vecs, KMeansOptions{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trend := BuildTrend("1-31", times, []string{"temp", "power"}, vecs, res, ComputeBounds(vecs))
+	if len(trend.Bands) != 3 {
+		t.Fatalf("bands = %+v, want 3 (cool/hot/cool)", trend.Bands)
+	}
+	if trend.Bands[0].Cluster == trend.Bands[1].Cluster {
+		t.Fatal("adjacent bands share a cluster")
+	}
+	if trend.Bands[0].Cluster != trend.Bands[2].Cluster {
+		t.Fatal("first and last bands should match (both cool)")
+	}
+	if len(trend.Metrics["temp"]) != 6 {
+		t.Fatalf("metric column = %v", trend.Metrics["temp"])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := BuildHistogram("u", "power", []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if h.Count != 10 || h.Min != 0 || h.Max != 9 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	sum := 0
+	for _, c := range h.Bins {
+		sum += c
+	}
+	if sum != 10 {
+		t.Fatalf("bins lost samples: %v", h.Bins)
+	}
+	if h.Bins[4] != 2 { // 8 and 9 land in the last bin
+		t.Fatalf("last bin = %d", h.Bins[4])
+	}
+	if h.BinWidth() != 1.8 {
+		t.Fatalf("bin width = %v", h.BinWidth())
+	}
+}
+
+func TestHistogramEmptyAndConstant(t *testing.T) {
+	h := BuildHistogram("u", "x", nil, 5)
+	if h.Count != 0 {
+		t.Fatal("empty histogram has samples")
+	}
+	h = BuildHistogram("u", "x", []float64{3, 3, 3}, 4)
+	if h.Bins[0] != 3 {
+		t.Fatalf("constant values should fill bin 0: %v", h.Bins)
+	}
+}
+
+func TestUserUsageMatrixRanking(t *testing.T) {
+	samples := map[string]map[string][]float64{
+		"light": {"cpu": {10, 12, 11}, "mem": {5, 6}},
+		"heavy": {"cpu": {90, 95, 92}, "mem": {80, 85}},
+		"mid":   {"cpu": {50, 51}, "mem": {40}},
+	}
+	m := BuildUserUsageMatrix(samples, 8)
+	if len(m.Users) != 3 || len(m.Dimensions) != 2 {
+		t.Fatalf("matrix = %v %v", m.Users, m.Dimensions)
+	}
+	top, err := m.TopConsumer("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top != "heavy" {
+		t.Fatalf("top consumer = %q", top)
+	}
+	ranked, _ := m.RankUsers("cpu")
+	if ranked[2] != "light" {
+		t.Fatalf("ranking = %v", ranked)
+	}
+	if _, err := m.RankUsers("gpu"); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+}
+
+func TestRadarSVGWellFormed(t *testing.T) {
+	p := &RadarProfile{
+		NodeID:     "1-31",
+		Dimensions: []string{"a", "b", "c"},
+		Normalized: []float64{0.2, 0.8, 0.5},
+		Cluster:    1,
+	}
+	svg := RadarSVG(p, 200)
+	for _, want := range []string{"<svg", "</svg>", "polygon", "1-31"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q:\n%s", want, svg)
+		}
+	}
+}
+
+func TestTimelineSVGWellFormed(t *testing.T) {
+	tl := BuildTimeline([]TimelineJob{
+		{JobID: "1", User: "u", SubmitTime: 10, StartTime: 50, FinishTime: 200, NodeCount: 2},
+	}, 0, 300)
+	svg := TimelineSVG(tl, 600)
+	if !strings.Contains(svg, "rect") || !strings.Contains(svg, "u (1 jobs, 2 hosts)") {
+		t.Fatalf("svg = %s", svg)
+	}
+}
+
+func TestTrendSVGWellFormed(t *testing.T) {
+	vecs := [][]float64{{1, 2}, {3, 4}, {2, 3}}
+	res, _ := KMeans(vecs, KMeansOptions{K: 2, Seed: 1})
+	trend := BuildTrend("1-31", []int64{0, 60, 120}, []string{"t", "p"}, vecs, res, ComputeBounds(vecs))
+	svg := TrendSVG(trend, ClusterByActivity(res.Centroids), 600, 200)
+	if !strings.Contains(svg, "polyline") || !strings.Contains(svg, "node 1-31") {
+		t.Fatalf("svg = %s", svg)
+	}
+}
+
+func TestHistogramMatrixSVGWellFormed(t *testing.T) {
+	m := BuildUserUsageMatrix(map[string]map[string][]float64{
+		"u1": {"cpu": {1, 2, 3}},
+	}, 4)
+	svg := HistogramMatrixSVG(m, 60)
+	if !strings.Contains(svg, "rect") || !strings.Contains(svg, "u1") {
+		t.Fatalf("svg = %s", svg)
+	}
+}
+
+func TestClusterColorStability(t *testing.T) {
+	if ClusterColor(-1) == "" || ClusterColor(0) == ClusterColor(1) {
+		t.Fatal("cluster colours not distinct")
+	}
+	if ClusterColor(7) != ClusterColor(0) {
+		t.Fatal("palette should wrap")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("escape = %q", escape(`a<b>&"c"`))
+	}
+}
+
+func TestDashboardHTML(t *testing.T) {
+	dims := []string{"a", "b", "c"}
+	profiles, err := BuildRadarProfiles(
+		[]string{"1-1", "1-2"}, dims,
+		[][]float64{{1, 2, 3}, {4, 5, 6}}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := BuildTimeline([]TimelineJob{
+		{JobID: "1", User: "u", SubmitTime: 10, StartTime: 20, FinishTime: 80, NodeCount: 1},
+	}, 0, 100)
+	usage := BuildUserUsageMatrix(map[string]map[string][]float64{
+		"u": {"cpu": {1, 2, 3}},
+	}, 5)
+	d := &Dashboard{
+		Generated: time.Unix(1587384000, 0),
+		Radars:    profiles,
+		Ranks:     []int{0, 1},
+		Timeline:  tl,
+		Usage:     usage,
+		AlertLog:  []string{"2020-04-20 1-5/cpu1-temp OK -> WARNING (value 88.0)"},
+		Footnotes: []string{"generated by test"},
+	}
+	html, err := d.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>", "MonSTer cluster dashboard",
+		"radar grid", "scheduling timeline", "resource usage",
+		"<svg", "WARNING", "generated by test",
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+}
+
+func TestDashboardEmptySections(t *testing.T) {
+	d := &Dashboard{Title: "empty", Generated: time.Unix(0, 0)}
+	html, err := d.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html, "radar grid") || strings.Contains(html, "Alerts") {
+		t.Fatal("empty sections rendered")
+	}
+	if !strings.Contains(html, "empty") {
+		t.Fatal("title lost")
+	}
+}
+
+func TestDashboardEscapesAlertText(t *testing.T) {
+	d := &Dashboard{
+		Generated: time.Unix(0, 0),
+		AlertLog:  []string{`<script>alert("x")</script>`},
+	}
+	html, err := d.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html, "<script>") {
+		t.Fatal("alert text not escaped")
+	}
+}

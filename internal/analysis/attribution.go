@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// Attribution is the paper's core promise made computable:
+// "correlating applications to resource usage ... reveals insightful
+// knowledge of how platform components interact" (Section I). Given
+// out-of-band node power (Power measurement), the node→jobs
+// correlation (NodeJobs measurement), and job metadata (JobsInfo), it
+// apportions every node's energy to the jobs resident on it and rolls
+// the result up per user — without any agent on the compute nodes,
+// exactly the out-of-band way MonSTer works.
+
+// PowerSample is one node power reading.
+type PowerSample struct {
+	Time  int64
+	Watts float64
+}
+
+// NodeJobsSample is the job set resident on a node at one instant.
+type NodeJobsSample struct {
+	Time int64
+	Jobs []string
+}
+
+// JobMeta is what attribution needs from JobsInfo.
+type JobMeta struct {
+	Key       string
+	User      string
+	Slots     int
+	NodeCount int
+}
+
+// slotsPerNode estimates how many of the job's slots sit on one of its
+// nodes.
+func (m JobMeta) slotsPerNode() float64 {
+	if m.NodeCount <= 0 {
+		if m.Slots <= 0 {
+			return 1
+		}
+		return float64(m.Slots)
+	}
+	return float64(m.Slots) / float64(m.NodeCount)
+}
+
+// AttributionInput collects the three measurement streams.
+type AttributionInput struct {
+	// IdleWatts is the node idle draw used to split busy vs idle
+	// energy; zero disables the split (all energy is "busy").
+	IdleWatts float64
+	// Power holds per-node power samples (any order; sorted
+	// internally).
+	Power map[string][]PowerSample
+	// NodeJobs holds per-node job-list samples (any order).
+	NodeJobs map[string][]NodeJobsSample
+	// Jobs maps job key -> metadata.
+	Jobs map[string]JobMeta
+}
+
+// JobEnergy is one job's attributed consumption.
+type JobEnergy struct {
+	Key         string
+	User        string
+	Joules      float64 // total energy attributed to the job
+	BusyJoules  float64 // portion above the idle baseline
+	NodeSeconds float64 // node-residency integral
+}
+
+// KWh converts the attributed energy.
+func (j *JobEnergy) KWh() float64 { return j.Joules / 3.6e6 }
+
+// AttributionResult is the full energy ledger.
+type AttributionResult struct {
+	Jobs  map[string]*JobEnergy
+	Users map[string]float64 // user -> joules
+
+	TotalJoules        float64 // all node energy in the window
+	IdleJoules         float64 // nodes with no resident jobs
+	UnattributedJoules float64 // resident jobs missing from Jobs metadata
+}
+
+// TopUsers returns users ordered by attributed energy, descending.
+func (r *AttributionResult) TopUsers() []string {
+	users := make([]string, 0, len(r.Users))
+	for u := range r.Users {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool {
+		if r.Users[users[a]] != r.Users[users[b]] {
+			return r.Users[users[a]] > r.Users[users[b]]
+		}
+		return users[a] < users[b]
+	})
+	return users
+}
+
+// AttributeEnergy integrates each node's power over time and splits
+// every interval's energy across the jobs resident during it,
+// weighted by their per-node slot footprint. Intervals with no
+// resident jobs accrue to IdleJoules; resident jobs without metadata
+// accrue to UnattributedJoules.
+func AttributeEnergy(in AttributionInput) *AttributionResult {
+	res := &AttributionResult{
+		Jobs:  make(map[string]*JobEnergy),
+		Users: make(map[string]float64),
+	}
+	for node, samples := range in.Power {
+		power := append([]PowerSample(nil), samples...)
+		sort.Slice(power, func(a, b int) bool { return power[a].Time < power[b].Time })
+		if len(power) == 0 {
+			continue
+		}
+		jobsTL := append([]NodeJobsSample(nil), in.NodeJobs[node]...)
+		sort.Slice(jobsTL, func(a, b int) bool { return jobsTL[a].Time < jobsTL[b].Time })
+
+		for i := range power {
+			dt := sampleDT(power, i)
+			if dt <= 0 {
+				continue
+			}
+			joules := power[i].Watts * dt
+			busy := joules
+			if in.IdleWatts > 0 {
+				idlePart := in.IdleWatts * dt
+				if idlePart > joules {
+					idlePart = joules
+				}
+				busy = joules - idlePart
+			}
+			res.TotalJoules += joules
+
+			resident := jobsAt(jobsTL, power[i].Time)
+			if len(resident) == 0 {
+				res.IdleJoules += joules
+				continue
+			}
+			// Weight by per-node slot footprint.
+			weights := make([]float64, len(resident))
+			var wsum float64
+			for k, key := range resident {
+				w := 1.0
+				if m, ok := in.Jobs[key]; ok {
+					w = m.slotsPerNode()
+				}
+				if w <= 0 {
+					w = 1
+				}
+				weights[k] = w
+				wsum += w
+			}
+			for k, key := range resident {
+				share := joules * weights[k] / wsum
+				m, ok := in.Jobs[key]
+				if !ok {
+					res.UnattributedJoules += share
+					continue
+				}
+				je, ok := res.Jobs[key]
+				if !ok {
+					je = &JobEnergy{Key: key, User: m.User}
+					res.Jobs[key] = je
+				}
+				je.Joules += share
+				je.BusyJoules += busy * weights[k] / wsum
+				je.NodeSeconds += dt
+				res.Users[m.User] += share
+			}
+		}
+	}
+	return res
+}
+
+// sampleDT estimates the integration step for sample i: the gap to the
+// next sample, or the previous gap for the last sample.
+func sampleDT(power []PowerSample, i int) float64 {
+	switch {
+	case i+1 < len(power):
+		return float64(power[i+1].Time - power[i].Time)
+	case i > 0:
+		return float64(power[i].Time - power[i-1].Time)
+	default:
+		return 60 // single sample: assume one collection interval
+	}
+}
+
+// jobsAt returns the job set in effect at time t (the latest sample at
+// or before t).
+func jobsAt(tl []NodeJobsSample, t int64) []string {
+	idx := sort.Search(len(tl), func(i int) bool { return tl[i].Time > t }) - 1
+	if idx < 0 {
+		return nil
+	}
+	return tl[idx].Jobs
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestAttributeEnergySingleJob(t *testing.T) {
+	in := AttributionInput{
+		IdleWatts: 100,
+		Power: map[string][]PowerSample{
+			"n1": {{0, 300}, {60, 300}, {120, 300}},
+		},
+		NodeJobs: map[string][]NodeJobsSample{
+			"n1": {{0, []string{"1"}}},
+		},
+		Jobs: map[string]JobMeta{
+			"1": {Key: "1", User: "alice", Slots: 36, NodeCount: 1},
+		},
+	}
+	res := AttributeEnergy(in)
+	// 3 samples × 60 s × 300 W = 54000 J total, all attributed.
+	if !almostEq(res.TotalJoules, 54000) {
+		t.Fatalf("total = %v", res.TotalJoules)
+	}
+	je := res.Jobs["1"]
+	if je == nil || !almostEq(je.Joules, 54000) {
+		t.Fatalf("job energy = %+v", je)
+	}
+	if !almostEq(je.BusyJoules, 36000) { // (300-100) W × 180 s
+		t.Fatalf("busy = %v", je.BusyJoules)
+	}
+	if !almostEq(res.Users["alice"], 54000) {
+		t.Fatalf("user = %v", res.Users["alice"])
+	}
+	if res.IdleJoules != 0 || res.UnattributedJoules != 0 {
+		t.Fatalf("leakage: %+v", res)
+	}
+	if !almostEq(je.KWh(), 54000/3.6e6) {
+		t.Fatalf("kwh = %v", je.KWh())
+	}
+	if !almostEq(je.NodeSeconds, 180) {
+		t.Fatalf("node seconds = %v", je.NodeSeconds)
+	}
+}
+
+func TestAttributeEnergySlotWeighting(t *testing.T) {
+	// Two jobs share a node: job A has 24 slots there, job B 12 —
+	// A gets 2/3 of the energy.
+	in := AttributionInput{
+		Power: map[string][]PowerSample{
+			"n1": {{0, 360}, {60, 360}},
+		},
+		NodeJobs: map[string][]NodeJobsSample{
+			"n1": {{0, []string{"A", "B"}}},
+		},
+		Jobs: map[string]JobMeta{
+			"A": {Key: "A", User: "ua", Slots: 24, NodeCount: 1},
+			"B": {Key: "B", User: "ub", Slots: 12, NodeCount: 1},
+		},
+	}
+	res := AttributeEnergy(in)
+	total := res.TotalJoules
+	if !almostEq(total, 2*60*360) {
+		t.Fatalf("total = %v", total)
+	}
+	if !almostEq(res.Jobs["A"].Joules, total*2/3) {
+		t.Fatalf("A = %v of %v", res.Jobs["A"].Joules, total)
+	}
+	if !almostEq(res.Jobs["B"].Joules, total/3) {
+		t.Fatalf("B = %v", res.Jobs["B"].Joules)
+	}
+}
+
+func TestAttributeEnergyMPISlotsPerNode(t *testing.T) {
+	// An MPI job with 72 slots on 2 nodes coexists with a serial job
+	// (1 slot) on n1: per-node MPI footprint is 36 slots.
+	in := AttributionInput{
+		Power: map[string][]PowerSample{
+			"n1": {{0, 370}, {60, 370}},
+			"n2": {{0, 370}, {60, 370}},
+		},
+		NodeJobs: map[string][]NodeJobsSample{
+			"n1": {{0, []string{"mpi", "serial"}}},
+			"n2": {{0, []string{"mpi"}}},
+		},
+		Jobs: map[string]JobMeta{
+			"mpi":    {Key: "mpi", User: "um", Slots: 72, NodeCount: 2},
+			"serial": {Key: "serial", User: "us", Slots: 1, NodeCount: 1},
+		},
+	}
+	res := AttributeEnergy(in)
+	perNode := 2.0 * 60 * 370
+	wantSerial := perNode * 1 / 37
+	wantMPI := perNode*36/37 + perNode
+	if !almostEq(res.Jobs["serial"].Joules, wantSerial) {
+		t.Fatalf("serial = %v, want %v", res.Jobs["serial"].Joules, wantSerial)
+	}
+	if !almostEq(res.Jobs["mpi"].Joules, wantMPI) {
+		t.Fatalf("mpi = %v, want %v", res.Jobs["mpi"].Joules, wantMPI)
+	}
+}
+
+func TestAttributeEnergyIdleNodes(t *testing.T) {
+	in := AttributionInput{
+		Power: map[string][]PowerSample{
+			"n1": {{0, 110}, {60, 110}},
+		},
+		NodeJobs: map[string][]NodeJobsSample{
+			"n1": {{0, nil}},
+		},
+	}
+	res := AttributeEnergy(in)
+	if !almostEq(res.IdleJoules, res.TotalJoules) || res.TotalJoules == 0 {
+		t.Fatalf("idle accounting: %+v", res)
+	}
+	if len(res.Jobs) != 0 {
+		t.Fatal("phantom jobs")
+	}
+}
+
+func TestAttributeEnergyJobChurn(t *testing.T) {
+	// Job 1 runs for the first interval, job 2 for the second.
+	in := AttributionInput{
+		Power: map[string][]PowerSample{
+			"n1": {{0, 200}, {60, 400}, {120, 400}},
+		},
+		NodeJobs: map[string][]NodeJobsSample{
+			"n1": {{0, []string{"1"}}, {60, []string{"2"}}},
+		},
+		Jobs: map[string]JobMeta{
+			"1": {Key: "1", User: "u1", Slots: 1, NodeCount: 1},
+			"2": {Key: "2", User: "u2", Slots: 1, NodeCount: 1},
+		},
+	}
+	res := AttributeEnergy(in)
+	if !almostEq(res.Jobs["1"].Joules, 200*60) {
+		t.Fatalf("job1 = %v", res.Jobs["1"].Joules)
+	}
+	if !almostEq(res.Jobs["2"].Joules, 400*60+400*60) {
+		t.Fatalf("job2 = %v", res.Jobs["2"].Joules)
+	}
+}
+
+func TestAttributeEnergyUnknownJob(t *testing.T) {
+	in := AttributionInput{
+		Power: map[string][]PowerSample{
+			"n1": {{0, 300}, {60, 300}},
+		},
+		NodeJobs: map[string][]NodeJobsSample{
+			"n1": {{0, []string{"ghost"}}},
+		},
+	}
+	res := AttributeEnergy(in)
+	if !almostEq(res.UnattributedJoules, res.TotalJoules) {
+		t.Fatalf("unattributed = %v of %v", res.UnattributedJoules, res.TotalJoules)
+	}
+}
+
+func TestAttributeEnergyConservation(t *testing.T) {
+	// Energy in = energy out across jobs + idle + unattributed.
+	in := AttributionInput{
+		IdleWatts: 105,
+		Power: map[string][]PowerSample{
+			"n1": {{0, 300}, {60, 310}, {120, 290}, {180, 415}},
+			"n2": {{0, 110}, {60, 105}, {120, 120}},
+			"n3": {{30, 250}, {90, 260}},
+		},
+		NodeJobs: map[string][]NodeJobsSample{
+			"n1": {{0, []string{"a", "b"}}, {120, []string{"a"}}},
+			"n2": {{0, nil}},
+			"n3": {{0, []string{"ghost"}}},
+		},
+		Jobs: map[string]JobMeta{
+			"a": {Key: "a", User: "u", Slots: 18, NodeCount: 1},
+			"b": {Key: "b", User: "v", Slots: 18, NodeCount: 1},
+		},
+	}
+	res := AttributeEnergy(in)
+	var jobSum float64
+	for _, je := range res.Jobs {
+		jobSum += je.Joules
+	}
+	out := jobSum + res.IdleJoules + res.UnattributedJoules
+	if math.Abs(out-res.TotalJoules) > 1e-6 {
+		t.Fatalf("leak: attributed %v vs total %v", out, res.TotalJoules)
+	}
+	var userSum float64
+	for _, j := range res.Users {
+		userSum += j
+	}
+	if math.Abs(userSum-jobSum) > 1e-6 {
+		t.Fatalf("user ledger %v != job ledger %v", userSum, jobSum)
+	}
+}
+
+func TestTopUsersOrdering(t *testing.T) {
+	res := &AttributionResult{Users: map[string]float64{"a": 10, "b": 30, "c": 20}}
+	top := res.TopUsers()
+	if top[0] != "b" || top[1] != "c" || top[2] != "a" {
+		t.Fatalf("order = %v", top)
+	}
+}
+
+func TestAttributeEnergySingleSampleUsesDefaultDT(t *testing.T) {
+	in := AttributionInput{
+		Power:    map[string][]PowerSample{"n1": {{0, 100}}},
+		NodeJobs: map[string][]NodeJobsSample{"n1": {{0, []string{"j"}}}},
+		Jobs:     map[string]JobMeta{"j": {Key: "j", User: "u", Slots: 1, NodeCount: 1}},
+	}
+	res := AttributeEnergy(in)
+	if !almostEq(res.TotalJoules, 6000) { // 100 W × 60 s default
+		t.Fatalf("total = %v", res.TotalJoules)
+	}
+}
+
+func TestJobsAtBeforeFirstSample(t *testing.T) {
+	tl := []NodeJobsSample{{100, []string{"x"}}}
+	if jobsAt(tl, 50) != nil {
+		t.Fatal("jobs reported before first correlation sample")
+	}
+	if got := jobsAt(tl, 100); len(got) != 1 {
+		t.Fatal("exact-time lookup failed")
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cross-metric correlation: the paper's Section I program — "we can
+// cross-compare and correlate the sub-components within the HPC
+// system, such as jobs data, resources usage and hardware status, so
+// as to quickly understand the system status [and] detect anomalies in
+// time". CorrelationMatrix computes pairwise Pearson coefficients
+// between metric series (e.g. CPU usage vs CPU temperature vs power
+// across the fleet); a node whose power–load correlation collapses is
+// exactly the kind of anomaly the paper wants surfaced.
+
+// Series is one named, aligned sample vector.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// CorrelationMatrix holds pairwise Pearson coefficients.
+type CorrelationMatrix struct {
+	Names []string
+	R     [][]float64 // R[i][j] = pearson(series i, series j); NaN if undefined
+}
+
+// Pearson computes the correlation coefficient of two equal-length
+// vectors. It returns NaN when either vector has zero variance or the
+// lengths differ or are < 2.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Correlate builds the full pairwise matrix. Series must be aligned
+// (same index = same observation); lengths may differ, in which case
+// each pair is truncated to the shorter.
+func Correlate(series []Series) *CorrelationMatrix {
+	m := &CorrelationMatrix{
+		Names: make([]string, len(series)),
+		R:     make([][]float64, len(series)),
+	}
+	for i, s := range series {
+		m.Names[i] = s.Name
+		m.R[i] = make([]float64, len(series))
+	}
+	for i := range series {
+		m.R[i][i] = 1
+		for j := i + 1; j < len(series); j++ {
+			a, b := series[i].Values, series[j].Values
+			if len(a) > len(b) {
+				a = a[:len(b)]
+			} else if len(b) > len(a) {
+				b = b[:len(a)]
+			}
+			r := Pearson(a, b)
+			m.R[i][j] = r
+			m.R[j][i] = r
+		}
+	}
+	return m
+}
+
+// Pair is one named correlation.
+type Pair struct {
+	A, B string
+	R    float64
+}
+
+// Strongest returns pairs ordered by |r| descending, skipping
+// undefined entries and self-pairs.
+func (m *CorrelationMatrix) Strongest() []Pair {
+	var out []Pair
+	for i := range m.Names {
+		for j := i + 1; j < len(m.Names); j++ {
+			r := m.R[i][j]
+			if math.IsNaN(r) {
+				continue
+			}
+			out = append(out, Pair{A: m.Names[i], B: m.Names[j], R: r})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return math.Abs(out[a].R) > math.Abs(out[b].R) })
+	return out
+}
+
+// Lookup returns r for a named pair.
+func (m *CorrelationMatrix) Lookup(a, b string) (float64, error) {
+	ia, ib := -1, -1
+	for i, n := range m.Names {
+		if n == a {
+			ia = i
+		}
+		if n == b {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("analysis: unknown series in pair (%q, %q)", a, b)
+	}
+	return m.R[ia][ib], nil
+}
+
+// CorrelationOutliers finds the indices of entities whose per-entity
+// correlation between two vectors deviates most from the population.
+// rows[i] must hold entity i's (x, y) sample pairs; entities with
+// undefined correlation are skipped. Returned indices are ordered by
+// |r_i - median| descending.
+func CorrelationOutliers(xs, ys [][]float64) []int {
+	type er struct {
+		idx int
+		r   float64
+	}
+	var rs []er
+	for i := range xs {
+		if i >= len(ys) {
+			break
+		}
+		r := Pearson(xs[i], ys[i])
+		if math.IsNaN(r) {
+			continue
+		}
+		rs = append(rs, er{i, r})
+	}
+	if len(rs) == 0 {
+		return nil
+	}
+	vals := make([]float64, len(rs))
+	for i, e := range rs {
+		vals[i] = e.r
+	}
+	sort.Float64s(vals)
+	median := vals[len(vals)/2]
+	sort.Slice(rs, func(a, b int) bool {
+		return math.Abs(rs[a].r-median) > math.Abs(rs[b].r-median)
+	})
+	out := make([]int, len(rs))
+	for i, e := range rs {
+		out[i] = e.idx
+	}
+	return out
+}

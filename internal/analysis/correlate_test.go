@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(a, b); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("r = %v, want 1", r)
+	}
+	c := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(a, c); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonUndefinedCases(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1})) {
+		t.Fatal("length mismatch not NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{1})) {
+		t.Fatal("single sample not NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{3, 3, 3}, []float64{1, 2, 3})) {
+		t.Fatal("zero variance not NaN")
+	}
+}
+
+func TestPearsonNearZeroForOrthogonal(t *testing.T) {
+	a := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	b := []float64{1, 1, -1, -1, 1, 1, -1, -1}
+	if r := Pearson(a, b); math.Abs(r) > 0.01 {
+		t.Fatalf("orthogonal r = %v", r)
+	}
+}
+
+func TestPropPearsonBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		r := Pearson(a, b)
+		if math.IsNaN(r) {
+			return true
+		}
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPearsonSymmetric(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		r1, r2 := Pearson(a, b), Pearson(b, a)
+		if math.IsNaN(r1) || math.IsNaN(r2) {
+			return math.IsNaN(r1) == math.IsNaN(r2)
+		}
+		return math.Abs(r1-r2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrelateMatrix(t *testing.T) {
+	load := []float64{0.1, 0.5, 0.9, 0.3, 0.7}
+	power := []float64{120, 280, 410, 190, 330}  // tracks load
+	inlet := []float64{21, 21.2, 20.9, 21.1, 21} // unrelated
+	m := Correlate([]Series{
+		{Name: "load", Values: load},
+		{Name: "power", Values: power},
+		{Name: "inlet", Values: inlet},
+	})
+	if m.R[0][0] != 1 || m.R[1][1] != 1 {
+		t.Fatal("diagonal not 1")
+	}
+	lp, err := m.Lookup("load", "power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp < 0.95 {
+		t.Fatalf("load-power r = %v, want strong", lp)
+	}
+	if m.R[0][1] != m.R[1][0] {
+		t.Fatal("matrix not symmetric")
+	}
+	strongest := m.Strongest()
+	if strongest[0].A != "load" || strongest[0].B != "power" {
+		t.Fatalf("strongest = %+v", strongest[0])
+	}
+	if _, err := m.Lookup("load", "nope"); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+}
+
+func TestCorrelateTruncatesUnequalLengths(t *testing.T) {
+	m := Correlate([]Series{
+		{Name: "a", Values: []float64{1, 2, 3, 4, 5, 6}},
+		{Name: "b", Values: []float64{2, 4, 6}},
+	})
+	if r := m.R[0][1]; math.Abs(r-1) > 1e-9 {
+		t.Fatalf("truncated r = %v", r)
+	}
+}
+
+func TestCorrelationOutliers(t *testing.T) {
+	// Nine healthy nodes: power tracks load. One broken node: power is
+	// flat-high regardless of load (stuck PSU reading / firmware bug).
+	var xs, ys [][]float64
+	for n := 0; n < 9; n++ {
+		load := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.4, 0.2, 0.8}
+		power := make([]float64, len(load))
+		for i, l := range load {
+			power[i] = 105 + 310*l + float64(n) // tiny per-node offset
+		}
+		xs = append(xs, load)
+		ys = append(ys, power)
+	}
+	xs = append(xs, []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.4, 0.2, 0.8})
+	ys = append(ys, []float64{400, 401, 399, 400, 402, 398, 400, 401.5})
+	ranked := CorrelationOutliers(xs, ys)
+	if len(ranked) != 10 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[0] != 9 {
+		t.Fatalf("top outlier = %d, want 9 (the broken node)", ranked[0])
+	}
+}
+
+func TestCorrelationOutliersEmptyAndDegenerate(t *testing.T) {
+	if CorrelationOutliers(nil, nil) != nil {
+		t.Fatal("nil input returned outliers")
+	}
+	// All-degenerate correlations are skipped.
+	out := CorrelationOutliers([][]float64{{1, 1, 1}}, [][]float64{{2, 3, 4}})
+	if out != nil {
+		t.Fatalf("degenerate input returned %v", out)
+	}
+}

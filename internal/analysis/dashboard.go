@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+	"time"
+)
+
+// Dashboard assembles the HiperJobViz views into one static HTML page:
+// the cluster-wide radar grid grouped by k-means cluster (Fig 9 left),
+// the job-scheduling timeline (Fig 6), the per-user usage histograms
+// (Fig 9 right), a node history trend (Fig 8), and an alert feed. The
+// output is self-contained (inline SVG, no scripts) so it can be
+// archived next to the data that produced it.
+type Dashboard struct {
+	Title     string
+	Generated time.Time
+
+	Radars    []RadarProfile
+	Ranks     []int // cluster activity ranks for colouring
+	Timeline  *Timeline
+	Trend     *TrendSeries
+	Usage     *UserUsageMatrix
+	AlertLog  []string
+	Footnotes []string
+}
+
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+ body { font-family: sans-serif; margin: 1.5em; color: #222; }
+ h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+ .meta { color: #777; font-size: 0.85em; }
+ .radars { display: flex; flex-wrap: wrap; gap: 8px; }
+ .alerts li { font-family: monospace; font-size: 0.85em; }
+ .foot { color: #888; font-size: 0.8em; margin-top: 2em; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="meta">generated {{.GeneratedText}}</p>
+{{if .RadarSVGs}}<h2>Node health radar grid (k-means host groups)</h2>
+<div class="radars">{{range .RadarSVGs}}{{.}}{{end}}</div>{{end}}
+{{if .TimelineSVG}}<h2>Job scheduling timeline</h2>{{.TimelineSVG}}{{end}}
+{{if .TrendSVG}}<h2>Node history</h2>{{.TrendSVG}}{{end}}
+{{if .UsageSVG}}<h2>Per-user resource usage</h2>{{.UsageSVG}}{{end}}
+{{if .Alerts}}<h2>Alerts</h2><ul class="alerts">{{range .Alerts}}<li>{{.}}</li>{{end}}</ul>{{end}}
+{{range .Footnotes}}<p class="foot">{{.}}</p>{{end}}
+</body>
+</html>
+`))
+
+// dashboardData is the template input with pre-rendered SVG fragments.
+type dashboardData struct {
+	Title         string
+	GeneratedText string
+	RadarSVGs     []template.HTML
+	TimelineSVG   template.HTML
+	TrendSVG      template.HTML
+	UsageSVG      template.HTML
+	Alerts        []string
+	Footnotes     []string
+}
+
+// HTML renders the dashboard page.
+func (d *Dashboard) HTML() (string, error) {
+	data := dashboardData{
+		Title:         d.Title,
+		GeneratedText: d.Generated.UTC().Format(time.RFC3339),
+		Alerts:        d.AlertLog,
+		Footnotes:     d.Footnotes,
+	}
+	if data.Title == "" {
+		data.Title = "MonSTer cluster dashboard"
+	}
+	for i := range d.Radars {
+		p := d.Radars[i]
+		if d.Ranks != nil && p.Cluster >= 0 && p.Cluster < len(d.Ranks) {
+			p.Cluster = d.Ranks[p.Cluster]
+		}
+		data.RadarSVGs = append(data.RadarSVGs, template.HTML(RadarSVG(&p, 170)))
+	}
+	if d.Timeline != nil {
+		data.TimelineSVG = template.HTML(TimelineSVG(d.Timeline, 1000))
+	}
+	if d.Trend != nil {
+		data.TrendSVG = template.HTML(TrendSVG(d.Trend, d.Ranks, 1000, 240))
+	}
+	if d.Usage != nil && len(d.Usage.Users) > 0 {
+		data.UsageSVG = template.HTML(HistogramMatrixSVG(d.Usage, 80))
+	}
+	var b strings.Builder
+	if err := dashboardTmpl.Execute(&b, data); err != nil {
+		return "", fmt.Errorf("analysis: dashboard render: %w", err)
+	}
+	return b.String(), nil
+}

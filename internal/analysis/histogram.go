@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram is one symmetric histogram cell of the Fig 9 user/metric
+// matrix: the distribution of one user's readings along one dimension.
+type Histogram struct {
+	User      string
+	Dimension string
+	Bins      []int
+	Min, Max  float64
+	Count     int
+	Mean      float64
+}
+
+// BinWidth reports the value span of one bin.
+func (h *Histogram) BinWidth() float64 {
+	if len(h.Bins) == 0 {
+		return 0
+	}
+	return (h.Max - h.Min) / float64(len(h.Bins))
+}
+
+// BuildHistogram bins values into nbins over [min,max] computed from
+// the data.
+func BuildHistogram(user, dimension string, values []float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		nbins = 10
+	}
+	h := &Histogram{User: user, Dimension: dimension, Bins: make([]int, nbins)}
+	if len(values) == 0 {
+		return h
+	}
+	h.Min, h.Max = values[0], values[0]
+	var sum float64
+	for _, v := range values {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+		sum += v
+	}
+	h.Count = len(values)
+	h.Mean = sum / float64(len(values))
+	span := h.Max - h.Min
+	for _, v := range values {
+		var b int
+		if span > 0 {
+			b = int(float64(nbins) * (v - h.Min) / span)
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		h.Bins[b]++
+	}
+	return h
+}
+
+// UserUsageMatrix is the Fig 9 right-hand panel: one histogram per
+// (user, dimension), plus per-dimension user rankings.
+type UserUsageMatrix struct {
+	Users      []string
+	Dimensions []string
+	Cells      map[string]map[string]*Histogram // user -> dimension -> histogram
+}
+
+// BuildUserUsageMatrix groups per-user samples by dimension. samples
+// maps user -> dimension -> values.
+func BuildUserUsageMatrix(samples map[string]map[string][]float64, nbins int) *UserUsageMatrix {
+	m := &UserUsageMatrix{Cells: make(map[string]map[string]*Histogram)}
+	dimSet := make(map[string]bool)
+	for user, dims := range samples {
+		m.Users = append(m.Users, user)
+		m.Cells[user] = make(map[string]*Histogram)
+		for dim, vals := range dims {
+			dimSet[dim] = true
+			m.Cells[user][dim] = BuildHistogram(user, dim, vals, nbins)
+		}
+	}
+	sort.Strings(m.Users)
+	for d := range dimSet {
+		m.Dimensions = append(m.Dimensions, d)
+	}
+	sort.Strings(m.Dimensions)
+	return m
+}
+
+// RankUsers orders users by mean reading along one dimension,
+// descending — "by clicking on the attribute name ... we can easily
+// find the specific user that consumes the most resources".
+func (m *UserUsageMatrix) RankUsers(dimension string) ([]string, error) {
+	found := false
+	for _, d := range m.Dimensions {
+		if d == dimension {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("analysis: unknown dimension %q", dimension)
+	}
+	users := append([]string(nil), m.Users...)
+	sort.SliceStable(users, func(a, b int) bool {
+		ha := m.Cells[users[a]][dimension]
+		hb := m.Cells[users[b]][dimension]
+		ma, mb := 0.0, 0.0
+		if ha != nil {
+			ma = ha.Mean
+		}
+		if hb != nil {
+			mb = hb.Mean
+		}
+		return ma > mb
+	})
+	return users, nil
+}
+
+// TopConsumer reports the highest-mean user on a dimension.
+func (m *UserUsageMatrix) TopConsumer(dimension string) (string, error) {
+	ranked, err := m.RankUsers(dimension)
+	if err != nil {
+		return "", err
+	}
+	if len(ranked) == 0 {
+		return "", fmt.Errorf("analysis: no users")
+	}
+	return ranked[0], nil
+}

@@ -1,0 +1,242 @@
+// Package analysis implements the data layer of HiperJobViz, the
+// paper's analysis and visualization tool (Section III-E): k-means
+// clustering of nine-dimensional node-health vectors into the seven
+// host groups of Fig 9, min-max normalization and radar-profile
+// construction (Fig 7), the job-scheduling timeline with per-user
+// job/host counts (Fig 6), per-user resource-usage histograms, and
+// historical status trends with cluster-coloured bands (Fig 8). A
+// small SVG renderer produces static versions of the figures.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KMeansResult is the outcome of a clustering run.
+type KMeansResult struct {
+	Centroids  [][]float64 // k × dims, in normalized space
+	Assignment []int       // per input vector
+	Sizes      []int       // members per cluster
+	Iterations int
+	Converged  bool
+}
+
+// KMeansOptions tunes the clustering.
+type KMeansOptions struct {
+	K             int // number of clusters; zero means 7 (the paper's host groups)
+	MaxIterations int // zero means 100
+	Seed          int64
+}
+
+func (o *KMeansOptions) applyDefaults() {
+	if o.K == 0 {
+		o.K = 7
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+}
+
+// KMeans clusters vectors with Lloyd's algorithm and k-means++
+// seeding. Inputs are used as-is; callers normally Normalize first so
+// no dimension dominates the distance.
+func KMeans(vectors [][]float64, opts KMeansOptions) (*KMeansResult, error) {
+	opts.applyDefaults()
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("analysis: kmeans on empty input")
+	}
+	dims := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dims {
+			return nil, fmt.Errorf("analysis: vector %d has %d dims, want %d", i, len(v), dims)
+		}
+	}
+	k := opts.K
+	if k > n {
+		k = n
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x6b6d65616e73))
+	centroids := seedPlusPlus(vectors, k, rng)
+	assignment := make([]int, n)
+	res := &KMeansResult{}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assignment[i] != best {
+				assignment[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids; an emptied cluster keeps its position.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for i, v := range vectors {
+			c := assignment[i]
+			counts[c]++
+			for d, x := range v {
+				sums[c][d] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Centroids = centroids
+	res.Assignment = assignment
+	res.Sizes = make([]int, k)
+	for _, c := range assignment {
+		res.Sizes[c]++
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ rule.
+func seedPlusPlus(vectors [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(vectors)
+	centroids := make([][]float64, 0, k)
+	first := vectors[rng.Intn(n)]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var sum float64
+		for i, v := range vectors {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(v, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), vectors[rng.Intn(n)]...))
+			continue
+		}
+		r := rng.Float64() * sum
+		idx := 0
+		for i, d := range d2 {
+			r -= d
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), vectors[idx]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Bounds holds per-dimension min/max for normalization.
+type Bounds struct {
+	Min []float64
+	Max []float64
+}
+
+// ComputeBounds scans vectors for per-dimension extrema.
+func ComputeBounds(vectors [][]float64) Bounds {
+	if len(vectors) == 0 {
+		return Bounds{}
+	}
+	dims := len(vectors[0])
+	b := Bounds{Min: make([]float64, dims), Max: make([]float64, dims)}
+	copy(b.Min, vectors[0])
+	copy(b.Max, vectors[0])
+	for _, v := range vectors[1:] {
+		for d, x := range v {
+			if x < b.Min[d] {
+				b.Min[d] = x
+			}
+			if x > b.Max[d] {
+				b.Max[d] = x
+			}
+		}
+	}
+	return b
+}
+
+// Normalize min-max scales vectors into [0,1] per dimension using the
+// given bounds (degenerate dimensions map to 0.5, keeping them
+// neutral in distance computations).
+func Normalize(vectors [][]float64, b Bounds) [][]float64 {
+	out := make([][]float64, len(vectors))
+	for i, v := range vectors {
+		nv := make([]float64, len(v))
+		for d, x := range v {
+			span := b.Max[d] - b.Min[d]
+			if span == 0 {
+				nv[d] = 0.5
+				continue
+			}
+			nv[d] = (x - b.Min[d]) / span
+			if nv[d] < 0 {
+				nv[d] = 0
+			}
+			if nv[d] > 1 {
+				nv[d] = 1
+			}
+		}
+		out[i] = nv
+	}
+	return out
+}
+
+// ClusterByActivity orders cluster indices by centroid mean (ascending)
+// so "group 7" style labels are stable: low readings first, hottest
+// cluster last.
+func ClusterByActivity(centroids [][]float64) []int {
+	type ca struct {
+		idx  int
+		mean float64
+	}
+	cs := make([]ca, len(centroids))
+	for i, c := range centroids {
+		var s float64
+		for _, x := range c {
+			s += x
+		}
+		cs[i] = ca{i, s / float64(len(c))}
+	}
+	sort.Slice(cs, func(a, b int) bool { return cs[a].mean < cs[b].mean })
+	out := make([]int, len(cs))
+	for rank, c := range cs {
+		out[c.idx] = rank
+	}
+	return out
+}

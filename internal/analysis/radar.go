@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// RadarProfile is one node's nine-dimensional health profile prepared
+// for a radar chart (Fig 7): normalized values arranged cyclically.
+type RadarProfile struct {
+	NodeID     string
+	Dimensions []string
+	Raw        []float64
+	Normalized []float64
+	Cluster    int // assigned host group (-1 if not clustered)
+}
+
+// BuildRadarProfiles normalizes raw health vectors against shared
+// bounds and attaches cluster assignments when provided.
+func BuildRadarProfiles(nodeIDs []string, dims []string, raw [][]float64, assignment []int) ([]RadarProfile, error) {
+	if len(nodeIDs) != len(raw) {
+		return nil, fmt.Errorf("analysis: %d node ids for %d vectors", len(nodeIDs), len(raw))
+	}
+	bounds := ComputeBounds(raw)
+	norm := Normalize(raw, bounds)
+	out := make([]RadarProfile, len(raw))
+	for i := range raw {
+		p := RadarProfile{
+			NodeID:     nodeIDs[i],
+			Dimensions: dims,
+			Raw:        raw[i],
+			Normalized: norm[i],
+			Cluster:    -1,
+		}
+		if assignment != nil && i < len(assignment) {
+			p.Cluster = assignment[i]
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Morphology summarizes the "shape" of a radar profile: its area
+// (overall intensity) and peak dimension. The paper uses radar shape
+// differences to distinguish normal from anomalous nodes at a glance.
+type Morphology struct {
+	Area     float64 // polygon area in normalized radar space, [0, π·r²-ish]
+	PeakDim  int
+	PeakName string
+	Mean     float64
+}
+
+// Morph computes the radar polygon's morphology.
+func (p *RadarProfile) Morph() Morphology {
+	n := len(p.Normalized)
+	m := Morphology{PeakDim: -1}
+	if n == 0 {
+		return m
+	}
+	var area, sum, peak float64
+	for i := 0; i < n; i++ {
+		r1 := p.Normalized[i]
+		r2 := p.Normalized[(i+1)%n]
+		// Triangle between consecutive spokes at angle 2π/n.
+		area += 0.5 * r1 * r2 * math.Sin(2*math.Pi/float64(n))
+		sum += r1
+		if r1 > peak || m.PeakDim == -1 {
+			peak = r1
+			m.PeakDim = i
+		}
+	}
+	m.Area = area
+	m.Mean = sum / float64(n)
+	if m.PeakDim >= 0 && m.PeakDim < len(p.Dimensions) {
+		m.PeakName = p.Dimensions[m.PeakDim]
+	}
+	return m
+}
+
+// AnomalyScore rates how far a node's profile is from its cluster
+// centroid (normalized space); the paper's orange "critical status"
+// radars are exactly the high-scoring ones.
+func AnomalyScore(normalized []float64, centroid []float64) float64 {
+	return math.Sqrt(sqDist(normalized, centroid))
+}
+
+// RankAnomalies returns node indices sorted by descending anomaly
+// score against their assigned centroids.
+func RankAnomalies(norm [][]float64, res *KMeansResult) []int {
+	idx := make([]int, len(norm))
+	scores := make([]float64, len(norm))
+	for i := range norm {
+		idx[i] = i
+		scores[i] = AnomalyScore(norm[i], res.Centroids[res.Assignment[i]])
+	}
+	// Insertion sort keeps this dependency-free and stable for ties.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && scores[idx[j]] > scores[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}

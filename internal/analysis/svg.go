@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The SVG renderer produces static versions of HiperJobViz's views so
+// the examples can emit shareable artifacts without a browser. Colours
+// follow the paper's palette: blue for normal clusters, orange for
+// critical ones, gray for queueing, green for running.
+
+var clusterPalette = []string{
+	"#4E79A7", "#59A14F", "#9C755F", "#EDC948", "#B07AA1", "#76B7B2", "#F28E2B",
+}
+
+// ClusterColor maps a cluster rank to a stable colour (last = hottest =
+// orange).
+func ClusterColor(rank int) string {
+	if rank < 0 {
+		return "#BAB0AC"
+	}
+	return clusterPalette[rank%len(clusterPalette)]
+}
+
+// RadarSVG renders one node's radar profile (Fig 7 style).
+func RadarSVG(p *RadarProfile, size int) string {
+	if size <= 0 {
+		size = 240
+	}
+	n := len(p.Normalized)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, size, size, size, size)
+	cx, cy := float64(size)/2, float64(size)/2
+	r := float64(size)/2 - 30
+	// Grid rings.
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#ddd"/>`, cx, cy, r*frac)
+	}
+	if n > 0 {
+		// Spokes and labels.
+		for i := 0; i < n; i++ {
+			a := angle(i, n)
+			x, y := cx+r*math.Cos(a), cy+r*math.Sin(a)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`, cx, cy, x, y)
+			if i < len(p.Dimensions) {
+				lx, ly := cx+(r+14)*math.Cos(a), cy+(r+14)*math.Sin(a)
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="8" text-anchor="middle">%s</text>`, lx, ly, escape(p.Dimensions[i]))
+			}
+		}
+		// Profile polygon.
+		var pts []string
+		for i, v := range p.Normalized {
+			a := angle(i, n)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", cx+r*v*math.Cos(a), cy+r*v*math.Sin(a)))
+		}
+		color := ClusterColor(p.Cluster)
+		fmt.Fprintf(&b, `<polygon points="%s" fill="%s" fill-opacity="0.35" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color, color)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="14" font-size="11" text-anchor="middle">%s</text>`, cx, escape(p.NodeID))
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func angle(i, n int) float64 {
+	return 2*math.Pi*float64(i)/float64(n) - math.Pi/2
+}
+
+// TimelineSVG renders the job-scheduling timeline (Fig 6 style): one
+// row per job (grouped by user), gray for waiting, green for running,
+// and per-user job/host counts in the margin.
+func TimelineSVG(tl *Timeline, width int) string {
+	if width <= 0 {
+		width = 900
+	}
+	rowH := 8
+	margin := 170
+	span := tl.End - tl.Start
+	if span <= 0 {
+		span = 1
+	}
+	// Order rows user-major (summary order), submit-minor.
+	jobsByUser := make(map[string][]TimelineJob)
+	for _, j := range tl.Jobs {
+		jobsByUser[j.User] = append(jobsByUser[j.User], j)
+	}
+	rows := 0
+	for _, us := range tl.Users {
+		rows += len(jobsByUser[us.User]) + 1
+	}
+	height := rows*rowH + 40
+	x := func(t int64) float64 {
+		if t < tl.Start {
+			t = tl.Start
+		}
+		if t > tl.End {
+			t = tl.End
+		}
+		return float64(margin) + float64(width-margin-10)*float64(t-tl.Start)/float64(span)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, width, height)
+	y := 20
+	for _, us := range tl.Users {
+		fmt.Fprintf(&b, `<text x="4" y="%d" font-size="10">%s (%d jobs, %d hosts)</text>`,
+			y+rowH, escape(us.User), us.Jobs, us.Hosts)
+		y += rowH
+		for _, j := range jobsByUser[us.User] {
+			if j.StartTime > 0 {
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#BAB0AC"/>`,
+					x(j.SubmitTime), y, math.Max(x(j.StartTime)-x(j.SubmitTime), 0.5), rowH-2)
+				end := j.FinishTime
+				if end == 0 {
+					end = tl.End
+				}
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#59A14F"/>`,
+					x(j.StartTime), y, math.Max(x(end)-x(j.StartTime), 0.5), rowH-2)
+			} else {
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#BAB0AC"/>`,
+					x(j.SubmitTime), y, math.Max(x(tl.End)-x(j.SubmitTime), 0.5), rowH-2)
+			}
+			y += rowH
+		}
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// TrendSVG renders a node's historical metrics with cluster-coloured
+// background bands (Fig 8 style).
+func TrendSVG(ts *TrendSeries, ranks []int, width, height int) string {
+	if width <= 0 {
+		width = 900
+	}
+	if height <= 0 {
+		height = 220
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, width, height)
+	if len(ts.Times) == 0 {
+		b.WriteString("</svg>")
+		return b.String()
+	}
+	start, end := ts.Times[0], ts.Times[len(ts.Times)-1]
+	if end == start {
+		end = start + 1
+	}
+	x := func(t int64) float64 {
+		return 40 + float64(width-50)*float64(t-start)/float64(end-start)
+	}
+	// Background bands coloured by cluster rank.
+	for _, band := range ts.Bands {
+		rank := band.Cluster
+		if ranks != nil && band.Cluster < len(ranks) {
+			rank = ranks[band.Cluster]
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="20" width="%.1f" height="%d" fill="%s" fill-opacity="0.25"/>`,
+			x(band.Start), math.Max(x(band.End)-x(band.Start), 0.5), height-40, ClusterColor(rank))
+	}
+	// One polyline per metric, each normalized to its own range.
+	names := make([]string, 0, len(ts.Metrics))
+	for name := range ts.Metrics {
+		names = append(names, name)
+	}
+	// Deterministic order.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for mi, name := range names {
+		vals := ts.Metrics[name]
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi == lo {
+			hi = lo + 1
+		}
+		var pts []string
+		for i, v := range vals {
+			py := float64(height-20) - float64(height-40)*(v-lo)/(hi-lo)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(ts.Times[i]), py))
+		}
+		color := clusterPalette[mi%len(clusterPalette)]
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.2"/>`, strings.Join(pts, " "), color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" fill="%s">%s</text>`, 44, 30+12*mi, color, escape(name))
+	}
+	fmt.Fprintf(&b, `<text x="40" y="14" font-size="11">node %s</text>`, escape(ts.NodeID))
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// HistogramMatrixSVG renders the Fig 9 user/metric histogram matrix.
+func HistogramMatrixSVG(m *UserUsageMatrix, cell int) string {
+	if cell <= 0 {
+		cell = 70
+	}
+	w := 120 + cell*len(m.Dimensions)
+	h := 30 + cell*len(m.Users)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, w, h)
+	for di, dim := range m.Dimensions {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="9" text-anchor="middle">%s</text>`, 120+di*cell+cell/2, escape(dim))
+	}
+	for ui, user := range m.Users {
+		fmt.Fprintf(&b, `<text x="4" y="%d" font-size="10">%s</text>`, 30+ui*cell+cell/2, escape(user))
+		for di, dim := range m.Dimensions {
+			hst := m.Cells[user][dim]
+			if hst == nil || hst.Count == 0 {
+				continue
+			}
+			maxBin := 1
+			for _, c := range hst.Bins {
+				if c > maxBin {
+					maxBin = c
+				}
+			}
+			bw := float64(cell-10) / float64(len(hst.Bins))
+			baseX := float64(120 + di*cell + 5)
+			midY := float64(30 + ui*cell + cell/2)
+			for bi, c := range hst.Bins {
+				// Symmetric (violin-like) bars around the midline.
+				bh := float64(cell-14) * float64(c) / float64(maxBin) / 2
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#4E79A7"/>`,
+					baseX+float64(bi)*bw, midY-bh, math.Max(bw-1, 0.5), math.Max(2*bh, 0.5))
+			}
+		}
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+)
+
+// TimelineJob is one bar of the Fig 6 job-scheduling timeline: the gray
+// segment is queueing (submit→start), the green segment is execution
+// (start→finish).
+type TimelineJob struct {
+	JobID      string
+	User       string
+	SubmitTime int64
+	StartTime  int64
+	FinishTime int64 // 0 = still running at the window end
+	Slots      int
+	NodeCount  int
+}
+
+// WaitSeconds is the queueing delay.
+func (j *TimelineJob) WaitSeconds() int64 {
+	if j.StartTime == 0 || j.StartTime < j.SubmitTime {
+		return 0
+	}
+	return j.StartTime - j.SubmitTime
+}
+
+// RunSeconds is the execution span within [0, end].
+func (j *TimelineJob) RunSeconds(windowEnd int64) int64 {
+	if j.StartTime == 0 {
+		return 0
+	}
+	end := j.FinishTime
+	if end == 0 || end > windowEnd {
+		end = windowEnd
+	}
+	if end < j.StartTime {
+		return 0
+	}
+	return end - j.StartTime
+}
+
+// UserSummary aggregates one user's row of the timeline: "user jieyao
+// submitted two jobs that require 58 hosts".
+type UserSummary struct {
+	User       string
+	Jobs       int
+	Hosts      int // distinct-host upper bound: max concurrent node count
+	TotalSlots int
+	MeanWait   time.Duration
+	MaxWait    time.Duration
+}
+
+// Timeline is the full Fig 6 artifact.
+type Timeline struct {
+	Start, End int64
+	Jobs       []TimelineJob
+	Users      []UserSummary
+}
+
+// BuildTimeline assembles the timeline from job records, clipping to
+// [start, end) and summarizing per user. Jobs are ordered by submit
+// time; users by descending job count.
+func BuildTimeline(jobs []TimelineJob, start, end int64) *Timeline {
+	tl := &Timeline{Start: start, End: end}
+	byUser := make(map[string]*UserSummary)
+	waitSums := make(map[string]time.Duration)
+	hostPeak := make(map[string]int)
+	for _, j := range jobs {
+		if j.SubmitTime >= end || (j.FinishTime != 0 && j.FinishTime < start) {
+			continue
+		}
+		tl.Jobs = append(tl.Jobs, j)
+		us, ok := byUser[j.User]
+		if !ok {
+			us = &UserSummary{User: j.User}
+			byUser[j.User] = us
+		}
+		us.Jobs++
+		us.TotalSlots += j.Slots
+		w := time.Duration(j.WaitSeconds()) * time.Second
+		waitSums[j.User] += w
+		if w > us.MaxWait {
+			us.MaxWait = w
+		}
+		hostPeak[j.User] += j.NodeCount
+	}
+	sort.Slice(tl.Jobs, func(a, b int) bool {
+		if tl.Jobs[a].SubmitTime != tl.Jobs[b].SubmitTime {
+			return tl.Jobs[a].SubmitTime < tl.Jobs[b].SubmitTime
+		}
+		return tl.Jobs[a].JobID < tl.Jobs[b].JobID
+	})
+	for user, us := range byUser {
+		if us.Jobs > 0 {
+			us.MeanWait = waitSums[user] / time.Duration(us.Jobs)
+		}
+		us.Hosts = hostPeak[user]
+		tl.Users = append(tl.Users, *us)
+	}
+	sort.Slice(tl.Users, func(a, b int) bool {
+		if tl.Users[a].Jobs != tl.Users[b].Jobs {
+			return tl.Users[a].Jobs > tl.Users[b].Jobs
+		}
+		return tl.Users[a].User < tl.Users[b].User
+	})
+	return tl
+}
+
+// DistinctUserHosts computes, per user, how many distinct hosts their
+// jobs occupy — the Fig 6 margin statistic ("997 jobs, but only
+// occupies 29 hosts"). nodeJobs maps a node to the job keys running on
+// it (from the NodeJobs measurement); owner maps a job key to its
+// user.
+func DistinctUserHosts(nodeJobs map[string][]string, owner map[string]string) map[string]int {
+	hosts := make(map[string]map[string]bool)
+	for node, jobs := range nodeJobs {
+		for _, jk := range jobs {
+			user, ok := owner[jk]
+			if !ok {
+				// Array tasks share the array's job ID.
+				if dot := indexByte(jk, '.'); dot > 0 {
+					user, ok = owner[jk[:dot]]
+				}
+				if !ok {
+					continue
+				}
+			}
+			set := hosts[user]
+			if set == nil {
+				set = make(map[string]bool)
+				hosts[user] = set
+			}
+			set[node] = true
+		}
+	}
+	out := make(map[string]int, len(hosts))
+	for user, set := range hosts {
+		out[user] = len(set)
+	}
+	return out
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// OverrideHosts replaces each user summary's host count with the given
+// distinct-host statistics (users absent from counts keep the additive
+// per-job estimate).
+func (tl *Timeline) OverrideHosts(counts map[string]int) {
+	for i := range tl.Users {
+		if n, ok := counts[tl.Users[i].User]; ok {
+			tl.Users[i].Hosts = n
+		}
+	}
+}
+
+// TrendBand is one coloured background interval of the Fig 8 history
+// view: the cluster a node's status belonged to during [Start, End).
+type TrendBand struct {
+	Start, End int64
+	Cluster    int
+}
+
+// TrendSeries is a node's metric history plus its cluster bands.
+type TrendSeries struct {
+	NodeID  string
+	Times   []int64
+	Metrics map[string][]float64 // dimension name -> values aligned with Times
+	Bands   []TrendBand
+}
+
+// BuildTrend assembles a Fig 8 history: per-timestamp health vectors
+// are assigned to the precomputed clusters (nearest centroid in
+// normalized space) and contiguous equal assignments merge into bands.
+func BuildTrend(nodeID string, times []int64, dims []string, vectors [][]float64, res *KMeansResult, bounds Bounds) *TrendSeries {
+	ts := &TrendSeries{NodeID: nodeID, Times: times, Metrics: make(map[string][]float64)}
+	for d, name := range dims {
+		col := make([]float64, len(vectors))
+		for i, v := range vectors {
+			if d < len(v) {
+				col[i] = v[d]
+			}
+		}
+		ts.Metrics[name] = col
+	}
+	if res == nil || len(vectors) == 0 {
+		return ts
+	}
+	norm := Normalize(vectors, bounds)
+	var cur *TrendBand
+	for i, v := range norm {
+		best, bestD := 0, sqDist(v, res.Centroids[0])
+		for c := 1; c < len(res.Centroids); c++ {
+			if d := sqDist(v, res.Centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		t := times[i]
+		next := t
+		if i+1 < len(times) {
+			next = times[i+1]
+		} else if i > 0 {
+			next = t + (t - times[i-1])
+		}
+		if cur != nil && cur.Cluster == best {
+			cur.End = next
+			continue
+		}
+		ts.Bands = append(ts.Bands, TrendBand{Start: t, End: next, Cluster: best})
+		cur = &ts.Bands[len(ts.Bands)-1]
+	}
+	return ts
+}

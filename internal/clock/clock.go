@@ -1,0 +1,150 @@
+// Package clock provides an abstraction over wall-clock and simulated
+// time. Every component in this repository that needs "now", a timer, or
+// a sleep takes a Clock so that the same code can run against real time
+// (in the live pipeline and the examples) and against virtual time (in
+// the discrete-event experiments that reproduce the paper's figures).
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time surface used across the project.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the caller for d on this clock's timeline.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed on this clock's timeline.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+// NewReal returns a wall-clock Clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sim is a manually-advanced virtual clock. Goroutines that Sleep or
+// wait on After park until Advance moves the clock past their deadline.
+// Sim is safe for concurrent use.
+//
+// Sim is deliberately simple: it does not try to detect quiescence of
+// the goroutines it wakes. The discrete-event kernel in internal/des
+// layers a proper process model on top; Sim alone is suitable for tests
+// and for components that only need Now().
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*simWaiter
+}
+
+type simWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewSim returns a virtual clock positioned at start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep implements Clock. It returns once Advance has moved the clock to
+// or past now+d.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.waiters = append(s.waiters, &simWaiter{deadline: s.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d and wakes every waiter whose
+// deadline has been reached. It reports how many waiters were released.
+func (s *Sim) Advance(d time.Duration) int {
+	if d < 0 {
+		panic("clock: negative advance")
+	}
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	released := 0
+	remaining := s.waiters[:0]
+	for _, w := range s.waiters {
+		if !w.deadline.After(s.now) {
+			w.ch <- s.now
+			released++
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	s.waiters = remaining
+	s.mu.Unlock()
+	return released
+}
+
+// AdvanceTo moves the clock to t (no-op if t is not after the current
+// time) and wakes eligible waiters.
+func (s *Sim) AdvanceTo(t time.Time) int {
+	s.mu.Lock()
+	d := t.Sub(s.now)
+	s.mu.Unlock()
+	if d <= 0 {
+		return 0
+	}
+	return s.Advance(d)
+}
+
+// NextDeadline reports the earliest pending waiter deadline, and whether
+// any waiter exists. Useful for event-driven stepping in tests.
+func (s *Sim) NextDeadline() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var (
+		best  time.Time
+		found bool
+	)
+	for _, w := range s.waiters {
+		if !found || w.deadline.Before(best) {
+			best = w.deadline
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Pending reports the number of parked waiters.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}

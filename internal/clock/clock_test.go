@@ -1,0 +1,190 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2020, 4, 20, 12, 0, 0, 0, time.UTC)
+
+func TestRealNowMonotonicEnough(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	c := NewReal()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestSimNowStartsAtStart(t *testing.T) {
+	s := NewSim(epoch)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestSimAdvanceMovesNow(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(90 * time.Second)
+	want := epoch.Add(90 * time.Second)
+	if got := s.Now(); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestSimAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewSim(epoch).Advance(-time.Second)
+}
+
+func TestSimAfterZeroFiresImmediately(t *testing.T) {
+	s := NewSim(epoch)
+	select {
+	case got := <-s.After(0):
+		if !got.Equal(epoch) {
+			t.Fatalf("After(0) delivered %v, want %v", got, epoch)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestSimSleepWakesOnAdvance(t *testing.T) {
+	s := NewSim(epoch)
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(time.Minute)
+		close(done)
+	}()
+	// Wait until the sleeper is parked.
+	waitFor(t, func() bool { return s.Pending() == 1 })
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	s.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+}
+
+func TestSimAdvancePartialDoesNotWakeEarly(t *testing.T) {
+	s := NewSim(epoch)
+	ch := s.After(10 * time.Second)
+	if n := s.Advance(5 * time.Second); n != 0 {
+		t.Fatalf("Advance(5s) released %d waiters, want 0", n)
+	}
+	select {
+	case <-ch:
+		t.Fatal("waiter woke before deadline")
+	default:
+	}
+	if n := s.Advance(5 * time.Second); n != 1 {
+		t.Fatalf("Advance to deadline released %d waiters, want 1", n)
+	}
+	<-ch
+}
+
+func TestSimAdvanceToBeforeNowIsNoop(t *testing.T) {
+	s := NewSim(epoch)
+	s.AdvanceTo(epoch.Add(-time.Hour))
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("AdvanceTo backwards moved clock to %v", got)
+	}
+}
+
+func TestSimAdvanceTo(t *testing.T) {
+	s := NewSim(epoch)
+	target := epoch.Add(42 * time.Second)
+	ch := s.After(42 * time.Second)
+	if n := s.AdvanceTo(target); n != 1 {
+		t.Fatalf("AdvanceTo released %d, want 1", n)
+	}
+	got := <-ch
+	if !got.Equal(target) {
+		t.Fatalf("waiter got %v, want %v", got, target)
+	}
+}
+
+func TestSimNextDeadline(t *testing.T) {
+	s := NewSim(epoch)
+	if _, ok := s.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a waiter on a fresh clock")
+	}
+	s.After(30 * time.Second)
+	s.After(10 * time.Second)
+	s.After(20 * time.Second)
+	dl, ok := s.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline found no waiter")
+	}
+	if want := epoch.Add(10 * time.Second); !dl.Equal(want) {
+		t.Fatalf("NextDeadline = %v, want %v", dl, want)
+	}
+}
+
+func TestSimManyConcurrentSleepers(t *testing.T) {
+	s := NewSim(epoch)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		d := time.Duration(i+1) * time.Second
+		go func() {
+			defer wg.Done()
+			s.Sleep(d)
+		}()
+	}
+	waitFor(t, func() bool { return s.Pending() == n })
+	s.Advance(time.Duration(n) * time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("sleepers stuck; %d still pending", s.Pending())
+	}
+}
+
+func TestSimAfterOrderingAcrossAdvances(t *testing.T) {
+	s := NewSim(epoch)
+	first := s.After(time.Second)
+	second := s.After(2 * time.Second)
+	s.Advance(time.Second)
+	select {
+	case <-second:
+		t.Fatal("second waiter fired before its deadline")
+	case <-first:
+	}
+	s.Advance(time.Second)
+	<-second
+}
+
+// waitFor polls cond until it is true or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

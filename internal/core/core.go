@@ -1,0 +1,284 @@
+// Package core wires the complete MonSTer deployment together: the
+// simulated cluster substrate (node physics, BMC fleet, UGE-style
+// resource manager fed by a synthetic workload) and the monitoring
+// pipeline on top of it (Metrics Collector → time-series database →
+// Metrics Builder). It is the entry point the examples, the CLI tools,
+// and the experiment harness all share.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"monster/internal/alerting"
+	"monster/internal/builder"
+	"monster/internal/clock"
+	"monster/internal/collector"
+	"monster/internal/redfish"
+	"monster/internal/scheduler"
+	"monster/internal/simnode"
+	"monster/internal/tsdb"
+)
+
+// QuanahNodes is the size of the paper's deployment target.
+const QuanahNodes = 467
+
+// Config assembles a System.
+type Config struct {
+	// Nodes is the cluster size. Zero means 64 (a laptop-friendly
+	// default; use QuanahNodes for paper-scale runs).
+	Nodes int
+	// Seed drives every stochastic component deterministically.
+	Seed int64
+	// Start is the simulation epoch. Zero means 2020-04-20T12:00:00Z
+	// (the example window in Section III-D).
+	Start time.Time
+	// Workload is the synthetic user mix. Nil means
+	// scheduler.DefaultUserMix. Empty (non-nil, length 0) disables
+	// submissions.
+	Workload []scheduler.UserProfile
+	// Trace, when non-nil, replays this exact submission trace instead
+	// of generating one from Workload (see scheduler.LoadTrace and
+	// scheduler.LoadSWF).
+	Trace *scheduler.Workload
+	// WorkloadHorizon is how much submission trace to pre-generate.
+	// Zero means 48 h.
+	WorkloadHorizon time.Duration
+	// CollectInterval is the collector cadence. Zero means 60 s.
+	CollectInterval time.Duration
+	// Schema selects the storage layout.
+	Schema collector.SchemaVersion
+	// BMCLatency is the per-request BMC service time (0 = instant; the
+	// paper's iDRACs averaged 4.29 s).
+	BMCLatency time.Duration
+	// BMCConcurrency bounds the collector's async fan-out.
+	BMCConcurrency int
+	// ConcurrentQueries enables the builder's concurrent fan-out.
+	ConcurrentQueries bool
+	// ShardDuration overrides the TSDB shard width (seconds).
+	ShardDuration int64
+	// Retention drops storage shards older than this (0 keeps
+	// everything). Enforced once per collection interval.
+	Retention time.Duration
+	// Rollups are continuous downsampling queries materialized after
+	// every collection cycle.
+	Rollups []tsdb.RollupSpec
+	// CacheResponses wraps the builder API in an LRU response cache.
+	CacheResponses bool
+	// StoreAllHealth disables the transition-only health filter
+	// (Section III-B3) — the ablation baseline.
+	StoreAllHealth bool
+	// Telemetry equips the BMC firmware with the Redfish Telemetry
+	// Service and makes the collector sweep with one MetricReport per
+	// node instead of four category GETs (the paper's future work).
+	Telemetry bool
+	// CollectNetwork extends collection with NIC statistics (a fifth
+	// Redfish category) and filesystem throughput — Section VI's
+	// missing metrics.
+	CollectNetwork bool
+	// AlertRules enables the Nagios-role alerting engine, evaluated
+	// after every collection cycle. Nil disables alerting; use
+	// alerting.DefaultRules() for the Table I thresholds.
+	AlertRules []alerting.Rule
+}
+
+func (c *Config) applyDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 64
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2020, 4, 20, 12, 0, 0, 0, time.UTC)
+	}
+	if c.WorkloadHorizon == 0 {
+		c.WorkloadHorizon = 48 * time.Hour
+	}
+	if c.CollectInterval == 0 {
+		c.CollectInterval = 60 * time.Second
+	}
+	if c.Workload == nil {
+		c.Workload = scheduler.DefaultUserMix()
+	}
+}
+
+// System is a fully wired MonSTer deployment over a simulated cluster.
+type System struct {
+	Config     Config
+	Nodes      *simnode.Fleet
+	BMCs       *redfish.Fleet
+	QMaster    *scheduler.QMaster
+	SchedAPI   *scheduler.API
+	DB         *tsdb.DB
+	Collector  *collector.Collector
+	Builder    *builder.Builder
+	BuilderAPI *builder.API
+	Cache      *builder.Cache   // non-nil when Config.CacheResponses
+	Rollups    *tsdb.Rollups    // non-nil when Config.Rollups is set
+	Alerts     *alerting.Engine // non-nil when Config.AlertRules is set
+	Workload   *scheduler.Workload
+
+	now         time.Time
+	nextCollect time.Time
+}
+
+// New builds a System.
+func New(cfg Config) *System {
+	cfg.applyDefaults()
+	nodes := simnode.NewFleet(cfg.Nodes, cfg.Seed)
+	bmcs := redfish.NewFleet(nodes, redfish.BMCOptions{
+		Latency:       cfg.BMCLatency,
+		MaxConcurrent: 8,
+		Seed:          cfg.Seed,
+		Telemetry:     cfg.Telemetry,
+	})
+	qm := scheduler.NewQMaster(nodes.Nodes(), cfg.Start, scheduler.Options{})
+	api := scheduler.NewAPI(qm)
+	db := tsdb.Open(tsdb.Options{ShardDuration: cfg.ShardDuration})
+
+	rf := redfish.NewClient(redfish.ClientOptions{
+		HTTPClient:     bmcs.Client(),
+		RequestTimeout: 30 * time.Second,
+		Retries:        2,
+		RetryBackoff:   10 * time.Millisecond,
+	})
+	addrs := make([]string, nodes.Len())
+	for i := range addrs {
+		addrs[i] = nodes.Node(i).Addr()
+	}
+	colOpts := collector.Options{
+		Interval:       cfg.CollectInterval,
+		Schema:         cfg.Schema,
+		BMCConcurrency: cfg.BMCConcurrency,
+	}
+	if cfg.StoreAllHealth {
+		off := false
+		colOpts.FilterHealth = &off
+	}
+	colOpts.UseTelemetry = cfg.Telemetry
+	colOpts.CollectNetwork = cfg.CollectNetwork
+	col := collector.New(addrs, rf, &collector.DirectSchedulerSource{API: api}, db, colOpts)
+	b := builder.New(db, builder.Options{Concurrent: cfg.ConcurrentQueries})
+	var cache *builder.Cache
+	if cfg.CacheResponses {
+		cache = builder.NewCache(b, 0)
+	}
+	var rollups *tsdb.Rollups
+	if len(cfg.Rollups) > 0 {
+		rollups = tsdb.NewRollups(db)
+		for _, spec := range cfg.Rollups {
+			if err := rollups.Add(spec); err != nil {
+				panic(fmt.Sprintf("core: bad rollup spec: %v", err))
+			}
+		}
+	}
+	var alerts *alerting.Engine
+	if len(cfg.AlertRules) > 0 {
+		var err error
+		if alerts, err = alerting.New(db, cfg.AlertRules); err != nil {
+			panic(fmt.Sprintf("core: bad alert rules: %v", err))
+		}
+	}
+
+	workload := cfg.Trace
+	if workload == nil {
+		workload = scheduler.GenerateWorkload(cfg.Workload, cfg.Start, cfg.WorkloadHorizon, cfg.Seed)
+	}
+
+	return &System{
+		Config:      cfg,
+		Nodes:       nodes,
+		BMCs:        bmcs,
+		QMaster:     qm,
+		SchedAPI:    api,
+		DB:          db,
+		Collector:   col,
+		Builder:     b,
+		BuilderAPI:  builder.NewAPI(b),
+		Cache:       cache,
+		Rollups:     rollups,
+		Alerts:      alerts,
+		Workload:    workload,
+		now:         cfg.Start,
+		nextCollect: cfg.Start.Add(cfg.CollectInterval),
+	}
+}
+
+// Now reports the simulation time.
+func (s *System) Now() time.Time { return s.now }
+
+// Advance steps the cluster substrate (workload arrivals, scheduler,
+// node physics) by d at the given resolution, without collecting.
+func (s *System) Advance(d time.Duration) {
+	const step = 15 * time.Second
+	s.advance(d, step, false, context.Background())
+}
+
+// AdvanceCollecting steps the cluster and runs a collection cycle at
+// every collector interval boundary crossed.
+func (s *System) AdvanceCollecting(ctx context.Context, d time.Duration) error {
+	const step = 15 * time.Second
+	return s.advance(d, step, true, ctx)
+}
+
+func (s *System) advance(d, step time.Duration, collect bool, ctx context.Context) error {
+	end := s.now.Add(d)
+	for s.now.Before(end) {
+		next := s.now.Add(step)
+		if next.After(end) {
+			next = end
+		}
+		s.Workload.FeedDue(s.QMaster, next)
+		s.Nodes.Step(next.Sub(s.now))
+		s.QMaster.Tick(next)
+		s.now = next
+		if collect && !s.now.Before(s.nextCollect) {
+			if _, err := s.Collector.CollectOnce(ctx, s.now); err != nil {
+				return fmt.Errorf("core: collection at %v: %w", s.now, err)
+			}
+			s.nextCollect = s.nextCollect.Add(s.Config.CollectInterval)
+			if s.Rollups != nil {
+				if _, err := s.Rollups.Run(s.now.Unix()); err != nil {
+					return fmt.Errorf("core: rollups at %v: %w", s.now, err)
+				}
+			}
+			if s.Config.Retention > 0 {
+				s.DB.DeleteBefore(s.now.Add(-s.Config.Retention).Unix())
+			}
+			if s.Alerts != nil {
+				if _, err := s.Alerts.Evaluate(s.now, 3*s.Config.CollectInterval); err != nil {
+					return fmt.Errorf("core: alert evaluation at %v: %w", s.now, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Warmup advances the cluster (collecting) until a steady mix of jobs
+// is running — convenient before demos and experiments.
+func (s *System) Warmup(ctx context.Context, d time.Duration) error {
+	return s.AdvanceCollecting(ctx, d)
+}
+
+// RunLive drives the simulation in real time, scaled by timeScale
+// (e.g. 60 = one simulated hour per wall-clock minute), until ctx is
+// done. It is what cmd/monsterd uses.
+func (s *System) RunLive(ctx context.Context, clk clock.Clock, timeScale float64, tick time.Duration) error {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	if tick <= 0 {
+		tick = time.Second
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-clk.After(tick):
+		}
+		simStep := time.Duration(float64(tick) * timeScale)
+		if err := s.AdvanceCollecting(ctx, simStep); err != nil {
+			return err
+		}
+	}
+}

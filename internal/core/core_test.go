@@ -1,0 +1,337 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"monster/internal/alerting"
+	"monster/internal/builder"
+	"monster/internal/clock"
+	"monster/internal/collector"
+	"monster/internal/scheduler"
+	"monster/internal/simnode"
+	"monster/internal/tsdb"
+)
+
+func TestNewAppliesDefaults(t *testing.T) {
+	s := New(Config{})
+	if s.Nodes.Len() != 64 {
+		t.Fatalf("nodes = %d", s.Nodes.Len())
+	}
+	if s.Config.CollectInterval != time.Minute {
+		t.Fatalf("interval = %v", s.Config.CollectInterval)
+	}
+	if s.Workload.Len() == 0 {
+		t.Fatal("no workload generated")
+	}
+}
+
+func TestAdvanceSchedulesWorkload(t *testing.T) {
+	s := New(Config{Nodes: 16, Seed: 3})
+	s.Advance(2 * time.Hour)
+	st := s.QMaster.Stats()
+	if st.Submitted == 0 || st.Dispatched == 0 {
+		t.Fatalf("scheduler idle after 2 h: %+v", st)
+	}
+	if s.Now() != s.Config.Start.Add(2*time.Hour) {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestAdvanceCollectingFillsDB(t *testing.T) {
+	s := New(Config{Nodes: 8, Seed: 1})
+	if err := s.AdvanceCollecting(context.Background(), 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	cs := s.Collector.Stats()
+	if cs.Cycles != 10 {
+		t.Fatalf("cycles = %d, want 10", cs.Cycles)
+	}
+	r, err := s.DB.Query(`SELECT count("Reading") FROM "Power"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Series[0].Rows[0].Values[0].I; got != 80 {
+		t.Fatalf("power points = %d, want 80 (8 nodes × 10 cycles)", got)
+	}
+}
+
+func TestBuilderServesCollectedData(t *testing.T) {
+	s := New(Config{Nodes: 4, Seed: 2})
+	ctx := context.Background()
+	if err := s.AdvanceCollecting(ctx, 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := s.Builder.Fetch(ctx, builder.Request{
+		Start:    s.Config.Start,
+		End:      s.Now(),
+		Interval: 5 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Nodes) != 4 {
+		t.Fatalf("builder nodes = %d", len(resp.Nodes))
+	}
+	sd := resp.Nodes[0].Metrics["Power/NodePower"]
+	if len(sd.Times) < 5 {
+		t.Fatalf("power buckets = %d", len(sd.Times))
+	}
+}
+
+func TestSchemaSelectionPropagates(t *testing.T) {
+	s := New(Config{Nodes: 2, Seed: 1, Schema: collector.SchemaV1})
+	if err := s.AdvanceCollecting(context.Background(), 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range s.DB.Measurements() {
+		if m == "NodeMetrics" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("schema v1 layout not written")
+	}
+}
+
+func TestRunLiveStopsOnContext(t *testing.T) {
+	s := New(Config{Nodes: 2, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	err := s.RunLive(ctx, clock.NewReal(), 120, 20*time.Millisecond)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Now() == s.Config.Start {
+		t.Fatal("live run never advanced the simulation")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() int64 {
+		s := New(Config{Nodes: 8, Seed: 77})
+		if err := s.AdvanceCollecting(context.Background(), 5*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return s.DB.Stats().PointsWritten
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic pipeline: %d vs %d points", a, b)
+	}
+}
+
+func TestRetentionEnforced(t *testing.T) {
+	s := New(Config{
+		Nodes: 2, Seed: 1,
+		ShardDuration: 600, // 10-minute shards
+		Retention:     20 * time.Minute,
+	})
+	if err := s.AdvanceCollecting(context.Background(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.DB.ShardStats()
+	oldest := stats[0].Start
+	cutoff := s.Now().Add(-30 * time.Minute).Unix() // retention + shard slack
+	if oldest < cutoff {
+		t.Fatalf("oldest shard starts at %d, retention cutoff %d", oldest, cutoff)
+	}
+	if len(stats) == 0 {
+		t.Fatal("everything deleted")
+	}
+}
+
+func TestRollupsWiredIntoPipeline(t *testing.T) {
+	s := New(Config{
+		Nodes: 2, Seed: 1,
+		Rollups: []tsdb.RollupSpec{
+			{Source: "Power", Field: "Reading", Aggregate: "max", Interval: 300},
+		},
+	})
+	if err := s.AdvanceCollecting(context.Background(), 20*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.DB.Query(`SELECT count("Reading") FROM "Power_max_300s"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no rollup data materialized")
+	}
+	// 2 nodes × 3 complete 5-minute buckets (the 4th is incomplete).
+	if got := res.Series[0].Rows[0].Values[0].I; got < 4 {
+		t.Fatalf("rollup points = %d", got)
+	}
+}
+
+func TestCacheWiredIntoSystem(t *testing.T) {
+	s := New(Config{Nodes: 2, Seed: 1, CacheResponses: true})
+	if s.Cache == nil {
+		t.Fatal("cache not wired")
+	}
+	if err := s.AdvanceCollecting(context.Background(), 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	req := builder.Request{Start: s.Config.Start, End: s.Now()}
+	if _, _, err := s.Cache.Fetch(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Cache.Fetch(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Cache.Stats(); st.Hits != 1 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+}
+
+func TestAlertingWiredIntoPipeline(t *testing.T) {
+	s := New(Config{Nodes: 4, Seed: 3, AlertRules: alerting.DefaultRules()})
+	if s.Alerts == nil {
+		t.Fatal("alert engine not wired")
+	}
+	ctx := context.Background()
+	if err := s.AdvanceCollecting(ctx, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Alerts.Active()) != 0 {
+		t.Fatalf("healthy cluster has active alerts: %v", s.Alerts.Active())
+	}
+	// Overheat one node; after enough cycles the engine must raise.
+	s.Nodes.Node(1).ForceLoad(1.0, 100)
+	s.Nodes.Node(1).Inject(simnode.FaultOverheat)
+	if err := s.AdvanceCollecting(ctx, 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	active := s.Alerts.Active()
+	found := false
+	for _, a := range active {
+		if a.Node == s.Nodes.Node(1).Addr() && a.To >= alerting.SeverityWarning {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("overheating node not alerted: active=%v history=%v", active, s.Alerts.History())
+	}
+}
+
+func TestNetworkAndFilesystemCollection(t *testing.T) {
+	s := New(Config{Nodes: 4, Seed: 2, CollectNetwork: true, Workload: []scheduler.UserProfile{}})
+	ctx := context.Background()
+	s.QMaster.Submit(scheduler.JobSpec{Owner: "mpi", Name: "exchange", PE: scheduler.PEMPI, Slots: 100, Runtime: time.Hour})
+	if err := s.AdvanceCollecting(ctx, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Network measurement exists, with traffic on the MPI nodes.
+	res, err := s.DB.Query(`SELECT last("Reading") FROM "Network" WHERE "Label"='NICTx' GROUP BY "NodeId"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, series := range res.Series {
+		if series.Rows[0].Values[0].F > 1e6 { // > 1 MB/s
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Fatalf("MPI traffic visible on %d nodes, want >= 3 (100 slots / 36)", busy)
+	}
+	// Filesystem throughput recorded in-band.
+	res, err = s.DB.Query(`SELECT max("Reading") FROM "Filesystem" WHERE "Label"='ReadMBps'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 || res.Series[0].Rows[0].Values[0].F <= 0 {
+		t.Fatalf("no filesystem throughput recorded: %+v", res.Series)
+	}
+	// Five categories per node per cycle now.
+	if got := s.Collector.Stats().BMCRequests; got != 5*4*5 {
+		t.Fatalf("BMC requests = %d, want 100 (4 nodes x 5 categories x 5 cycles)", got)
+	}
+}
+
+func TestNetworkCollectionViaTelemetry(t *testing.T) {
+	s := New(Config{Nodes: 2, Seed: 2, CollectNetwork: true, Telemetry: true, Workload: []scheduler.UserProfile{}})
+	s.QMaster.Submit(scheduler.JobSpec{Owner: "mpi", Name: "x", PE: scheduler.PEMPI, Slots: 50, Runtime: time.Hour})
+	if err := s.AdvanceCollecting(context.Background(), 3*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.DB.Query(`SELECT count("Reading") FROM "Network"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 || res.Series[0].Rows[0].Values[0].I != 2*2*3 {
+		t.Fatalf("telemetry network points = %+v", res.Series)
+	}
+	// Telemetry still needs only one request per node per cycle.
+	if got := s.Collector.Stats().BMCRequests; got != 2*3 {
+		t.Fatalf("BMC requests = %d, want 6", got)
+	}
+}
+
+func TestPaperScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale soak skipped in -short")
+	}
+	// The full 467-node deployment: everything on (alerts, network
+	// collection, rollups, cache), five collection cycles.
+	s := New(Config{
+		Nodes:          QuanahNodes,
+		Seed:           1,
+		CollectNetwork: true,
+		CacheResponses: true,
+		AlertRules:     alerting.DefaultRules(),
+		Rollups: []tsdb.RollupSpec{
+			{Source: "Power", Field: "Reading", Aggregate: "max", Interval: 300},
+		},
+	})
+	ctx := context.Background()
+	start := time.Now()
+	if err := s.AdvanceCollecting(ctx, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	st := s.Collector.Stats()
+	if st.Cycles != 5 || st.NodesFailed != 0 {
+		t.Fatalf("collector stats = %+v", st)
+	}
+	// 467 nodes × 5 categories × 5 cycles BMC requests.
+	if st.BMCRequests != int64(QuanahNodes*5*5) {
+		t.Fatalf("requests = %d", st.BMCRequests)
+	}
+	// Roughly 10 metric points per node per cycle, plus jobs.
+	if st.PointsWritten < int64(QuanahNodes*5*10) {
+		t.Fatalf("points = %d", st.PointsWritten)
+	}
+	// A full builder fetch at paper scale must work.
+	resp, _, err := s.Builder.Fetch(ctx, builder.Request{
+		Start: s.Config.Start, End: s.Now(), Interval: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Nodes) != QuanahNodes {
+		t.Fatalf("builder nodes = %d", len(resp.Nodes))
+	}
+	// Sanity: simulating+collecting 5 minutes of a 467-node cluster
+	// should take seconds, not minutes, on a laptop.
+	if elapsed > 2*time.Minute {
+		t.Fatalf("soak took %v", elapsed)
+	}
+}
+
+func TestTraceReplayConfig(t *testing.T) {
+	trace := scheduler.GenerateWorkload(scheduler.DefaultUserMix(),
+		time.Date(2020, 4, 20, 12, 0, 0, 0, time.UTC), time.Hour, 77)
+	s := New(Config{Nodes: 8, Seed: 1, Trace: trace})
+	if s.Workload != trace {
+		t.Fatal("trace not installed")
+	}
+	if err := s.AdvanceCollecting(context.Background(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.QMaster.Stats().Submitted; got == 0 {
+		t.Fatal("trace replay submitted nothing")
+	}
+}

@@ -1,0 +1,104 @@
+package des
+
+import "fmt"
+
+// Group is a fan-in barrier for processes, analogous to sync.WaitGroup
+// but integrated with the virtual clock: Join blocks the calling
+// process until the counter reaches zero.
+type Group struct {
+	sim     *Sim
+	count   int
+	waiters []chan struct{}
+}
+
+// NewGroup creates a Group attached to s.
+func (s *Sim) NewGroup() *Group { return &Group{sim: s} }
+
+// Add increments the counter by n.
+func (g *Group) Add(n int) {
+	g.sim.mu.Lock()
+	g.count += n
+	if g.count < 0 {
+		g.sim.mu.Unlock()
+		panic("des: negative Group counter")
+	}
+	g.releaseLocked()
+	g.sim.mu.Unlock()
+}
+
+// Done decrements the counter by one.
+func (g *Group) Done() { g.Add(-1) }
+
+func (g *Group) releaseLocked() {
+	if g.count != 0 {
+		return
+	}
+	for _, ch := range g.waiters {
+		g.sim.runnable++
+		ch <- struct{}{}
+	}
+	g.waiters = nil
+}
+
+// Join blocks the calling process until the counter is zero. If it is
+// already zero, Join returns immediately.
+func (g *Group) Join(p *Proc) {
+	s := g.sim
+	s.mu.Lock()
+	if g.count == 0 {
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{}, 1)
+	g.waiters = append(g.waiters, ch)
+	s.blockLocked()
+	s.mu.Unlock()
+	<-ch
+}
+
+// GoEach spawns one child process per index in [0, n) and returns a
+// Group already sized to n; each child calls Done when fn returns. The
+// caller typically Joins the group.
+func GoEach(p *Proc, n int, name string, fn func(p *Proc, i int)) *Group {
+	g := p.sim.NewGroup()
+	g.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Spawn(fmt.Sprintf("%s[%d]", name, i), func(cp *Proc) {
+			defer g.Done()
+			fn(cp, i)
+		})
+	}
+	return g
+}
+
+// WorkerPool runs n items through `workers` concurrent processes and
+// blocks the caller until all items are done. Items are dispatched in
+// index order. It is the virtual-time analogue of a bounded worker
+// pool and is used to model the Metrics Builder's concurrent query
+// fan-out.
+func WorkerPool(p *Proc, items, workers int, name string, fn func(p *Proc, item int)) {
+	if items <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > items {
+		workers = items
+	}
+	// Feed indices through a channel. Channel operations do not consume
+	// virtual time; blocked receivers park their process via the
+	// dispatcher pattern below.
+	next := make(chan int, items)
+	for i := 0; i < items; i++ {
+		next <- i
+	}
+	close(next)
+	g := GoEach(p, workers, name, func(wp *Proc, _ int) {
+		for item := range next {
+			fn(wp, item)
+		}
+	})
+	g.Join(p)
+}

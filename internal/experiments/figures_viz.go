@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"monster/internal/analysis"
+	"monster/internal/builder"
+	"monster/internal/core"
+	"monster/internal/simnode"
+)
+
+// The Fig 6–9 experiments exercise the HiperJobViz data layer on real
+// pipeline output: a simulated cluster runs a workload, the collector
+// stores it, the builder serves it back, and the analysis package
+// computes the visualization artifacts. The tables report the numbers
+// a reader checks in the paper's figures (user job/host counts, radar
+// morphology, band counts, cluster sizes).
+
+// vizSystem runs a small cluster for the given span and returns it.
+func vizSystem(quick bool, span time.Duration, faults func(*core.System)) (*core.System, error) {
+	nodes := 48
+	if quick {
+		nodes = 16
+	}
+	sys := core.New(core.Config{Nodes: nodes, Seed: 11})
+	if faults != nil {
+		faults(sys)
+	}
+	if err := sys.AdvanceCollecting(context.Background(), span); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func runFig6(quick bool) (*Table, error) {
+	span := 6 * time.Hour
+	if quick {
+		span = 2 * time.Hour
+	}
+	sys, err := vizSystem(quick, span, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, _, err := sys.Builder.Fetch(context.Background(), builder.Request{
+		Start: sys.Config.Start, End: sys.Now(), IncludeJobs: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]analysis.TimelineJob, 0, len(resp.Jobs))
+	for _, j := range resp.Jobs {
+		jobs = append(jobs, analysis.TimelineJob{
+			JobID: j.JobID, User: j.User,
+			SubmitTime: j.SubmitTime, StartTime: j.StartTime, FinishTime: j.FinishTime,
+			Slots: int(j.Slots), NodeCount: int(j.NodeCount),
+		})
+	}
+	tl := analysis.BuildTimeline(jobs, sys.Config.Start.Unix(), sys.Now().Unix())
+	nodeJobs := make(map[string][]string)
+	for _, nj := range resp.NodeJobs {
+		nodeJobs[nj.NodeID] = append(nodeJobs[nj.NodeID], nj.Jobs...)
+	}
+	owner := make(map[string]string, len(resp.Jobs))
+	for _, j := range resp.Jobs {
+		owner[j.JobID] = j.User
+	}
+	tl.OverrideHosts(analysis.DistinctUserHosts(nodeJobs, owner))
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Job scheduling timeline summary (paper Fig 6: per-user jobs/hosts, wait vs run)",
+		Columns: []string{"user", "jobs", "hosts", "total slots", "mean wait", "max wait"},
+	}
+	for _, u := range tl.Users {
+		t.Rows = append(t.Rows, []string{
+			u.User, fmt.Sprintf("%d", u.Jobs), fmt.Sprintf("%d", u.Hosts),
+			fmt.Sprintf("%d", u.TotalSlots), u.MeanWait.Round(time.Second).String(), u.MaxWait.Round(time.Second).String(),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d jobs in window; gray=queueing and green=running segments are rendered by examples/timeline", len(tl.Jobs)),
+		"paper's exemplars: MPI user with few jobs on many hosts; array user with hundreds of jobs on few hosts")
+	return t, nil
+}
+
+// healthSnapshot pulls every node's health vector from live node state.
+func healthSnapshot(sys *core.System) ([]string, [][]float64) {
+	ids := make([]string, sys.Nodes.Len())
+	vecs := make([][]float64, sys.Nodes.Len())
+	for i := 0; i < sys.Nodes.Len(); i++ {
+		n := sys.Nodes.Node(i)
+		ids[i] = n.Name()
+		hv := n.HealthVector()
+		vecs[i] = hv[:]
+	}
+	return ids, vecs
+}
+
+func runFig7(quick bool) (*Table, error) {
+	sys, err := vizSystem(quick, 90*time.Minute, func(s *core.System) {
+		// One node loses cooling under load: the paper's "high CPU
+		// temperature and high memory usage" radar.
+		s.Nodes.Node(0).ForceLoad(1.0, 150)
+		s.Nodes.Node(0).Inject(simnode.FaultOverheat)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ids, vecs := healthSnapshot(sys)
+	dims := simnode.HealthDimensions()
+	profiles, err := analysis.BuildRadarProfiles(ids, dims[:], vecs, nil)
+	if err != nil {
+		return nil, err
+	}
+	hot := profiles[0].Morph()
+	normal := profiles[1].Morph()
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Radar profiles: normal vs critical node (paper Fig 7)",
+		Columns: []string{"node", "radar area", "mean (norm)", "peak dimension"},
+		Rows: [][]string{
+			{profiles[1].NodeID + " (normal)", fmt.Sprintf("%.3f", normal.Area), fmt.Sprintf("%.3f", normal.Mean), normal.PeakName},
+			{profiles[0].NodeID + " (critical)", fmt.Sprintf("%.3f", hot.Area), fmt.Sprintf("%.3f", hot.Mean), hot.PeakName},
+		},
+	}
+	if hot.Area <= normal.Area {
+		t.Notes = append(t.Notes, "WARNING: critical node area not larger — check fault injection")
+	} else {
+		t.Notes = append(t.Notes, "critical node's radar polygon is visibly larger, as in the paper's orange profile")
+	}
+	return t, nil
+}
+
+func runFig8(quick bool) (*Table, error) {
+	// A node history: calm, then loaded, then calm — the Fig 8 bands.
+	sys := core.New(core.Config{Nodes: 8, Seed: 5})
+	ctx := context.Background()
+	node := sys.Nodes.Node(0)
+	var times []int64
+	var vecs [][]float64
+	record := func(span time.Duration) error {
+		steps := int(span / time.Minute)
+		for i := 0; i < steps; i++ {
+			if err := sys.AdvanceCollecting(ctx, time.Minute); err != nil {
+				return err
+			}
+			hv := node.HealthVector()
+			times = append(times, sys.Now().Unix())
+			vecs = append(vecs, hv[:])
+		}
+		return nil
+	}
+	phases := []struct {
+		cpu float64
+		mem float64
+		d   time.Duration
+	}{
+		{0.05, 4, 40 * time.Minute},
+		{0.95, 120, 50 * time.Minute},
+		{0.05, 4, 40 * time.Minute},
+	}
+	if quick {
+		for i := range phases {
+			phases[i].d = 15 * time.Minute
+		}
+	}
+	for _, ph := range phases {
+		node.ForceLoad(ph.cpu, ph.mem)
+		if err := record(ph.d); err != nil {
+			return nil, err
+		}
+	}
+	bounds := analysis.ComputeBounds(vecs)
+	norm := analysis.Normalize(vecs, bounds)
+	res, err := analysis.KMeans(norm, analysis.KMeansOptions{K: 3, Seed: 2})
+	if err != nil {
+		return nil, err
+	}
+	dims := simnode.HealthDimensions()
+	trend := analysis.BuildTrend(node.Name(), times, dims[:], vecs, res, bounds)
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Historical status trend with cluster bands (paper Fig 8)",
+		Columns: []string{"band", "start", "end", "cluster"},
+	}
+	for i, band := range trend.Bands {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			time.Unix(band.Start, 0).UTC().Format("15:04"),
+			time.Unix(band.End, 0).UTC().Format("15:04"),
+			fmt.Sprintf("%d", band.Cluster),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d samples produced %d bands; the load phase appears as a distinct middle band", len(times), len(trend.Bands)))
+	return t, nil
+}
+
+func runFig9(quick bool) (*Table, error) {
+	span := 3 * time.Hour
+	if quick {
+		span = time.Hour
+	}
+	sys, err := vizSystem(quick, span, nil)
+	if err != nil {
+		return nil, err
+	}
+	_, vecs := healthSnapshot(sys)
+	bounds := analysis.ComputeBounds(vecs)
+	norm := analysis.Normalize(vecs, bounds)
+	k := 7
+	if quick {
+		k = 4
+	}
+	res, err := analysis.KMeans(norm, analysis.KMeansOptions{K: k, Seed: 3})
+	if err != nil {
+		return nil, err
+	}
+	ranks := analysis.ClusterByActivity(res.Centroids)
+	t := &Table{
+		ID:      "fig9",
+		Title:   "k-means host groups over nine health metrics (paper Fig 9: k=7)",
+		Columns: []string{"group (by activity)", "members", "centroid mean"},
+	}
+	type row struct {
+		rank int
+		size int
+		mean float64
+	}
+	rows := make([]row, len(res.Centroids))
+	for c := range res.Centroids {
+		var m float64
+		for _, x := range res.Centroids[c] {
+			m += x
+		}
+		m /= float64(len(res.Centroids[c]))
+		rows[ranks[c]] = row{ranks[c], res.Sizes[c], m}
+	}
+	biggest := 0
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("group %d", r.rank+1), fmt.Sprintf("%d", r.size), fmt.Sprintf("%.3f", r.mean),
+		})
+		if r.size > rows[biggest].size {
+			biggest = r.rank
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("largest group holds %d of %d nodes — the paper's 'most popular cluster' of normal status", rows[biggest].size, len(vecs)),
+		"per-user histograms (right panel of Fig 9) are exercised by examples/radar")
+	return t, nil
+}

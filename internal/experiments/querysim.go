@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"time"
+
+	"monster/internal/collector"
+	"monster/internal/des"
+)
+
+// QueryConfig describes one Metrics Builder configuration point in the
+// Fig 10–16 design space.
+type QueryConfig struct {
+	Schema     collector.SchemaVersion
+	Device     Device
+	Concurrent bool
+	Nodes      int           // cluster size (QuanahNodes for paper scale)
+	Range      time.Duration // queried time window
+	Interval   time.Duration // downsampling bucket
+}
+
+// QueryResult is the modelled outcome of one full Metrics Builder
+// request (all nodes × all metrics).
+type QueryResult struct {
+	Config QueryConfig
+	// Total is the query-and-processing wall time (the Fig 10 y-axis).
+	Total time.Duration
+	// Queries is the number of per-node statements issued.
+	Queries int
+	// Breakdown by component (Fig 11): virtual busy time per resource.
+	BuilderBusy time.Duration
+	DBBusy      time.Duration
+	DiskBusy    time.Duration
+	// ShareBMC / ShareUGE split database+disk busy time by the metric's
+	// origin (out-of-band BMC measurements vs resource-manager data).
+	ShareBMC        float64
+	ShareUGE        float64
+	ShareProcessing float64
+	// ResponsePoints is the number of output samples in the merged
+	// response (feeds the transmission model).
+	ResponsePoints int64
+}
+
+// perQueryCost is the device/CPU demand of a single per-node query.
+type perQueryCost struct {
+	builder time.Duration // serialized middleware work
+	db      time.Duration // parallel database work
+	seek    time.Duration // disk positioning
+	read    time.Duration // disk transfer
+}
+
+func (c *CostModel) queryCost(cfg QueryConfig) perQueryCost {
+	days := cfg.Range.Hours() / 24
+	points := float64(PointsPerDay) * days
+	bytes := points * float64(BytesPerPoint(cfg.Schema))
+	buckets := float64(cfg.Range / cfg.Interval)
+	shards := int(days)
+	if shards < 1 {
+		shards = 1
+	}
+	var qc perQueryCost
+	qc.builder = c.BuilderFixed + scale(c.BuilderPerBucket, buckets)
+	qc.db = c.DBFixed + scale(c.DBPerPoint, points) + scale(c.DBPerBucket, buckets)
+	if cfg.Schema == collector.SchemaV1 {
+		qc.db += scale(c.StringParsePerKB, bytes/1000) + c.V1IndexPenalty
+	}
+	qc.seek = cfg.Device.SeekQuery + time.Duration(shards)*cfg.Device.SeekShard
+	qc.read = des.Seconds(bytes / cfg.Device.Bandwidth)
+	return qc
+}
+
+func scale(d time.Duration, n float64) time.Duration {
+	return time.Duration(float64(d) * n)
+}
+
+// SimulateQuery replays one Metrics Builder request on the DES kernel:
+// every per-node query claims the (serialized) builder, the database's
+// worker pool, and the storage device in turn; the concurrent
+// configuration overlaps queries with a 16-wide fan-out, the
+// sequential one issues them one at a time. Contention, overlap, and
+// the resulting speedups are emergent.
+func SimulateQuery(cfg QueryConfig) QueryResult {
+	c := &Calibration
+	if cfg.Nodes == 0 {
+		cfg.Nodes = QuanahNodes
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Minute
+	}
+	qc := c.queryCost(cfg)
+	nQueries := cfg.Nodes * MetricsPerNode
+
+	sim := des.New()
+	builderRes := sim.NewServer("builder", 1)
+	dbRes := sim.NewServer("db", c.DBWorkers)
+	diskRes := sim.NewServer(cfg.Device.Name, cfg.Device.Concurrency)
+
+	workers := 1
+	if cfg.Concurrent {
+		workers = c.Workers
+	}
+
+	var wall time.Duration
+	sim.Spawn("fetch", func(p *des.Proc) {
+		des.WorkerPool(p, nQueries, workers, "query", func(wp *des.Proc, i int) {
+			// Middleware prepares the request and later merges the
+			// response; serialized in the builder process.
+			builderRes.Use(wp, 1, qc.builder)
+			// The database executes the query on its worker pool; the
+			// scan hits the storage device.
+			dbRes.Acquire(wp, 1)
+			diskRes.Acquire(wp, 1)
+			wp.Wait(qc.seek + qc.read)
+			diskRes.Release(1)
+			wp.Wait(qc.db)
+			dbRes.Release(1)
+		})
+		wall = p.Now()
+	})
+	if err := sim.Run(); err != nil {
+		panic("experiments: query simulation deadlocked: " + err.Error())
+	}
+
+	res := QueryResult{
+		Config:      cfg,
+		Total:       wall,
+		Queries:     nQueries,
+		BuilderBusy: time.Duration(builderRes.Stats().BusySeconds * float64(time.Second)),
+		DBBusy:      time.Duration(dbRes.Stats().BusySeconds * float64(time.Second)),
+		DiskBusy:    time.Duration(diskRes.Stats().BusySeconds * float64(time.Second)),
+	}
+	// Fig 11 attribution: of the 10 per-node metrics, 8 are BMC
+	// measurements (Power + Thermal) and 2 come from the resource
+	// manager; middleware time is "processing".
+	dataBusy := res.DBBusy + res.DiskBusy
+	total := dataBusy + res.BuilderBusy
+	if total > 0 {
+		res.ShareBMC = 0.8 * float64(dataBusy) / float64(total)
+		res.ShareUGE = 0.2 * float64(dataBusy) / float64(total)
+		res.ShareProcessing = float64(res.BuilderBusy) / float64(total)
+	}
+	res.ResponsePoints = int64(cfg.Range/cfg.Interval) * int64(nQueries)
+	return res
+}
+
+// Sweep runs the Fig 10-style grid: every range × interval pair under
+// one configuration.
+func Sweep(base QueryConfig, ranges []time.Duration, intervals []time.Duration) [][]QueryResult {
+	out := make([][]QueryResult, len(intervals))
+	for i, iv := range intervals {
+		out[i] = make([]QueryResult, len(ranges))
+		for j, r := range ranges {
+			cfg := base
+			cfg.Range = r
+			cfg.Interval = iv
+			out[i][j] = SimulateQuery(cfg)
+		}
+	}
+	return out
+}
+
+// PaperRanges are the Fig 10 x-axis values (1–7 days).
+func PaperRanges() []time.Duration {
+	out := make([]time.Duration, 7)
+	for i := range out {
+		out[i] = time.Duration(i+1) * 24 * time.Hour
+	}
+	return out
+}
+
+// PaperIntervals are the Fig 10 series (5–120 minutes).
+func PaperIntervals() []time.Duration {
+	return []time.Duration{5 * time.Minute, 10 * time.Minute, 30 * time.Minute, 60 * time.Minute, 120 * time.Minute}
+}
+
+// Baseline is the pre-optimization configuration (previous schema on
+// the HDD host, sequential querying).
+func Baseline() QueryConfig {
+	return QueryConfig{Schema: collector.SchemaV1, Device: HDD, Concurrent: false, Nodes: QuanahNodes}
+}
+
+// Optimized is the fully optimized configuration (optimized schema on
+// SSD with concurrent querying).
+func Optimized() QueryConfig {
+	return QueryConfig{Schema: collector.SchemaV2, Device: SSD, Concurrent: true, Nodes: QuanahNodes}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"monster/internal/collector"
+)
+
+const day = 24 * time.Hour
+
+func total(t *testing.T, schema collector.SchemaVersion, dev Device, conc bool, r, iv time.Duration) time.Duration {
+	t.Helper()
+	return SimulateQuery(QueryConfig{
+		Schema: schema, Device: dev, Concurrent: conc,
+		Nodes: QuanahNodes, Range: r, Interval: iv,
+	}).Total
+}
+
+// ratioBounds asserts lo <= a/b <= hi.
+func ratioBounds(t *testing.T, name string, a, b time.Duration, lo, hi float64) float64 {
+	t.Helper()
+	r := float64(a) / float64(b)
+	if r < lo || r > hi {
+		t.Errorf("%s ratio = %.2f, want within [%.2f, %.2f] (a=%v b=%v)", name, r, lo, hi, a, b)
+	}
+	return r
+}
+
+func TestFig12SSDSpeedupBand(t *testing.T) {
+	// Paper: storing data on SSDs is roughly 1.5x–2.1x faster.
+	for _, r := range []time.Duration{day, 3 * day, 7 * day} {
+		hdd := total(t, collector.SchemaV1, HDD, false, r, 5*time.Minute)
+		ssd := total(t, collector.SchemaV1, SSD, false, r, 5*time.Minute)
+		ratioBounds(t, "fig12", hdd, ssd, 1.5, 2.1)
+	}
+}
+
+func TestFig14SchemaSpeedupBand(t *testing.T) {
+	// Paper: the optimized schema gains 1.6x–1.76x on the SSD.
+	for _, r := range []time.Duration{day, 3 * day, 7 * day} {
+		v1 := total(t, collector.SchemaV1, SSD, false, r, 5*time.Minute)
+		v2 := total(t, collector.SchemaV2, SSD, false, r, 5*time.Minute)
+		ratioBounds(t, "fig14", v1, v2, 1.6, 1.76)
+	}
+}
+
+func TestFig15ConcurrencySpeedupBand(t *testing.T) {
+	// Paper: concurrent querying gains 5.5x–6.5x.
+	for _, r := range []time.Duration{day, 3 * day, 7 * day} {
+		seq := total(t, collector.SchemaV2, SSD, false, r, 5*time.Minute)
+		con := total(t, collector.SchemaV2, SSD, true, r, 5*time.Minute)
+		ratioBounds(t, "fig15", seq, con, 5.5, 6.5)
+	}
+}
+
+func TestFig16CumulativeSpeedupBand(t *testing.T) {
+	// Paper: all optimizations together are 17x–25x faster.
+	for _, r := range []time.Duration{day, 3 * day, 7 * day} {
+		base := total(t, collector.SchemaV1, HDD, false, r, 5*time.Minute)
+		opt := total(t, collector.SchemaV2, SSD, true, r, 5*time.Minute)
+		ratioBounds(t, "fig16", base, opt, 17, 25)
+	}
+}
+
+func TestFig16AbsoluteMagnitudes(t *testing.T) {
+	// Paper: 3.78 s when querying 6 hours, 12.9 s when querying 72
+	// hours, fully optimized. Assert the same order of magnitude
+	// (within 3x), not the exact seconds — the substrate differs.
+	sixHours := total(t, collector.SchemaV2, SSD, true, 6*time.Hour, 5*time.Minute)
+	if sixHours < time.Duration(float64(3780*time.Millisecond)/3) || sixHours > 3*3780*time.Millisecond {
+		t.Errorf("optimized 6h query = %v, paper 3.78s (want within 3x)", sixHours)
+	}
+	threeDays := total(t, collector.SchemaV2, SSD, true, 72*time.Hour, 5*time.Minute)
+	if threeDays < time.Duration(float64(12900*time.Millisecond)/3) || threeDays > 3*12900*time.Millisecond {
+		t.Errorf("optimized 72h query = %v, paper 12.9s (want within 3x)", threeDays)
+	}
+	if threeDays <= sixHours {
+		t.Error("72h query not slower than 6h query")
+	}
+}
+
+func TestFig10BaselineShape(t *testing.T) {
+	// Paper Fig 10: time grows with range at fixed interval; smaller
+	// intervals are slower; even the best case is tens of seconds.
+	ranges := PaperRanges()
+	intervals := PaperIntervals()
+	grid := Sweep(Baseline(), ranges, intervals)
+	for i, iv := range intervals {
+		for j := 1; j < len(ranges); j++ {
+			if grid[i][j].Total <= grid[i][j-1].Total {
+				t.Errorf("interval %v: time not increasing with range (%v -> %v)", iv, grid[i][j-1].Total, grid[i][j].Total)
+			}
+		}
+	}
+	for j := range ranges {
+		for i := 1; i < len(intervals); i++ {
+			if grid[i][j].Total > grid[i-1][j].Total {
+				t.Errorf("range %v: larger interval %v slower than %v", ranges[j], intervals[i], intervals[i-1])
+			}
+		}
+	}
+	shortest := grid[len(intervals)-1][0].Total
+	if shortest < 20*time.Second {
+		t.Errorf("baseline best case %v implausibly fast (paper: ~50 s)", shortest)
+	}
+	worst := grid[0][len(ranges)-1].Total
+	if worst < 100*time.Second || worst > 600*time.Second {
+		t.Errorf("baseline worst case %v out of paper magnitude (~250 s)", worst)
+	}
+}
+
+func TestFig11BreakdownShares(t *testing.T) {
+	// Paper: BMC-related queries ≈80% of time, UGE >10%, the rest
+	// processing.
+	res := SimulateQuery(QueryConfig{
+		Schema: collector.SchemaV1, Device: HDD, Nodes: QuanahNodes,
+		Range: 3 * day, Interval: 5 * time.Minute,
+	})
+	if res.ShareBMC < 0.6 || res.ShareBMC > 0.9 {
+		t.Errorf("BMC share = %.2f, want ~0.8", res.ShareBMC)
+	}
+	if res.ShareUGE < 0.08 || res.ShareUGE > 0.25 {
+		t.Errorf("UGE share = %.2f, want ~0.1-0.2", res.ShareUGE)
+	}
+	sum := res.ShareBMC + res.ShareUGE + res.ShareProcessing
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("shares sum to %.3f", sum)
+	}
+}
+
+func TestSimulateQueryDefaults(t *testing.T) {
+	res := SimulateQuery(QueryConfig{Schema: collector.SchemaV2, Device: SSD, Range: day})
+	if res.Queries != QuanahNodes*MetricsPerNode {
+		t.Fatalf("queries = %d", res.Queries)
+	}
+	if res.Total <= 0 {
+		t.Fatal("zero total")
+	}
+	if res.ResponsePoints != int64(day/(5*time.Minute))*int64(res.Queries) {
+		t.Fatalf("response points = %d", res.ResponsePoints)
+	}
+}
+
+func TestBytesPerPointSchemaGap(t *testing.T) {
+	v1 := BytesPerPoint(collector.SchemaV1)
+	v2 := BytesPerPoint(collector.SchemaV2)
+	if v2 >= v1/3 {
+		t.Fatalf("per-point sizes v1=%d v2=%d: optimized not well below", v1, v2)
+	}
+	if v2 < 16 || v2 > 48 {
+		t.Fatalf("v2 point size %d implausible", v2)
+	}
+}
+
+func TestPaperGridDimensions(t *testing.T) {
+	if len(PaperRanges()) != 7 || len(PaperIntervals()) != 5 {
+		t.Fatal("paper grid dims wrong")
+	}
+	if Baseline().Device.Name != "HDD" || Optimized().Device.Name != "SSD" {
+		t.Fatal("baseline/optimized configs wrong")
+	}
+	if !Optimized().Concurrent || Baseline().Concurrent {
+		t.Fatal("concurrency flags wrong")
+	}
+}

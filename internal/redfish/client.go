@@ -1,0 +1,189 @@
+package redfish
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"monster/internal/clock"
+)
+
+// ClientOptions configures the collector-side Redfish client. The
+// defaults mirror the mechanisms Section III-B1 describes: connection
+// and read timeouts plus retries, added because the iDRAC "has limited
+// resources and cannot handle a large number of requests".
+type ClientOptions struct {
+	// RequestTimeout bounds one attempt (connection + read). Zero means
+	// 30 s.
+	RequestTimeout time.Duration
+	// Retries is how many additional attempts follow a failed one. Zero
+	// means 2.
+	Retries int
+	// RetryBackoff separates attempts. Zero means 500 ms.
+	RetryBackoff time.Duration
+	// Clock supplies sleep for backoff; nil means the real clock.
+	Clock clock.Clock
+	// HTTPClient performs requests; nil means http.DefaultClient. For a
+	// simulated fleet pass fleet.Client().
+	HTTPClient *http.Client
+}
+
+func (o *ClientOptions) applyDefaults() {
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 500 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = clock.NewReal()
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+}
+
+// ClientStats counts request outcomes across the client's lifetime.
+type ClientStats struct {
+	Requests int64 // logical GETs issued
+	Attempts int64 // HTTP attempts including retries
+	Retries  int64
+	Failures int64 // logical GETs that exhausted retries
+}
+
+// Client fetches Redfish resources with timeouts and retries.
+type Client struct {
+	opts ClientOptions
+
+	mu    sync.Mutex
+	stats ClientStats
+}
+
+// NewClient builds a client.
+func NewClient(opts ClientOptions) *Client {
+	opts.applyDefaults()
+	return &Client{opts: opts}
+}
+
+// Stats returns a snapshot of the request counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// GetJSON fetches url and decodes the JSON body into out. It retries
+// transport errors, timeouts, and 5xx responses.
+func (c *Client) GetJSON(ctx context.Context, url string, out interface{}) error {
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				lastErr = ctx.Err()
+			case <-c.opts.Clock.After(c.opts.RetryBackoff):
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		c.mu.Lock()
+		c.stats.Attempts++
+		c.mu.Unlock()
+		err := c.attempt(ctx, url, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.mu.Lock()
+	c.stats.Failures++
+	c.mu.Unlock()
+	return fmt.Errorf("redfish: GET %s: %w", url, lastErr)
+}
+
+func (c *Client) attempt(ctx context.Context, url string, out interface{}) error {
+	actx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Thermal fetches a node's Thermal resource.
+func (c *Client) Thermal(ctx context.Context, addr string) (*Thermal, error) {
+	var t Thermal
+	if err := c.GetJSON(ctx, URL(addr, PathThermal), &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Power fetches a node's Power resource.
+func (c *Client) Power(ctx context.Context, addr string) (*Power, error) {
+	var p Power
+	if err := c.GetJSON(ctx, URL(addr, PathPower), &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// System fetches a node's System resource.
+func (c *Client) System(ctx context.Context, addr string) (*System, error) {
+	var s System
+	if err := c.GetJSON(ctx, URL(addr, PathSystem), &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// NIC fetches a node's fabric interface with live statistics.
+func (c *Client) NIC(ctx context.Context, addr string) (*EthernetInterface, error) {
+	var e EthernetInterface
+	if err := c.GetJSON(ctx, URL(addr, PathNIC), &e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Manager fetches a node's Manager resource.
+func (c *Client) Manager(ctx context.Context, addr string) (*Manager, error) {
+	var m Manager
+	if err := c.GetJSON(ctx, URL(addr, PathManager), &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

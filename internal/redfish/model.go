@@ -1,0 +1,160 @@
+// Package redfish implements the subset of the DMTF Redfish data model
+// and REST service that MonSTer's Metrics Collector consumes from each
+// node's BMC (the iDRAC on the paper's Dell EMC C6320 nodes): the
+// Chassis Thermal and Power resources, the System resource (host
+// health), and the Manager resource (BMC health). The package provides
+// both the simulated BMC servers for an entire fleet and the HTTP
+// client — with the connection timeout, read timeout, and retry
+// mechanisms Section III-B1 describes — that the collector uses.
+package redfish
+
+// Status is the Redfish Status object.
+type Status struct {
+	Health string `json:"Health"` // "OK" | "Warning" | "Critical"
+	State  string `json:"State"`  // "Enabled" | "Disabled" | ...
+}
+
+// ODataID is a Redfish resource reference.
+type ODataID struct {
+	ID string `json:"@odata.id"`
+}
+
+// ServiceRoot is /redfish/v1/.
+type ServiceRoot struct {
+	ODataType      string  `json:"@odata.type"`
+	ID             string  `json:"Id"`
+	Name           string  `json:"Name"`
+	RedfishVersion string  `json:"RedfishVersion"`
+	Chassis        ODataID `json:"Chassis"`
+	Systems        ODataID `json:"Systems"`
+	Managers       ODataID `json:"Managers"`
+}
+
+// Temperature is one entry of Thermal.Temperatures.
+type Temperature struct {
+	Name                   string  `json:"Name"`
+	MemberID               string  `json:"MemberId"`
+	ReadingCelsius         float64 `json:"ReadingCelsius"`
+	UpperThresholdCritical float64 `json:"UpperThresholdCritical"`
+	UpperThresholdFatal    float64 `json:"UpperThresholdFatal"`
+	Status                 Status  `json:"Status"`
+}
+
+// Fan is one entry of Thermal.Fans.
+type Fan struct {
+	Name         string  `json:"FanName"`
+	MemberID     string  `json:"MemberId"`
+	Reading      float64 `json:"Reading"`
+	ReadingUnits string  `json:"ReadingUnits"`
+	Status       Status  `json:"Status"`
+}
+
+// Thermal is /redfish/v1/Chassis/System.Embedded.1/Thermal.
+type Thermal struct {
+	ODataType    string        `json:"@odata.type"`
+	ID           string        `json:"Id"`
+	Name         string        `json:"Name"`
+	Temperatures []Temperature `json:"Temperatures"`
+	Fans         []Fan         `json:"Fans"`
+}
+
+// PowerControl is one entry of Power.PowerControl.
+type PowerControl struct {
+	Name               string  `json:"Name"`
+	MemberID           string  `json:"MemberId"`
+	PowerConsumedWatts float64 `json:"PowerConsumedWatts"`
+	PowerCapacityWatts float64 `json:"PowerCapacityWatts"`
+}
+
+// Voltage is one entry of Power.Voltages.
+type Voltage struct {
+	Name         string  `json:"Name"`
+	MemberID     string  `json:"MemberId"`
+	ReadingVolts float64 `json:"ReadingVolts"`
+	Status       Status  `json:"Status"`
+}
+
+// Power is /redfish/v1/Chassis/System.Embedded.1/Power.
+type Power struct {
+	ODataType    string         `json:"@odata.type"`
+	ID           string         `json:"Id"`
+	Name         string         `json:"Name"`
+	PowerControl []PowerControl `json:"PowerControl"`
+	Voltages     []Voltage      `json:"Voltages"`
+}
+
+// ProcessorSummary summarizes the host CPUs.
+type ProcessorSummary struct {
+	Count  int    `json:"Count"`
+	Model  string `json:"Model"`
+	Status Status `json:"Status"`
+}
+
+// MemorySummary summarizes host memory.
+type MemorySummary struct {
+	TotalSystemMemoryGiB float64 `json:"TotalSystemMemoryGiB"`
+	Status               Status  `json:"Status"`
+}
+
+// System is /redfish/v1/Systems/System.Embedded.1.
+type System struct {
+	ODataType        string           `json:"@odata.type"`
+	ID               string           `json:"Id"`
+	HostName         string           `json:"HostName"`
+	Model            string           `json:"Model"`
+	PowerState       string           `json:"PowerState"`
+	Status           Status           `json:"Status"`
+	ProcessorSummary ProcessorSummary `json:"ProcessorSummary"`
+	MemorySummary    MemorySummary    `json:"MemorySummary"`
+}
+
+// Manager is /redfish/v1/Managers/iDRAC.Embedded.1.
+type Manager struct {
+	ODataType       string `json:"@odata.type"`
+	ID              string `json:"Id"`
+	Name            string `json:"Name"`
+	ManagerType     string `json:"ManagerType"`
+	Model           string `json:"Model"`
+	FirmwareVersion string `json:"FirmwareVersion"`
+	Status          Status `json:"Status"`
+}
+
+// EthernetInterface is one NIC with Dell-OEM-style live statistics —
+// the out-of-band network visibility the paper lists as future work.
+type EthernetInterface struct {
+	ODataType  string  `json:"@odata.type"`
+	ID         string  `json:"Id"`
+	Name       string  `json:"Name"`
+	SpeedMbps  float64 `json:"SpeedMbps"`
+	LinkStatus string  `json:"LinkStatus"`
+	Status     Status  `json:"Status"`
+	Oem        NICOem  `json:"Oem"`
+}
+
+// NICOem carries vendor statistics (rates in bytes/second).
+type NICOem struct {
+	RxBps float64 `json:"RxBps"`
+	TxBps float64 `json:"TxBps"`
+}
+
+// Resource paths served by every simulated BMC, matching the iDRAC URL
+// layout quoted in Section III-B1 of the paper.
+const (
+	PathRoot    = "/redfish/v1/"
+	PathThermal = "/redfish/v1/Chassis/System.Embedded.1/Thermal"
+	PathPower   = "/redfish/v1/Chassis/System.Embedded.1/Power"
+	PathSystem  = "/redfish/v1/Systems/System.Embedded.1"
+	PathManager = "/redfish/v1/Managers/iDRAC.Embedded.1"
+	PathNIC     = "/redfish/v1/Systems/System.Embedded.1/EthernetInterfaces/NIC.Embedded.1"
+)
+
+// Categories lists the four telemetry categories the collector polls —
+// one URL per category per node, 4 × 467 = 1868 requests per sweep on
+// the paper's cluster.
+func Categories() []string {
+	return []string{PathThermal, PathPower, PathSystem, PathManager}
+}
+
+// FirmwareVersion is the iDRAC firmware the paper's deployment ran
+// (model 13G DCS).
+const FirmwareVersion = "2.63.60.61"

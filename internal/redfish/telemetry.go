@@ -1,0 +1,141 @@
+package redfish
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// The Redfish Telemetry Service is the paper's named future work
+// ("collect more metrics by using additional tools and the upcoming
+// telemetry model", Section VI): instead of four resource GETs per
+// node per sweep, the BMC pushes/serves one MetricReport carrying every
+// sensor in a single payload. Newer iDRAC firmware (14G+) implements
+// it; the simulated BMC exposes it behind a capability flag so the
+// collector can be benchmarked both ways.
+
+// Telemetry resource paths.
+const (
+	PathTelemetryService = "/redfish/v1/TelemetryService"
+	PathMetricReport     = "/redfish/v1/TelemetryService/MetricReports/NodeTelemetry"
+)
+
+// TelemetryService is /redfish/v1/TelemetryService.
+type TelemetryService struct {
+	ODataType     string  `json:"@odata.type"`
+	ID            string  `json:"Id"`
+	Status        Status  `json:"Status"`
+	MetricReports ODataID `json:"MetricReports"`
+}
+
+// MetricValue is one sensor sample inside a MetricReport.
+type MetricValue struct {
+	MetricID       string `json:"MetricId"`
+	MetricValue    string `json:"MetricValue"`
+	Timestamp      string `json:"Timestamp"`
+	MetricProperty string `json:"MetricProperty"`
+}
+
+// MetricReport is one telemetry batch.
+type MetricReport struct {
+	ODataType    string        `json:"@odata.type"`
+	ID           string        `json:"Id"`
+	Name         string        `json:"Name"`
+	Timestamp    string        `json:"Timestamp"`
+	MetricValues []MetricValue `json:"MetricValues"`
+}
+
+// Value looks up a metric by ID and parses it as float.
+func (r *MetricReport) Value(id string) (float64, bool) {
+	for _, mv := range r.MetricValues {
+		if mv.MetricID == id {
+			f, err := strconv.ParseFloat(mv.MetricValue, 64)
+			if err != nil {
+				return 0, false
+			}
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// StringValue looks up a metric by ID as a raw string.
+func (r *MetricReport) StringValue(id string) (string, bool) {
+	for _, mv := range r.MetricValues {
+		if mv.MetricID == id {
+			return mv.MetricValue, true
+		}
+	}
+	return "", false
+}
+
+// Metric IDs emitted in NodeTelemetry reports.
+const (
+	MetricCPU1Temp   = "CPU1Temp"
+	MetricCPU2Temp   = "CPU2Temp"
+	MetricInletTemp  = "InletTemp"
+	MetricFanPrefix  = "FanSpeed" // FanSpeed1..4
+	MetricPower      = "NodePower"
+	MetricBMCHealth  = "BMCHealth"
+	MetricHostHealth = "HostHealth"
+	MetricPowerState = "PowerState"
+	MetricNICRx      = "NICRxBps"
+	MetricNICTx      = "NICTxBps"
+)
+
+// telemetryService renders the service root.
+func (b *BMC) telemetryService() TelemetryService {
+	return TelemetryService{
+		ODataType:     "#TelemetryService.v1_2_0.TelemetryService",
+		ID:            "TelemetryService",
+		Status:        Status{Health: "OK", State: "Enabled"},
+		MetricReports: ODataID{ID: "/redfish/v1/TelemetryService/MetricReports"},
+	}
+}
+
+// metricReport renders the full sensor batch from live node state.
+func (b *BMC) metricReport() MetricReport {
+	rd := b.node.Readings()
+	now := time.Now().UTC().Format(time.RFC3339)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+	mvs := []MetricValue{
+		{MetricID: MetricCPU1Temp, MetricValue: f(rd.CPUTempC[0]), Timestamp: now, MetricProperty: "/redfish/v1/Chassis/System.Embedded.1/Thermal#/Temperatures/0"},
+		{MetricID: MetricCPU2Temp, MetricValue: f(rd.CPUTempC[1]), Timestamp: now, MetricProperty: "/redfish/v1/Chassis/System.Embedded.1/Thermal#/Temperatures/1"},
+		{MetricID: MetricInletTemp, MetricValue: f(rd.InletTempC), Timestamp: now, MetricProperty: "/redfish/v1/Chassis/System.Embedded.1/Thermal#/Temperatures/2"},
+	}
+	for i, rpm := range rd.FanRPM {
+		mvs = append(mvs, MetricValue{
+			MetricID:       fmt.Sprintf("%s%d", MetricFanPrefix, i+1),
+			MetricValue:    f(rpm),
+			Timestamp:      now,
+			MetricProperty: fmt.Sprintf("/redfish/v1/Chassis/System.Embedded.1/Thermal#/Fans/%d", i),
+		})
+	}
+	net := b.node.Network()
+	mvs = append(mvs,
+		MetricValue{MetricID: MetricNICRx, MetricValue: f(net.RxBps), Timestamp: now, MetricProperty: PathNIC + "#/Oem/RxBps"},
+		MetricValue{MetricID: MetricNICTx, MetricValue: f(net.TxBps), Timestamp: now, MetricProperty: PathNIC + "#/Oem/TxBps"},
+		MetricValue{MetricID: MetricPower, MetricValue: f(rd.PowerW), Timestamp: now, MetricProperty: "/redfish/v1/Chassis/System.Embedded.1/Power#/PowerControl/0"},
+		MetricValue{MetricID: MetricBMCHealth, MetricValue: string(rd.BMCHealth), Timestamp: now, MetricProperty: PathManager + "#/Status"},
+		MetricValue{MetricID: MetricHostHealth, MetricValue: string(rd.HostHealth), Timestamp: now, MetricProperty: PathSystem + "#/Status"},
+		MetricValue{MetricID: MetricPowerState, MetricValue: rd.PowerState, Timestamp: now, MetricProperty: PathSystem + "#/PowerState"},
+	)
+	return MetricReport{
+		ODataType:    "#MetricReport.v1_4_0.MetricReport",
+		ID:           "NodeTelemetry",
+		Name:         "Node Telemetry Report",
+		Timestamp:    now,
+		MetricValues: mvs,
+	}
+}
+
+// MetricReport fetches a node's telemetry batch. Returns an error if
+// the firmware does not implement the telemetry service (HTTP 404).
+func (c *Client) MetricReport(ctx context.Context, addr string) (*MetricReport, error) {
+	var r MetricReport
+	if err := c.GetJSON(ctx, URL(addr, PathMetricReport), &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,467 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The HTTP API plays the role UGE's ARCo (Accounting and Reporting
+// Console) plays in the paper: the Metrics Collector queries it over
+// the head-node network for host metrics and job details. Payloads are
+// deliberately verbose in the way qstat/qhost XML is — the Table IV
+// bandwidth measurement depends on realistic accounting record sizes.
+
+// HostEntry is the wire form of one execution host (qhost-like).
+type HostEntry struct {
+	Hostname       string            `json:"hostname"`
+	Addr           string            `json:"addr"`
+	State          string            `json:"state"` // "ok" | "unavailable"
+	ReportTime     int64             `json:"report_time"`
+	SlotsTotal     int               `json:"slots_total"`
+	SlotsUsed      int               `json:"slots_used"`
+	CPUUsage       float64           `json:"cpu_usage"`
+	MemTotalGB     float64           `json:"mem_total_gb"`
+	MemUsedGB      float64           `json:"mem_used_gb"`
+	SwapTotalGB    float64           `json:"swap_total_gb"`
+	SwapUsedGB     float64           `json:"swap_used_gb"`
+	LoadAvg        float64           `json:"np_load_avg"`
+	IOReadMBps     float64           `json:"io_read_mbps"`
+	IOWriteMBps    float64           `json:"io_write_mbps"`
+	JobList        []string          `json:"job_list"`
+	LoadValues     map[string]string `json:"load_values"`
+	QueueInstances []QueueInstance   `json:"queue_instances"`
+}
+
+// QueueInstance is one queue@host row (qstat -f style).
+type QueueInstance struct {
+	Queue      string `json:"qname"`
+	SlotsTotal int    `json:"slots_total"`
+	SlotsUsed  int    `json:"slots_used"`
+	State      string `json:"state"`
+}
+
+// JobEntry is the wire form of one job (qstat -j style).
+type JobEntry struct {
+	JobID          int64             `json:"job_number"`
+	TaskID         int               `json:"task_id,omitempty"`
+	Owner          string            `json:"owner"`
+	Name           string            `json:"job_name"`
+	Queue          string            `json:"queue"`
+	State          string            `json:"state"`
+	PE             string            `json:"parallel_environment,omitempty"`
+	Slots          int               `json:"slots"`
+	SubmissionTime string            `json:"submission_time"` // RFC3339 — the date string the paper's pre-processing converts
+	StartTime      string            `json:"start_time,omitempty"`
+	Hosts          []string          `json:"exec_host_list"`
+	HardResources  map[string]string `json:"hard_resource_list"`
+	Usage          JobUsage          `json:"usage"`
+}
+
+// JobUsage is the per-job resource usage block.
+type JobUsage struct {
+	WallClockSec float64 `json:"wallclock"`
+	CPUSec       float64 `json:"cpu"`
+	MemGBs       float64 `json:"mem"`
+	MaxVMemGB    float64 `json:"maxvmem"`
+	IOOps        float64 `json:"io"`
+}
+
+// AccountingEntry is the wire form of one ARCo accounting row.
+type AccountingEntry struct {
+	JobID      int64    `json:"job_number"`
+	TaskID     int      `json:"task_number,omitempty"`
+	Owner      string   `json:"owner"`
+	Name       string   `json:"job_name"`
+	Queue      string   `json:"qname"`
+	PE         string   `json:"granted_pe,omitempty"`
+	Slots      int      `json:"slots"`
+	SubmitTime string   `json:"submission_time"`
+	StartTime  string   `json:"start_time"`
+	EndTime    string   `json:"end_time"`
+	WallClock  float64  `json:"ru_wallclock"`
+	CPU        float64  `json:"cpu"`
+	MaxVMem    float64  `json:"maxvmem"`
+	Hosts      []string `json:"exec_hosts"`
+	ExitStatus int      `json:"exit_status"`
+	Failed     int      `json:"failed"`
+}
+
+// API serves the qmaster state over HTTP.
+type API struct {
+	qm  *QMaster
+	mux *http.ServeMux
+}
+
+// NewAPI builds the HTTP facade for a qmaster.
+func NewAPI(qm *QMaster) *API {
+	a := &API{qm: qm, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/uge/hosts", a.handleHosts)
+	a.mux.HandleFunc("/uge/jobs", a.handleJobs)
+	a.mux.HandleFunc("/uge/accounting", a.handleAccounting)
+	a.mux.HandleFunc("/slurm/v1/nodes", a.handleSlurmNodes)
+	a.mux.HandleFunc("/slurm/v1/jobs", a.handleSlurmJobs)
+	a.mux.HandleFunc("/slurmdb/v1/jobs", a.handleSlurmDBJobs)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		_ = err // client went away
+	}
+}
+
+// HostEntries renders the qmaster's current host view (exported so the
+// in-process collector can skip HTTP when embedded).
+func (a *API) HostEntries() []HostEntry {
+	reports := a.qm.HostReports()
+	out := make([]HostEntry, 0, len(reports))
+	for _, r := range reports {
+		state := "ok"
+		if !r.Available {
+			state = "unavailable"
+		}
+		e := HostEntry{
+			Hostname:    r.Host,
+			Addr:        r.Addr,
+			State:       state,
+			ReportTime:  r.At.Unix(),
+			SlotsTotal:  r.SlotsTotal,
+			SlotsUsed:   r.SlotsUsed,
+			CPUUsage:    r.CPUUsage,
+			MemTotalGB:  r.MemTotalGB,
+			MemUsedGB:   r.MemUsedGB,
+			SwapTotalGB: r.SwapTotal,
+			SwapUsedGB:  r.SwapUsed,
+			LoadAvg:     r.LoadAvg,
+			IOReadMBps:  r.IOReadMBps,
+			IOWriteMBps: r.IOWriteMBps,
+			JobList:     r.JobKeys,
+			LoadValues:  loadValues(r),
+			QueueInstances: []QueueInstance{
+				{Queue: "omni", SlotsTotal: r.SlotsTotal, SlotsUsed: r.SlotsUsed, State: queueState(r)},
+			},
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func queueState(r HostReport) string {
+	if !r.Available {
+		return "au" // alarm, unreachable
+	}
+	return ""
+}
+
+// loadValues reproduces the verbose load_values block a real qhost -F
+// reports (~40 attributes); the collector ignores most of them but the
+// accounting bandwidth of Table IV includes them.
+func loadValues(r HostReport) map[string]string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	mem := r.MemUsedGB
+	return map[string]string{
+		"arch":          "lx-amd64",
+		"num_proc":      strconv.Itoa(r.SlotsTotal),
+		"m_socket":      "2",
+		"m_core":        strconv.Itoa(r.SlotsTotal / 2),
+		"m_thread":      strconv.Itoa(r.SlotsTotal),
+		"load_short":    f(r.LoadAvg),
+		"load_medium":   f(r.LoadAvg * 0.98),
+		"load_long":     f(r.LoadAvg * 0.95),
+		"np_load_short": f(r.LoadAvg / float64(max(r.SlotsTotal, 1))),
+		"np_load_avg":   f(r.LoadAvg / float64(max(r.SlotsTotal, 1))),
+		"cpu":           f(r.CPUUsage * 100),
+		"mem_free":      f(r.MemTotalGB - mem),
+		"mem_used":      f(mem),
+		"mem_total":     f(r.MemTotalGB),
+		"swap_free":     f(r.SwapTotal - r.SwapUsed),
+		"swap_used":     f(r.SwapUsed),
+		"swap_total":    f(r.SwapTotal),
+		"virtual_free":  f(r.MemTotalGB - mem + r.SwapTotal - r.SwapUsed),
+		"virtual_used":  f(mem + r.SwapUsed),
+		"virtual_total": f(r.MemTotalGB + r.SwapTotal),
+	}
+}
+
+func (a *API) handleHosts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, a.HostEntries())
+}
+
+// JobEntries renders running and pending jobs.
+func (a *API) JobEntries() []JobEntry {
+	now := a.qm.Now()
+	var out []JobEntry
+	for _, j := range a.qm.Running() {
+		out = append(out, jobEntry(j, now))
+	}
+	for _, j := range a.qm.Pending() {
+		out = append(out, jobEntry(j, now))
+	}
+	return out
+}
+
+func jobEntry(j *Job, now time.Time) JobEntry {
+	e := JobEntry{
+		JobID:          j.ID,
+		TaskID:         j.TaskID,
+		Owner:          j.Owner,
+		Name:           j.Name,
+		Queue:          j.Queue,
+		State:          j.State.String(),
+		PE:             string(j.PE),
+		Slots:          j.Slots,
+		SubmissionTime: j.SubmitAt.UTC().Format(time.RFC3339),
+		Hosts:          j.Hosts(),
+		HardResources: map[string]string{
+			"h_rt":      fmt.Sprintf("%d", int(j.Runtime.Seconds())),
+			"h_vmem":    fmt.Sprintf("%gG", j.MemGB),
+			"exclusive": "false",
+		},
+	}
+	if j.State == JobRunning {
+		e.StartTime = j.StartAt.UTC().Format(time.RFC3339)
+		elapsed := now.Sub(j.StartAt).Seconds()
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		e.Usage = JobUsage{
+			WallClockSec: elapsed,
+			CPUSec:       elapsed * float64(j.Slots) * j.CPUFrac,
+			MemGBs:       elapsed * float64(j.Slots) * j.MemGB,
+			MaxVMemGB:    float64(j.Slots) * j.MemGB,
+			IOOps:        elapsed * 12.5,
+		}
+	}
+	return e
+}
+
+func (a *API) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, a.JobEntries())
+}
+
+// AccountingEntries renders completed jobs since the given time.
+func (a *API) AccountingEntries(since time.Time) []AccountingEntry {
+	recs := a.qm.Accounting(since)
+	out := make([]AccountingEntry, 0, len(recs))
+	for _, rec := range recs {
+		failed := 0
+		if rec.Failed {
+			failed = 1
+		}
+		out = append(out, AccountingEntry{
+			JobID:      rec.JobID,
+			TaskID:     rec.TaskID,
+			Owner:      rec.Owner,
+			Name:       rec.Name,
+			Queue:      rec.Queue,
+			PE:         string(rec.PE),
+			Slots:      rec.Slots,
+			SubmitTime: rec.SubmitTime.UTC().Format(time.RFC3339),
+			StartTime:  rec.StartTime.UTC().Format(time.RFC3339),
+			EndTime:    rec.EndTime.UTC().Format(time.RFC3339),
+			WallClock:  rec.WallClock.Seconds(),
+			CPU:        rec.CPUSeconds,
+			MaxVMem:    rec.MaxVMemGB,
+			Hosts:      rec.Hosts,
+			ExitStatus: rec.ExitStatus,
+			Failed:     failed,
+		})
+	}
+	return out
+}
+
+func (a *API) handleAccounting(w http.ResponseWriter, r *http.Request) {
+	since := time.Unix(0, 0)
+	if s := r.URL.Query().Get("since"); s != "" {
+		sec, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = time.Unix(sec, 0)
+	}
+	writeJSON(w, a.AccountingEntries(since))
+}
+
+// SlurmNode is the Slurm REST (slurmrestd-style) node record.
+type SlurmNode struct {
+	Name        string  `json:"name"`
+	Address     string  `json:"address"`
+	State       string  `json:"state"`
+	CPUs        int     `json:"cpus"`
+	AllocCPUs   int     `json:"alloc_cpus"`
+	RealMemory  int     `json:"real_memory"`  // MB
+	AllocMemory int     `json:"alloc_memory"` // MB
+	FreeMemory  int     `json:"free_memory"`  // MB
+	CPULoad     float64 `json:"cpu_load"`
+}
+
+// SlurmJob is the Slurm REST job record.
+type SlurmJob struct {
+	JobID      int64  `json:"job_id"`
+	ArrayTask  int    `json:"array_task_id,omitempty"`
+	UserName   string `json:"user_name"`
+	Name       string `json:"name"`
+	Partition  string `json:"partition"`
+	JobState   string `json:"job_state"`
+	NumCPUs    int    `json:"num_cpus"`
+	NumNodes   int    `json:"num_nodes"`
+	Nodes      string `json:"nodes"`
+	SubmitTime int64  `json:"submit_time"`
+	StartTime  int64  `json:"start_time"`
+	EndTime    int64  `json:"end_time"`
+}
+
+func slurmState(s JobState) string {
+	switch s {
+	case JobPending:
+		return "PENDING"
+	case JobRunning:
+		return "RUNNING"
+	case JobFailed:
+		return "FAILED"
+	default:
+		return "COMPLETED"
+	}
+}
+
+func (a *API) handleSlurmNodes(w http.ResponseWriter, r *http.Request) {
+	reports := a.qm.HostReports()
+	nodes := make([]SlurmNode, 0, len(reports))
+	for _, rep := range reports {
+		state := "IDLE"
+		switch {
+		case !rep.Available:
+			state = "DOWN"
+		case rep.SlotsUsed == rep.SlotsTotal:
+			state = "ALLOCATED"
+		case rep.SlotsUsed > 0:
+			state = "MIXED"
+		}
+		nodes = append(nodes, SlurmNode{
+			Name:        rep.Host,
+			Address:     rep.Addr,
+			State:       state,
+			CPUs:        rep.SlotsTotal,
+			AllocCPUs:   rep.SlotsUsed,
+			RealMemory:  int(rep.MemTotalGB * 1024),
+			AllocMemory: int(rep.MemUsedGB * 1024),
+			FreeMemory:  int((rep.MemTotalGB - rep.MemUsedGB) * 1024),
+			CPULoad:     rep.LoadAvg,
+		})
+	}
+	writeJSON(w, map[string]interface{}{"nodes": nodes})
+}
+
+func (a *API) handleSlurmJobs(w http.ResponseWriter, r *http.Request) {
+	var jobs []SlurmJob
+	render := func(j *Job) SlurmJob {
+		sj := SlurmJob{
+			JobID:      j.ID,
+			ArrayTask:  j.TaskID,
+			UserName:   j.Owner,
+			Name:       j.Name,
+			Partition:  j.Queue,
+			JobState:   slurmState(j.State),
+			NumCPUs:    j.Slots,
+			NumNodes:   len(j.Alloc),
+			SubmitTime: j.SubmitAt.Unix(),
+		}
+		if !j.StartAt.IsZero() {
+			sj.StartTime = j.StartAt.Unix()
+		}
+		if j.State == JobRunning {
+			sj.EndTime = j.EndAt.Unix()
+		}
+		hosts := j.Hosts()
+		for i, h := range hosts {
+			if i > 0 {
+				sj.Nodes += ","
+			}
+			sj.Nodes += h
+		}
+		return sj
+	}
+	for _, j := range a.qm.Running() {
+		jobs = append(jobs, render(j))
+	}
+	for _, j := range a.qm.Pending() {
+		jobs = append(jobs, render(j))
+	}
+	writeJSON(w, map[string]interface{}{"jobs": jobs})
+}
+
+// SlurmDBJob is the slurmdbd-style accounting record.
+type SlurmDBJob struct {
+	JobID      int64   `json:"job_id"`
+	ArrayTask  int     `json:"array_task_id,omitempty"`
+	UserName   string  `json:"user_name"`
+	Name       string  `json:"name"`
+	Partition  string  `json:"partition"`
+	State      string  `json:"state"`
+	AllocCPUs  int     `json:"alloc_cpus"`
+	SubmitTime int64   `json:"submit_time"`
+	StartTime  int64   `json:"start_time"`
+	EndTime    int64   `json:"end_time"`
+	Elapsed    float64 `json:"elapsed"`
+	CPUSeconds float64 `json:"cpu_seconds"`
+	MaxRSSGB   float64 `json:"max_rss_gb"`
+	NodeList   string  `json:"nodes"`
+	ExitCode   int     `json:"exit_code"`
+}
+
+// handleSlurmDBJobs serves completed-job accounting, slurmdbd style:
+// GET /slurmdb/v1/jobs?start_time=<epoch> returns jobs that ended at or
+// after start_time.
+func (a *API) handleSlurmDBJobs(w http.ResponseWriter, r *http.Request) {
+	since := time.Unix(0, 0)
+	if s := r.URL.Query().Get("start_time"); s != "" {
+		sec, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad start_time parameter", http.StatusBadRequest)
+			return
+		}
+		since = time.Unix(sec, 0)
+	}
+	recs := a.qm.Accounting(since)
+	jobs := make([]SlurmDBJob, 0, len(recs))
+	for _, rec := range recs {
+		state := "COMPLETED"
+		if rec.Failed {
+			state = "FAILED"
+		}
+		nodeList := ""
+		for i, h := range rec.Hosts {
+			if i > 0 {
+				nodeList += ","
+			}
+			nodeList += h
+		}
+		jobs = append(jobs, SlurmDBJob{
+			JobID:      rec.JobID,
+			ArrayTask:  rec.TaskID,
+			UserName:   rec.Owner,
+			Name:       rec.Name,
+			Partition:  rec.Queue,
+			State:      state,
+			AllocCPUs:  rec.Slots,
+			SubmitTime: rec.SubmitTime.Unix(),
+			StartTime:  rec.StartTime.Unix(),
+			EndTime:    rec.EndTime.Unix(),
+			Elapsed:    rec.WallClock.Seconds(),
+			CPUSeconds: rec.CPUSeconds,
+			MaxRSSGB:   rec.MaxVMemGB,
+			NodeList:   nodeList,
+			ExitCode:   rec.ExitStatus,
+		})
+	}
+	writeJSON(w, map[string]interface{}{"jobs": jobs})
+}

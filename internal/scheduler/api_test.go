@@ -1,0 +1,302 @@
+package scheduler
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newAPIFixture(t *testing.T) (*API, *QMaster) {
+	t.Helper()
+	fleet, qm := newTestQM(t, 3)
+	qm.Submit(JobSpec{Owner: "jieyao", Name: "mpi", PE: PEMPI, Slots: 80, Runtime: 2 * time.Hour})
+	qm.Submit(JobSpec{Owner: "ugrad", Name: "hw", Slots: 1, Runtime: time.Hour})
+	tickTo(qm, fleet, t0.Add(10*time.Minute), 15*time.Second)
+	return NewAPI(qm), qm
+}
+
+func apiGet(t *testing.T, api *API, path string, out interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s -> %d", path, rec.Code)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: bad json: %v", path, err)
+		}
+	}
+	return rec
+}
+
+func TestHostsEndpoint(t *testing.T) {
+	api, _ := newAPIFixture(t)
+	var hosts []HostEntry
+	apiGet(t, api, "/uge/hosts", &hosts)
+	if len(hosts) != 3 {
+		t.Fatalf("hosts = %d", len(hosts))
+	}
+	h := hosts[0]
+	if h.Hostname == "" || h.SlotsTotal != 36 {
+		t.Fatalf("host = %+v", h)
+	}
+	if len(h.LoadValues) < 15 {
+		t.Fatalf("load values too sparse (%d) for realistic accounting volume", len(h.LoadValues))
+	}
+	if h.State != "ok" {
+		t.Fatalf("state = %q", h.State)
+	}
+	// The MPI job must appear in some host's job list.
+	found := false
+	for _, hh := range hosts {
+		for range hh.JobList {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no job listed on any host")
+	}
+}
+
+func TestJobsEndpoint(t *testing.T) {
+	api, _ := newAPIFixture(t)
+	var jobs []JobEntry
+	apiGet(t, api, "/uge/jobs", &jobs)
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	var mpi *JobEntry
+	for i := range jobs {
+		if jobs[i].Owner == "jieyao" {
+			mpi = &jobs[i]
+		}
+	}
+	if mpi == nil {
+		t.Fatal("mpi job missing")
+	}
+	if mpi.State != "r" || mpi.Slots != 80 || len(mpi.Hosts) < 2 {
+		t.Fatalf("mpi job = %+v", mpi)
+	}
+	// Submission time is an RFC3339 date string — the format the
+	// paper's pre-processing converts to epoch integers.
+	if _, err := time.Parse(time.RFC3339, mpi.SubmissionTime); err != nil {
+		t.Fatalf("submission time %q not RFC3339: %v", mpi.SubmissionTime, err)
+	}
+	if mpi.Usage.CPUSec <= 0 || mpi.Usage.WallClockSec <= 0 {
+		t.Fatalf("usage = %+v", mpi.Usage)
+	}
+}
+
+func TestAccountingEndpoint(t *testing.T) {
+	api, qm := newAPIFixture(t)
+	qm.Submit(JobSpec{Owner: "carol", Name: "quick", Slots: 1, Runtime: 2 * time.Minute})
+	fleetTick(api, qm, t0.Add(30*time.Minute))
+	var recs []AccountingEntry
+	apiGet(t, api, "/uge/accounting?since=0", &recs)
+	if len(recs) != 1 {
+		t.Fatalf("accounting = %d", len(recs))
+	}
+	if recs[0].Owner != "carol" || recs[0].WallClock <= 0 {
+		t.Fatalf("record = %+v", recs[0])
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/uge/accounting?since=notanumber", nil)
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad since -> %d", rec.Code)
+	}
+}
+
+// fleetTick advances only the qmaster clock (no physics needed here).
+func fleetTick(api *API, qm *QMaster, until time.Time) {
+	for now := qm.Now(); now.Before(until); now = now.Add(15 * time.Second) {
+		qm.Tick(now.Add(15 * time.Second))
+	}
+}
+
+func TestSlurmNodesEndpoint(t *testing.T) {
+	api, _ := newAPIFixture(t)
+	var resp struct {
+		Nodes []SlurmNode `json:"nodes"`
+	}
+	apiGet(t, api, "/slurm/v1/nodes", &resp)
+	if len(resp.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(resp.Nodes))
+	}
+	states := map[string]int{}
+	for _, n := range resp.Nodes {
+		states[n.State]++
+		if n.CPUs != 36 {
+			t.Fatalf("node = %+v", n)
+		}
+	}
+	if states["ALLOCATED"]+states["MIXED"] == 0 {
+		t.Fatalf("no busy nodes in %v", states)
+	}
+}
+
+func TestSlurmJobsEndpoint(t *testing.T) {
+	api, _ := newAPIFixture(t)
+	var resp struct {
+		Jobs []SlurmJob `json:"jobs"`
+	}
+	apiGet(t, api, "/slurm/v1/jobs", &resp)
+	if len(resp.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(resp.Jobs))
+	}
+	for _, j := range resp.Jobs {
+		if j.JobState != "RUNNING" {
+			t.Fatalf("job state = %s", j.JobState)
+		}
+		if j.SubmitTime <= 0 || j.StartTime <= 0 {
+			t.Fatalf("times = %+v", j)
+		}
+	}
+}
+
+func TestPayloadSizesAreAccountingScale(t *testing.T) {
+	// Table IV context: node and job records are kilobyte-scale. Verify
+	// our verbose wire format is within an order of magnitude (the
+	// paper reports 19 KB/node, 23 KB/job including full qstat detail).
+	api, _ := newAPIFixture(t)
+	rec := apiGet(t, api, "/uge/hosts", nil)
+	perHost := rec.Body.Len() / 3
+	if perHost < 300 {
+		t.Fatalf("per-host payload %d B too small to be accounting-realistic", perHost)
+	}
+	rec = apiGet(t, api, "/uge/jobs", nil)
+	perJob := rec.Body.Len() / 2
+	if perJob < 200 {
+		t.Fatalf("per-job payload %d B too small", perJob)
+	}
+}
+
+func TestWorkloadGeneratorDeterministic(t *testing.T) {
+	mix := DefaultUserMix()
+	a := GenerateWorkload(mix, t0, 24*time.Hour, 42)
+	b := GenerateWorkload(mix, t0, 24*time.Hour, 42)
+	if a.Len() == 0 {
+		t.Fatal("empty workload")
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Submissions() {
+		if !a.Submissions()[i].At.Equal(b.Submissions()[i].At) {
+			t.Fatal("submission times differ between identical seeds")
+		}
+	}
+	c := GenerateWorkload(mix, t0, 24*time.Hour, 43)
+	if c.Len() == a.Len() {
+		sameAll := true
+		for i := range a.Submissions() {
+			if !a.Submissions()[i].At.Equal(c.Submissions()[i].At) {
+				sameAll = false
+				break
+			}
+		}
+		if sameAll {
+			t.Fatal("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestWorkloadSubmissionsSortedAndInHorizon(t *testing.T) {
+	w := GenerateWorkload(DefaultUserMix(), t0, 6*time.Hour, 7)
+	last := time.Time{}
+	for _, s := range w.Submissions() {
+		if s.At.Before(last) {
+			t.Fatal("submissions not time-sorted")
+		}
+		last = s.At
+		if s.At.Before(t0) || !s.At.Before(t0.Add(6*time.Hour)) {
+			t.Fatalf("submission at %v outside horizon", s.At)
+		}
+	}
+}
+
+func TestWorkloadFeedDue(t *testing.T) {
+	fleet, qm := newTestQM(t, 8)
+	_ = fleet
+	w := GenerateWorkload(DefaultUserMix(), t0, 2*time.Hour, 7)
+	fed := w.FeedDue(qm, t0.Add(time.Hour))
+	if fed == 0 {
+		t.Fatal("nothing fed in the first hour")
+	}
+	if w.Remaining() != w.Len()-fed {
+		t.Fatalf("remaining = %d, want %d", w.Remaining(), w.Len()-fed)
+	}
+	// Feeding again at the same time must be a no-op.
+	if again := w.FeedDue(qm, t0.Add(time.Hour)); again != 0 {
+		t.Fatalf("re-fed %d submissions", again)
+	}
+}
+
+func TestWorkloadMixHasMPIAndArrayUsers(t *testing.T) {
+	var hasMPI, hasArray bool
+	for _, p := range DefaultUserMix() {
+		if p.Spec.PE == PEMPI && p.Spec.Slots >= 36*2 {
+			hasMPI = true
+		}
+		if p.Spec.Tasks > 100 {
+			hasArray = true
+		}
+	}
+	if !hasMPI || !hasArray {
+		t.Fatal("default mix lacks the Fig 6 user archetypes")
+	}
+}
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	w := GenerateWorkload(DefaultUserMix(), t0, 6*time.Hour, 3)
+	var buf bytes.Buffer
+	if err := w.SaveTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != w.Len() {
+		t.Fatalf("round trip lost submissions: %d vs %d", back.Len(), w.Len())
+	}
+	for i := range w.Submissions() {
+		a, b := w.Submissions()[i], back.Submissions()[i]
+		// Trace timestamps are second-granular.
+		if !a.At.Truncate(time.Second).Equal(b.At) || a.Spec.Owner != b.Spec.Owner || a.Spec.Slots != b.Spec.Slots {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a, b)
+		}
+		if a.Spec.Runtime.Round(time.Second) != b.Spec.Runtime.Round(time.Second) {
+			t.Fatalf("entry %d runtime %v vs %v", i, a.Spec.Runtime, b.Spec.Runtime)
+		}
+	}
+}
+
+func TestLoadTraceValidation(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`[{"at": 1, "name": "x", "runtime_sec": 10}]`, // no owner
+		`[{"at": 1, "owner": "u", "runtime_sec": 0}]`, // bad runtime
+	}
+	for _, s := range bad {
+		if _, err := LoadTrace(strings.NewReader(s)); err == nil {
+			t.Errorf("LoadTrace(%q) succeeded", s)
+		}
+	}
+	// Out-of-order entries are sorted.
+	w, err := LoadTrace(strings.NewReader(
+		`[{"at": 100, "owner": "b", "runtime_sec": 5}, {"at": 50, "owner": "a", "runtime_sec": 5}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Submissions()[0].Spec.Owner != "a" {
+		t.Fatal("trace not sorted by time")
+	}
+}

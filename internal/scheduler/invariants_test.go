@@ -1,0 +1,107 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"monster/internal/simnode"
+)
+
+// Randomized invariant tests: arbitrary job streams with random faults
+// must never corrupt the qmaster's bookkeeping.
+
+func TestRandomizedSchedulingInvariants(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 1313))
+		nNodes := 2 + rng.Intn(6)
+		fleet := simnode.NewFleet(nNodes, int64(trial))
+		qm := NewQMaster(fleet.Nodes(), t0, Options{})
+
+		now := t0
+		var submitted, faultsInjected int
+		for step := 0; step < 120; step++ {
+			// Random submissions.
+			if rng.Float64() < 0.4 {
+				pe := PESerial
+				slots := 1 + rng.Intn(8)
+				switch rng.Intn(3) {
+				case 1:
+					pe = PESMP
+					slots = 1 + rng.Intn(36)
+				case 2:
+					pe = PEMPI
+					slots = 1 + rng.Intn(nNodes*36)
+				}
+				qm.Submit(JobSpec{
+					Owner:   "u",
+					Name:    "j",
+					PE:      pe,
+					Slots:   slots,
+					Tasks:   1 + rng.Intn(3),
+					Runtime: time.Duration(1+rng.Intn(20)) * time.Minute,
+				})
+				submitted++
+			}
+			// Occasional node death and resurrection.
+			if rng.Float64() < 0.03 {
+				fleet.Node(rng.Intn(nNodes)).Inject(simnode.FaultHostDown)
+				faultsInjected++
+			}
+			if rng.Float64() < 0.03 {
+				fleet.Node(rng.Intn(nNodes)).Inject(simnode.FaultNone)
+			}
+			now = now.Add(15 * time.Second)
+			fleet.Step(15 * time.Second)
+			qm.Tick(now)
+
+			if err := qm.checkInvariants(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+
+		st := qm.Stats()
+		if st.Submitted == 0 {
+			continue
+		}
+		// Conservation: everything submitted is pending, running,
+		// completed, or failed.
+		accounted := int64(len(qm.Pending())) + int64(len(qm.Running())) + st.Completed + st.Failed
+		if accounted != st.Submitted {
+			t.Fatalf("trial %d: %d submitted but %d accounted (p=%d r=%d c=%d f=%d)",
+				trial, st.Submitted, accounted,
+				len(qm.Pending()), len(qm.Running()), st.Completed, st.Failed)
+		}
+		// Accounting records exist for every terminal job.
+		recs := qm.Accounting(time.Unix(0, 0))
+		if int64(len(recs)) != st.Completed+st.Failed {
+			t.Fatalf("trial %d: %d records for %d terminal jobs", trial, len(recs), st.Completed+st.Failed)
+		}
+		for _, rec := range recs {
+			if rec.EndTime.Before(rec.StartTime) {
+				t.Fatalf("trial %d: record ends before it starts: %+v", trial, rec)
+			}
+			if !rec.Failed && rec.WallClock < 0 {
+				t.Fatalf("trial %d: negative wallclock: %+v", trial, rec)
+			}
+		}
+	}
+}
+
+func TestRandomizedRunningJobsNeverExceedCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	fleet := simnode.NewFleet(3, 1)
+	qm := NewQMaster(fleet.Nodes(), t0, Options{})
+	capacity := 3 * 36
+	now := t0
+	for step := 0; step < 200; step++ {
+		if rng.Float64() < 0.5 {
+			qm.Submit(JobSpec{Owner: "u", Slots: 1 + rng.Intn(12), Runtime: time.Duration(1+rng.Intn(10)) * time.Minute})
+		}
+		now = now.Add(15 * time.Second)
+		qm.Tick(now)
+		if used := qm.SlotsInUse(); used > capacity {
+			t.Fatalf("step %d: %d slots in use > capacity %d", step, used, capacity)
+		}
+	}
+}

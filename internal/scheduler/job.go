@@ -1,0 +1,159 @@
+// Package scheduler implements a Univa Grid Engine-style resource
+// manager at the fidelity MonSTer's Metrics Collector observes: a
+// qmaster that accepts jobs into queues and dispatches them onto
+// execution hosts, per-host execution daemons that report load on a
+// fixed interval (40 s by default, the UGE load_report_time), an
+// accounting store in the spirit of ARCo, and HTTP query APIs in both
+// UGE and Slurm flavours. A synthetic workload generator reproduces the
+// user mix visible in the paper's Figure 6 (MPI users spanning dozens
+// of hosts, array users with hundreds of tasks, and serial users).
+package scheduler
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState int
+
+// Job lifecycle states.
+const (
+	JobPending JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+)
+
+// String implements fmt.Stringer using UGE's qstat state letters.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "qw"
+	case JobRunning:
+		return "r"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// PE is the parallel environment requested by a job.
+type PE string
+
+// Parallel environments.
+const (
+	PESerial PE = ""    // one slot
+	PESMP    PE = "smp" // all slots on one host
+	PEMPI    PE = "mpi" // slots spread across hosts
+)
+
+// JobSpec is what a user submits (the qsub request).
+type JobSpec struct {
+	Owner        string
+	Name         string
+	Queue        string
+	PE           PE
+	Slots        int           // total slots requested
+	Tasks        int           // >1 makes this an array job of identical tasks
+	Runtime      time.Duration // how long each task runs once started
+	CPUPerSlot   float64       // activity per occupied slot [0,1]
+	MemPerSlotGB float64
+}
+
+func (s *JobSpec) normalize() {
+	if s.Slots <= 0 {
+		s.Slots = 1
+	}
+	if s.Tasks <= 0 {
+		s.Tasks = 1
+	}
+	if s.Queue == "" {
+		s.Queue = "omni"
+	}
+	if s.CPUPerSlot <= 0 {
+		s.CPUPerSlot = 0.95
+	}
+	if s.MemPerSlotGB <= 0 {
+		s.MemPerSlotGB = 2
+	}
+	if s.Runtime <= 0 {
+		s.Runtime = time.Hour
+	}
+}
+
+// Allocation is the slots a job holds on one host.
+type Allocation struct {
+	Host  string
+	Slots int
+}
+
+// Job is one schedulable unit (one array task is one Job with a
+// non-zero TaskID sharing the array's ID).
+type Job struct {
+	ID       int64
+	TaskID   int // 0 for non-array jobs, 1-based for array tasks
+	Owner    string
+	Name     string
+	Queue    string
+	PE       PE
+	Slots    int
+	Runtime  time.Duration
+	CPUFrac  float64
+	MemGB    float64 // per slot
+	State    JobState
+	SubmitAt time.Time
+	StartAt  time.Time
+	EndAt    time.Time
+	Alloc    []Allocation
+}
+
+// Key identifies a job uniquely, rendering array tasks UGE-style as
+// "id.task".
+func (j *Job) Key() string {
+	if j.TaskID > 0 {
+		return fmt.Sprintf("%d.%d", j.ID, j.TaskID)
+	}
+	return fmt.Sprintf("%d", j.ID)
+}
+
+// Hosts lists the distinct hosts of the allocation.
+func (j *Job) Hosts() []string {
+	out := make([]string, 0, len(j.Alloc))
+	for _, a := range j.Alloc {
+		out = append(out, a.Host)
+	}
+	return out
+}
+
+// WaitTime is the queueing delay before execution (zero until started).
+func (j *Job) WaitTime() time.Duration {
+	if j.State == JobPending || j.StartAt.IsZero() {
+		return 0
+	}
+	return j.StartAt.Sub(j.SubmitAt)
+}
+
+// AccountingRecord is the ARCo-style accounting row written when a job
+// finishes.
+type AccountingRecord struct {
+	JobID      int64
+	TaskID     int
+	Owner      string
+	Name       string
+	Queue      string
+	PE         PE
+	Slots      int
+	SubmitTime time.Time
+	StartTime  time.Time
+	EndTime    time.Time
+	WallClock  time.Duration
+	CPUSeconds float64 // slot-seconds of CPU consumed
+	MaxVMemGB  float64
+	Hosts      []string
+	ExitStatus int
+	Failed     bool
+}

@@ -1,0 +1,328 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+
+	"monster/internal/simnode"
+)
+
+var t0 = time.Date(2020, 4, 20, 12, 0, 0, 0, time.UTC)
+
+func newTestQM(t *testing.T, nodes int) (*simnode.Fleet, *QMaster) {
+	t.Helper()
+	fleet := simnode.NewFleet(nodes, 1)
+	qm := NewQMaster(fleet.Nodes(), t0, Options{})
+	return fleet, qm
+}
+
+// tickTo advances the qmaster in lockstep with the node physics.
+func tickTo(qm *QMaster, fleet *simnode.Fleet, until time.Time, step time.Duration) {
+	for now := qm.Now(); now.Before(until); now = now.Add(step) {
+		fleet.Step(step)
+		qm.Tick(now.Add(step))
+	}
+}
+
+func TestSubmitAndDispatchSerialJob(t *testing.T) {
+	fleet, qm := newTestQM(t, 2)
+	id := qm.Submit(JobSpec{Owner: "alice", Name: "hello", Slots: 1, Runtime: 10 * time.Minute})
+	if id == 0 {
+		t.Fatal("no job id")
+	}
+	if got := len(qm.Pending()); got != 1 {
+		t.Fatalf("pending = %d", got)
+	}
+	tickTo(qm, fleet, t0.Add(time.Minute), 15*time.Second)
+	running := qm.Running()
+	if len(running) != 1 {
+		t.Fatalf("running = %d", len(running))
+	}
+	j := running[0]
+	if j.State != JobRunning || len(j.Alloc) != 1 || j.Alloc[0].Slots != 1 {
+		t.Fatalf("job = %+v", j)
+	}
+	if j.WaitTime() < 0 || j.WaitTime() > time.Minute {
+		t.Fatalf("wait = %v", j.WaitTime())
+	}
+	if err := qm.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobCompletesAndWritesAccounting(t *testing.T) {
+	fleet, qm := newTestQM(t, 1)
+	qm.Submit(JobSpec{Owner: "alice", Name: "quick", Slots: 2, Runtime: 5 * time.Minute})
+	tickTo(qm, fleet, t0.Add(10*time.Minute), 15*time.Second)
+	if len(qm.Running()) != 0 {
+		t.Fatal("job still running after its runtime")
+	}
+	recs := qm.Accounting(time.Unix(0, 0))
+	if len(recs) != 1 {
+		t.Fatalf("accounting records = %d", len(recs))
+	}
+	rec := recs[0]
+	if rec.Owner != "alice" || rec.Slots != 2 || rec.Failed {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.WallClock < 4*time.Minute || rec.WallClock > 6*time.Minute {
+		t.Fatalf("wallclock = %v", rec.WallClock)
+	}
+	if qm.SlotsInUse() != 0 {
+		t.Fatalf("slots in use = %d after completion", qm.SlotsInUse())
+	}
+	st := qm.Stats()
+	if st.Submitted != 1 || st.Dispatched != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestArrayJobExpandsToTasks(t *testing.T) {
+	fleet, qm := newTestQM(t, 4)
+	id := qm.Submit(JobSpec{Owner: "abdumal", Name: "sweep", Slots: 1, Tasks: 10, Runtime: time.Hour})
+	tickTo(qm, fleet, t0.Add(time.Minute), 15*time.Second)
+	running := qm.Running()
+	if len(running) != 10 {
+		t.Fatalf("running tasks = %d, want 10", len(running))
+	}
+	seen := map[string]bool{}
+	for _, j := range running {
+		if j.ID != id {
+			t.Fatalf("task has id %d, want shared %d", j.ID, id)
+		}
+		if j.TaskID == 0 {
+			t.Fatal("array task missing TaskID")
+		}
+		seen[j.Key()] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("duplicate task keys: %v", seen)
+	}
+}
+
+func TestSMPJobStaysOnOneHost(t *testing.T) {
+	fleet, qm := newTestQM(t, 3)
+	qm.Submit(JobSpec{Owner: "bob", Name: "smp", PE: PESMP, Slots: 36, Runtime: time.Hour})
+	tickTo(qm, fleet, t0.Add(time.Minute), 15*time.Second)
+	j := qm.Running()[0]
+	if len(j.Alloc) != 1 || j.Alloc[0].Slots != 36 {
+		t.Fatalf("alloc = %+v", j.Alloc)
+	}
+}
+
+func TestMPIJobSpansHosts(t *testing.T) {
+	fleet, qm := newTestQM(t, 4)
+	qm.Submit(JobSpec{Owner: "jieyao", Name: "mpi", PE: PEMPI, Slots: 100, Runtime: time.Hour})
+	tickTo(qm, fleet, t0.Add(time.Minute), 15*time.Second)
+	running := qm.Running()
+	if len(running) != 1 {
+		t.Fatalf("running = %d", len(running))
+	}
+	j := running[0]
+	total := 0
+	for _, a := range j.Alloc {
+		total += a.Slots
+	}
+	if total != 100 {
+		t.Fatalf("allocated %d slots, want 100", total)
+	}
+	if len(j.Alloc) < 3 {
+		t.Fatalf("MPI job on %d hosts, want >= 3", len(j.Alloc))
+	}
+	if err := qm.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPIJobWaitsWhenClusterFull(t *testing.T) {
+	fleet, qm := newTestQM(t, 2)
+	qm.Submit(JobSpec{Owner: "a", PE: PEMPI, Slots: 72, Runtime: 30 * time.Minute, Name: "big1"})
+	qm.Submit(JobSpec{Owner: "b", PE: PEMPI, Slots: 72, Runtime: 30 * time.Minute, Name: "big2"})
+	tickTo(qm, fleet, t0.Add(time.Minute), 15*time.Second)
+	if len(qm.Running()) != 1 || len(qm.Pending()) != 1 {
+		t.Fatalf("running=%d pending=%d, want 1/1", len(qm.Running()), len(qm.Pending()))
+	}
+	// After the first finishes, the second must start.
+	tickTo(qm, fleet, t0.Add(45*time.Minute), 15*time.Second)
+	if len(qm.Running()) != 1 || len(qm.Pending()) != 0 {
+		t.Fatalf("second job not dispatched: running=%d pending=%d", len(qm.Running()), len(qm.Pending()))
+	}
+	if qm.Running()[0].Name != "big2" {
+		t.Fatalf("wrong job running: %s", qm.Running()[0].Name)
+	}
+}
+
+func TestBackfillSmallJobOvertakesBlockedBigJob(t *testing.T) {
+	fleet, qm := newTestQM(t, 1)
+	qm.Submit(JobSpec{Owner: "a", PE: PESMP, Slots: 30, Runtime: time.Hour, Name: "holder"})
+	tickTo(qm, fleet, t0.Add(30*time.Second), 15*time.Second)
+	qm.Submit(JobSpec{Owner: "b", PE: PESMP, Slots: 20, Runtime: time.Hour, Name: "blocked"})
+	qm.Submit(JobSpec{Owner: "c", Slots: 4, Runtime: time.Hour, Name: "small"})
+	tickTo(qm, fleet, t0.Add(2*time.Minute), 15*time.Second)
+	names := map[string]bool{}
+	for _, j := range qm.Running() {
+		names[j.Name] = true
+	}
+	if !names["small"] {
+		t.Fatal("small job was not backfilled")
+	}
+	if names["blocked"] {
+		t.Fatal("blocked job should not fit")
+	}
+}
+
+func TestNoOversubscription(t *testing.T) {
+	fleet, qm := newTestQM(t, 3)
+	for i := 0; i < 40; i++ {
+		qm.Submit(JobSpec{Owner: "u", Slots: 5, Runtime: time.Hour})
+	}
+	tickTo(qm, fleet, t0.Add(2*time.Minute), 15*time.Second)
+	if err := qm.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if used := qm.SlotsInUse(); used > 3*36 {
+		t.Fatalf("slots in use %d exceeds capacity %d", used, 3*36)
+	}
+}
+
+func TestJobDrivesNodeDemand(t *testing.T) {
+	fleet, qm := newTestQM(t, 1)
+	qm.Submit(JobSpec{Owner: "u", PE: PESMP, Slots: 36, Runtime: time.Hour, CPUPerSlot: 1.0, MemPerSlotGB: 2})
+	tickTo(qm, fleet, t0.Add(time.Minute), 15*time.Second)
+	h := fleet.Node(0).Host()
+	if h.CPUUsage < 0.99 {
+		t.Fatalf("node cpu = %v, want ~1.0", h.CPUUsage)
+	}
+	if h.MemUsedGB < 70 {
+		t.Fatalf("node mem = %v, want 72", h.MemUsedGB)
+	}
+	if h.NJobs != 1 {
+		t.Fatalf("node jobs = %d", h.NJobs)
+	}
+}
+
+func TestLoadReportsArriveOnInterval(t *testing.T) {
+	fleet, qm := newTestQM(t, 2)
+	qm.Submit(JobSpec{Owner: "u", PE: PESMP, Slots: 36, Runtime: time.Hour})
+	tickTo(qm, fleet, t0.Add(2*time.Minute), 5*time.Second)
+	reports := qm.HostReports()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.At.Before(t0) {
+			t.Fatalf("report never refreshed: %+v", r.At)
+		}
+		if !r.Available {
+			t.Fatalf("host %s unavailable", r.Host)
+		}
+	}
+	// The loaded host's report includes the job key and slot usage.
+	var loaded *HostReport
+	for i := range reports {
+		if reports[i].SlotsUsed > 0 {
+			loaded = &reports[i]
+		}
+	}
+	if loaded == nil {
+		t.Fatal("no report shows the running job")
+	}
+	if len(loaded.JobKeys) != 1 {
+		t.Fatalf("job list = %v", loaded.JobKeys)
+	}
+}
+
+func TestDownHostMarkedUnavailableAndJobsFail(t *testing.T) {
+	fleet, qm := newTestQM(t, 2)
+	qm.Submit(JobSpec{Owner: "u", PE: PEMPI, Slots: 72, Runtime: 4 * time.Hour, Name: "mpi"})
+	tickTo(qm, fleet, t0.Add(time.Minute), 15*time.Second)
+	if len(qm.Running()) != 1 {
+		t.Fatal("setup: job not running")
+	}
+	fleet.Node(0).Inject(simnode.FaultHostDown)
+	tickTo(qm, fleet, t0.Add(5*time.Minute), 15*time.Second)
+	var downSeen bool
+	for _, r := range qm.HostReports() {
+		if r.Host == fleet.Node(0).Name() && !r.Available {
+			downSeen = true
+		}
+	}
+	if !downSeen {
+		t.Fatal("dead host still marked available after MaxUnheard")
+	}
+	if len(qm.Running()) != 0 {
+		t.Fatal("job survives the death of one of its hosts")
+	}
+	recs := qm.Accounting(time.Unix(0, 0))
+	if len(recs) != 1 || !recs[0].Failed {
+		t.Fatalf("failure not accounted: %+v", recs)
+	}
+	if qm.Stats().Failed != 1 {
+		t.Fatalf("stats = %+v", qm.Stats())
+	}
+	// New jobs must avoid the dead host.
+	qm.Submit(JobSpec{Owner: "u", PE: PESMP, Slots: 36, Runtime: time.Hour})
+	tickTo(qm, fleet, t0.Add(6*time.Minute), 15*time.Second)
+	if len(qm.Running()) != 1 {
+		t.Fatal("job not rescheduled on surviving host")
+	}
+	if qm.Running()[0].Alloc[0].Host == fleet.Node(0).Name() {
+		t.Fatal("job scheduled on dead host")
+	}
+}
+
+func TestTickIgnoresTimeTravel(t *testing.T) {
+	_, qm := newTestQM(t, 1)
+	qm.Tick(t0.Add(time.Minute))
+	qm.Tick(t0) // backwards — must be ignored
+	if got := qm.Now(); !got.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("now = %v", got)
+	}
+}
+
+func TestAccountingSinceFilter(t *testing.T) {
+	fleet, qm := newTestQM(t, 1)
+	qm.Submit(JobSpec{Owner: "u", Slots: 1, Runtime: time.Minute, Name: "early"})
+	tickTo(qm, fleet, t0.Add(5*time.Minute), 15*time.Second)
+	qm.Submit(JobSpec{Owner: "u", Slots: 1, Runtime: time.Minute, Name: "late"})
+	tickTo(qm, fleet, t0.Add(10*time.Minute), 15*time.Second)
+	all := qm.Accounting(time.Unix(0, 0))
+	if len(all) != 2 {
+		t.Fatalf("records = %d", len(all))
+	}
+	recent := qm.Accounting(t0.Add(5 * time.Minute))
+	if len(recent) != 1 || recent[0].Name != "late" {
+		t.Fatalf("since filter returned %+v", recent)
+	}
+}
+
+func TestJobKeyFormats(t *testing.T) {
+	j := &Job{ID: 1291784}
+	if j.Key() != "1291784" {
+		t.Fatalf("key = %s", j.Key())
+	}
+	j.TaskID = 7
+	if j.Key() != "1291784.7" {
+		t.Fatalf("array key = %s", j.Key())
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	if JobPending.String() != "qw" || JobRunning.String() != "r" {
+		t.Fatal("UGE state letters wrong")
+	}
+	if JobDone.String() != "done" || JobFailed.String() != "failed" {
+		t.Fatal("terminal state strings wrong")
+	}
+}
+
+func TestSpecNormalization(t *testing.T) {
+	s := JobSpec{Owner: "u"}
+	s.normalize()
+	if s.Slots != 1 || s.Tasks != 1 || s.Queue != "omni" || s.Runtime != time.Hour {
+		t.Fatalf("normalized spec = %+v", s)
+	}
+	if s.CPUPerSlot <= 0 || s.MemPerSlotGB <= 0 {
+		t.Fatalf("normalized spec = %+v", s)
+	}
+}

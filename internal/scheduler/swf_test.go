@@ -1,0 +1,110 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSWF = `
+; SWF header comment
+; UnixStartTime: 1587384000
+;
+1   0    10  3600  1   -1 -1  1   3600 -1 1 101 5 1 1 1 -1 -1
+2   60   -1  7200  36  -1 -1 36  7200 -1 1 102 5 1 2 1 -1 -1
+3   120  5   1800  144 -1 -1 144 1800 -1 1 103 5 1 1 1 -1 -1
+4   30   -1  -1    -1  -1 -1 -1  -1   -1 0 104 5 1 1 1 -1 -1
+`
+
+func TestLoadSWF(t *testing.T) {
+	w, skipped, err := LoadSWF(strings.NewReader(sampleSWF), t0, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 (the degenerate job)", skipped)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("jobs = %d", w.Len())
+	}
+	subs := w.Submissions()
+	// Job 1: serial.
+	if subs[0].Spec.PE != PESerial || subs[0].Spec.Slots != 1 {
+		t.Fatalf("job1 = %+v", subs[0].Spec)
+	}
+	if !subs[0].At.Equal(t0) || subs[0].Spec.Runtime != time.Hour {
+		t.Fatalf("job1 time = %v runtime %v", subs[0].At, subs[0].Spec.Runtime)
+	}
+	if subs[0].Spec.Owner != "user101" || subs[0].Spec.Queue != "q1" {
+		t.Fatalf("job1 identity = %+v", subs[0].Spec)
+	}
+	// Job 2: full node -> SMP.
+	if subs[1].Spec.PE != PESMP || subs[1].Spec.Slots != 36 {
+		t.Fatalf("job2 = %+v", subs[1].Spec)
+	}
+	// Job 3: 144 procs -> MPI.
+	if subs[2].Spec.PE != PEMPI || subs[2].Spec.Slots != 144 {
+		t.Fatalf("job3 = %+v", subs[2].Spec)
+	}
+	if !subs[2].At.Equal(t0.Add(2 * time.Minute)) {
+		t.Fatalf("job3 at %v", subs[2].At)
+	}
+}
+
+func TestLoadSWFReplaysThroughQMaster(t *testing.T) {
+	fleet, qm := newTestQM(t, 8)
+	w, _, err := LoadSWF(strings.NewReader(sampleSWF), t0, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := t0
+	for i := 0; i < 20; i++ {
+		tick = tick.Add(15 * time.Second)
+		w.FeedDue(qm, tick)
+		fleet.Step(15 * time.Second)
+		qm.Tick(tick)
+	}
+	if qm.Stats().Submitted != 3 {
+		t.Fatalf("submitted = %d", qm.Stats().Submitted)
+	}
+	if qm.Stats().Dispatched == 0 {
+		t.Fatal("nothing dispatched from the SWF trace")
+	}
+	if err := qm.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSWFErrors(t *testing.T) {
+	if _, _, err := LoadSWF(strings.NewReader("1 2 3"), t0, 36); err == nil {
+		t.Fatal("short line accepted")
+	}
+	// Unparseable numeric fields behave like -1 (skipped), not errors.
+	w, skipped, err := LoadSWF(strings.NewReader("x 0 0 100 1 0 0 1 100 0 1 1 1 1 1 1 -1 -1"), t0, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 || skipped != 0 {
+		t.Fatalf("len=%d skipped=%d", w.Len(), skipped)
+	}
+	// Empty input is an empty workload.
+	w, _, err = LoadSWF(strings.NewReader("; only comments\n"), t0, 36)
+	if err != nil || w.Len() != 0 {
+		t.Fatalf("comment-only: %v %d", err, w.Len())
+	}
+}
+
+func TestLoadSWFOutOfOrderSubmitsSorted(t *testing.T) {
+	data := `
+5 500 0 100 1 -1 -1 1 100 -1 1 1 1 1 1 1 -1 -1
+6 100 0 100 1 -1 -1 1 100 -1 1 1 1 1 1 1 -1 -1
+`
+	w, _, err := LoadSWF(strings.NewReader(data), t0, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := w.Submissions()
+	if !subs[0].At.Before(subs[1].At) {
+		t.Fatal("SWF trace not time-sorted")
+	}
+}

@@ -1,0 +1,84 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Workload traces can be exported and re-imported, so a synthetic trace
+// can be frozen for reproducibility — or a trace recorded from a real
+// scheduler (swf-style accounting logs converted to this JSON) can be
+// replayed through the simulated cluster.
+
+// traceEntry is the serialized form of one submission.
+type traceEntry struct {
+	At           int64   `json:"at"` // unix seconds
+	Owner        string  `json:"owner"`
+	Name         string  `json:"name"`
+	Queue        string  `json:"queue,omitempty"`
+	PE           string  `json:"pe,omitempty"`
+	Slots        int     `json:"slots"`
+	Tasks        int     `json:"tasks,omitempty"`
+	RuntimeSec   float64 `json:"runtime_sec"`
+	CPUPerSlot   float64 `json:"cpu_per_slot,omitempty"`
+	MemPerSlotGB float64 `json:"mem_per_slot_gb,omitempty"`
+}
+
+// SaveTrace writes the workload's submissions as a JSON array.
+func (w *Workload) SaveTrace(out io.Writer) error {
+	entries := make([]traceEntry, 0, len(w.subs))
+	for _, s := range w.subs {
+		entries = append(entries, traceEntry{
+			At:           s.At.Unix(),
+			Owner:        s.Spec.Owner,
+			Name:         s.Spec.Name,
+			Queue:        s.Spec.Queue,
+			PE:           string(s.Spec.PE),
+			Slots:        s.Spec.Slots,
+			Tasks:        s.Spec.Tasks,
+			RuntimeSec:   s.Spec.Runtime.Seconds(),
+			CPUPerSlot:   s.Spec.CPUPerSlot,
+			MemPerSlotGB: s.Spec.MemPerSlotGB,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", " ")
+	return enc.Encode(entries)
+}
+
+// LoadTrace reads a JSON submission trace. Entries are sorted by time;
+// invalid entries are rejected.
+func LoadTrace(in io.Reader) (*Workload, error) {
+	var entries []traceEntry
+	if err := json.NewDecoder(in).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("scheduler: load trace: %w", err)
+	}
+	subs := make([]Submission, 0, len(entries))
+	for i, e := range entries {
+		if e.Owner == "" {
+			return nil, fmt.Errorf("scheduler: trace entry %d: missing owner", i)
+		}
+		if e.RuntimeSec <= 0 {
+			return nil, fmt.Errorf("scheduler: trace entry %d: non-positive runtime", i)
+		}
+		subs = append(subs, Submission{
+			At: time.Unix(e.At, 0).UTC(),
+			Spec: JobSpec{
+				Owner:        e.Owner,
+				Name:         e.Name,
+				Queue:        e.Queue,
+				PE:           PE(e.PE),
+				Slots:        e.Slots,
+				Tasks:        e.Tasks,
+				Runtime:      time.Duration(e.RuntimeSec * float64(time.Second)),
+				CPUPerSlot:   e.CPUPerSlot,
+				MemPerSlotGB: e.MemPerSlotGB,
+			},
+		})
+	}
+	sort.SliceStable(subs, func(i, j int) bool { return subs[i].At.Before(subs[j].At) })
+	return &Workload{subs: subs}, nil
+}

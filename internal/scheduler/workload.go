@@ -1,0 +1,174 @@
+package scheduler
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// UserProfile describes one synthetic user's submission behaviour.
+type UserProfile struct {
+	Name string
+	// Kind of work the user submits.
+	Spec JobSpec
+	// MeanInterarrival between submissions (exponential arrivals).
+	MeanInterarrival time.Duration
+	// RuntimeSigma spreads each submission's runtime lognormally around
+	// Spec.Runtime (0 disables).
+	RuntimeSigma float64
+}
+
+// DefaultUserMix models the population visible in the paper's Figure 6
+// timeline: an MPI user whose jobs span dozens of hosts ("jieyao"
+// submitted two jobs requiring 58 hosts), an array-job user with
+// hundreds of single-core tasks sharing hosts ("abdumal" submitted 997
+// jobs on 29 hosts), plus SMP and serial users filling the rest of the
+// machine.
+func DefaultUserMix() []UserProfile {
+	return []UserProfile{
+		{
+			Name: "jieyao",
+			Spec: JobSpec{
+				Owner: "jieyao", Name: "mpi_cfd", PE: PEMPI,
+				Slots: 58 * 36, Runtime: 5 * time.Hour,
+				CPUPerSlot: 0.97, MemPerSlotGB: 2.5,
+			},
+			MeanInterarrival: 12 * time.Hour,
+			RuntimeSigma:     0.3,
+		},
+		{
+			Name: "abdumal",
+			Spec: JobSpec{
+				Owner: "abdumal", Name: "param_sweep", PE: PESerial,
+				Slots: 1, Tasks: 250, Runtime: 90 * time.Minute,
+				CPUPerSlot: 0.9, MemPerSlotGB: 1.5,
+			},
+			MeanInterarrival: 6 * time.Hour,
+			RuntimeSigma:     0.5,
+		},
+		{
+			Name: "mahmoud",
+			Spec: JobSpec{
+				Owner: "mahmoud", Name: "md_sim", PE: PESMP,
+				Slots: 36, Runtime: 3 * time.Hour,
+				CPUPerSlot: 0.95, MemPerSlotGB: 3,
+			},
+			MeanInterarrival: 90 * time.Minute,
+			RuntimeSigma:     0.4,
+		},
+		{
+			Name: "tnguyen",
+			Spec: JobSpec{
+				Owner: "tnguyen", Name: "viz_render", PE: PESMP,
+				Slots: 18, Runtime: 45 * time.Minute,
+				CPUPerSlot: 0.8, MemPerSlotGB: 4,
+			},
+			MeanInterarrival: 40 * time.Minute,
+			RuntimeSigma:     0.6,
+		},
+		{
+			Name: "hsingh",
+			Spec: JobSpec{
+				Owner: "hsingh", Name: "bio_blast", PE: PESerial,
+				Slots: 4, Tasks: 24, Runtime: 2 * time.Hour,
+				CPUPerSlot: 0.85, MemPerSlotGB: 2,
+			},
+			MeanInterarrival: 4 * time.Hour,
+			RuntimeSigma:     0.5,
+		},
+		{
+			Name: "weather",
+			Spec: JobSpec{
+				Owner: "weather", Name: "wrf_forecast", PE: PEMPI,
+				Slots: 12 * 36, Runtime: 80 * time.Minute,
+				CPUPerSlot: 0.96, MemPerSlotGB: 2,
+			},
+			MeanInterarrival: 3 * time.Hour,
+			RuntimeSigma:     0.2,
+		},
+		{
+			Name: "ugrad",
+			Spec: JobSpec{
+				Owner: "ugrad", Name: "hw_run", PE: PESerial,
+				Slots: 1, Runtime: 20 * time.Minute,
+				CPUPerSlot: 0.7, MemPerSlotGB: 1,
+			},
+			MeanInterarrival: 10 * time.Minute,
+			RuntimeSigma:     0.8,
+		},
+	}
+}
+
+// Submission is one scheduled qsub event.
+type Submission struct {
+	At   time.Time
+	Spec JobSpec
+}
+
+// Workload is a time-ordered list of submissions plus a cursor; the
+// cluster stepper feeds due submissions into the qmaster.
+type Workload struct {
+	subs []Submission
+	next int
+}
+
+// GenerateWorkload builds a deterministic synthetic trace over
+// [start, start+horizon) from the user profiles.
+func GenerateWorkload(profiles []UserProfile, start time.Time, horizon time.Duration, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	var subs []Submission
+	for _, p := range profiles {
+		if p.MeanInterarrival <= 0 {
+			continue
+		}
+		// Start each user at a random phase of their interarrival cycle.
+		t := start.Add(time.Duration(rng.Float64() * float64(p.MeanInterarrival) * 0.5))
+		for t.Before(start.Add(horizon)) {
+			spec := p.Spec
+			if p.RuntimeSigma > 0 {
+				factor := math.Exp(rng.NormFloat64() * p.RuntimeSigma)
+				spec.Runtime = time.Duration(float64(spec.Runtime) * clampF(factor, 0.2, 5))
+			}
+			subs = append(subs, Submission{At: t, Spec: spec})
+			gap := time.Duration(rng.ExpFloat64() * float64(p.MeanInterarrival))
+			if gap < time.Minute {
+				gap = time.Minute
+			}
+			t = t.Add(gap)
+		}
+	}
+	sort.SliceStable(subs, func(i, j int) bool { return subs[i].At.Before(subs[j].At) })
+	return &Workload{subs: subs}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Len reports total submissions in the trace.
+func (w *Workload) Len() int { return len(w.subs) }
+
+// Remaining reports submissions not yet fed.
+func (w *Workload) Remaining() int { return len(w.subs) - w.next }
+
+// Submissions returns the full trace (shared slice; read-only).
+func (w *Workload) Submissions() []Submission { return w.subs }
+
+// FeedDue submits every submission with At <= now into the qmaster and
+// reports how many were fed.
+func (w *Workload) FeedDue(qm *QMaster, now time.Time) int {
+	n := 0
+	for w.next < len(w.subs) && !w.subs[w.next].At.After(now) {
+		qm.Submit(w.subs[w.next].Spec)
+		w.next++
+		n++
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package simnode
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fleet is a set of simulated nodes with Quanah-style naming: node i
+// (0-based) is named "<rack>-<unit>" and addressed 10.101.<rack>.<unit>
+// with up to 60 units per rack, matching the paper's node "1-31" /
+// address "10.101.1.1" examples.
+type Fleet struct {
+	nodes  []*Node
+	byName map[string]*Node
+	byAddr map[string]*Node
+}
+
+// UnitsPerRack is the number of nodes a simulated rack holds.
+const UnitsPerRack = 60
+
+// NodeName returns the cluster name of node i (0-based).
+func NodeName(i int) string {
+	return fmt.Sprintf("%d-%d", 1+i/UnitsPerRack, 1+i%UnitsPerRack)
+}
+
+// NodeAddr returns the management address of node i (0-based).
+func NodeAddr(i int) string {
+	return fmt.Sprintf("10.101.%d.%d", 1+i/UnitsPerRack, 1+i%UnitsPerRack)
+}
+
+// NewFleet builds n nodes with default hardware and deterministic
+// per-node seeds derived from seed.
+func NewFleet(n int, seed int64) *Fleet {
+	f := &Fleet{
+		byName: make(map[string]*Node, n),
+		byAddr: make(map[string]*Node, n),
+	}
+	for i := 0; i < n; i++ {
+		node := New(Config{
+			Name: NodeName(i),
+			Addr: NodeAddr(i),
+			Seed: seed + int64(i)*7919,
+		})
+		f.nodes = append(f.nodes, node)
+		f.byName[node.Name()] = node
+		f.byAddr[node.Addr()] = node
+	}
+	return f
+}
+
+// Len reports the number of nodes.
+func (f *Fleet) Len() int { return len(f.nodes) }
+
+// Nodes returns the nodes in index order. The slice is shared; do not
+// modify it.
+func (f *Fleet) Nodes() []*Node { return f.nodes }
+
+// Node returns node i (0-based).
+func (f *Fleet) Node(i int) *Node { return f.nodes[i] }
+
+// ByName looks a node up by cluster name.
+func (f *Fleet) ByName(name string) (*Node, bool) {
+	n, ok := f.byName[name]
+	return n, ok
+}
+
+// ByAddr looks a node up by management address.
+func (f *Fleet) ByAddr(addr string) (*Node, bool) {
+	n, ok := f.byAddr[addr]
+	return n, ok
+}
+
+// Step advances every node's physical model by dt.
+func (f *Fleet) Step(dt time.Duration) {
+	for _, n := range f.nodes {
+		n.Step(dt)
+	}
+}
+
+// Settle runs the model for the given duration at a coarse step so the
+// fleet starts experiments from thermal equilibrium.
+func (f *Fleet) Settle(d time.Duration) {
+	const step = 10 * time.Second
+	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+		f.Step(step)
+	}
+}

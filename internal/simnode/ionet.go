@@ -1,0 +1,83 @@
+package simnode
+
+// Network and filesystem activity — the metrics the paper names as
+// missing ("MonSTer currently does not include file system and network
+// monitoring capabilities yet", Section VI). The resource manager
+// drives demand (MPI jobs generate fabric traffic, I/O-heavy jobs
+// generate filesystem throughput); the node smooths it like the other
+// physical quantities and exposes it through the BMC's NIC counters
+// and the in-band host metrics.
+
+// NetworkState is the node's fabric activity.
+type NetworkState struct {
+	RxBps float64 // bytes per second received
+	TxBps float64 // bytes per second transmitted
+}
+
+// IOState is the node's parallel-filesystem activity.
+type IOState struct {
+	ReadMBps  float64
+	WriteMBps float64
+}
+
+// SetTraffic sets the demanded fabric traffic (bytes/s). The execution
+// daemon derives it from the job mix: MPI jobs exchange data with
+// their peers; serial jobs do not.
+func (n *Node) SetTraffic(rxBps, txBps float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.netDemandRx = clamp(rxBps, 0, fabricLineRate)
+	n.netDemandTx = clamp(txBps, 0, fabricLineRate)
+}
+
+// SetIO sets the demanded filesystem throughput (MB/s).
+func (n *Node) SetIO(readMBps, writeMBps float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ioDemandR = clamp(readMBps, 0, fsMaxMBps)
+	n.ioDemandW = clamp(writeMBps, 0, fsMaxMBps)
+}
+
+// Network reports the smoothed fabric activity.
+func (n *Node) Network() NetworkState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return NetworkState{RxBps: n.netRx, TxBps: n.netTx}
+}
+
+// IO reports the smoothed filesystem activity.
+func (n *Node) IO() IOState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return IOState{ReadMBps: n.ioRead, WriteMBps: n.ioWrite}
+}
+
+// Fabric and filesystem envelope: Omni-Path 100 Gbit/s ≈ 12.5 GB/s;
+// a per-node share of a Lustre-class filesystem tops out around
+// 2 GB/s.
+const (
+	fabricLineRate = 12.5e9
+	fsMaxMBps      = 2000.0
+	netTauSec      = 10.0
+	ioTauSec       = 20.0
+)
+
+// stepIONet advances network/filesystem smoothing; called from Step
+// with the node lock held.
+func (n *Node) stepIONet(sec float64) {
+	rxT, txT := n.netDemandRx, n.netDemandTx
+	rT, wT := n.ioDemandR, n.ioDemandW
+	if n.fault == FaultHostDown {
+		rxT, txT, rT, wT = 0, 0, 0, 0
+	}
+	n.netRx += (rxT - n.netRx) * lag(sec, netTauSec)
+	n.netTx += (txT - n.netTx) * lag(sec, netTauSec)
+	n.ioRead += (rT - n.ioRead) * lag(sec, ioTauSec)
+	n.ioWrite += (wT - n.ioWrite) * lag(sec, ioTauSec)
+	// Small multiplicative jitter keeps idle links from being exactly
+	// flat, like real counters.
+	n.netRx = clamp(n.netRx*(1+n.jitter(0.01)), 0, fabricLineRate)
+	n.netTx = clamp(n.netTx*(1+n.jitter(0.01)), 0, fabricLineRate)
+	n.ioRead = clamp(n.ioRead*(1+n.jitter(0.01)), 0, fsMaxMBps)
+	n.ioWrite = clamp(n.ioWrite*(1+n.jitter(0.01)), 0, fsMaxMBps)
+}

@@ -1,0 +1,429 @@
+// Package simnode models the physical behaviour of a compute node in
+// the simulated cluster: CPU load and memory pressure (driven by the
+// jobs the resource manager places on the node), a first-order thermal
+// model for the two CPU packages and the chassis inlet, a fan
+// controller that tracks temperature, and a power model. The node
+// exposes exactly the sensor surface the paper collects out-of-band
+// through the BMC (Table I) and in-band through the resource manager
+// (Table II).
+package simnode
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Health mirrors Redfish status health strings.
+type Health string
+
+// Health states, ordered by severity.
+const (
+	HealthOK       Health = "OK"
+	HealthWarning  Health = "Warning"
+	HealthCritical Health = "Critical"
+)
+
+// Code returns the compact integer representation the paper's
+// pre-processing step stores instead of strings (0=OK, 1=Warning,
+// 2=Critical).
+func (h Health) Code() int64 {
+	switch h {
+	case HealthWarning:
+		return 1
+	case HealthCritical:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// HealthFromCode is the inverse of Code.
+func HealthFromCode(c int64) Health {
+	switch c {
+	case 1:
+		return HealthWarning
+	case 2:
+		return HealthCritical
+	default:
+		return HealthOK
+	}
+}
+
+// Config describes the node hardware, defaulting to the Quanah
+// cluster's Dell EMC PowerEdge C6320 profile (36 cores, 192 GB).
+type Config struct {
+	Name     string  // e.g. "1-31" (rack-unit)
+	Addr     string  // management/BMC address, e.g. "10.101.1.31"
+	Cores    int     // schedulable slots
+	MemoryGB float64 // total RAM
+	IdleW    float64 // idle power draw
+	PeakW    float64 // full-load power draw
+	AmbientC float64 // machine-room ambient temperature
+	Seed     int64   // per-node RNG seed for sensor jitter
+}
+
+func (c *Config) applyDefaults() {
+	if c.Cores == 0 {
+		c.Cores = 36
+	}
+	if c.MemoryGB == 0 {
+		c.MemoryGB = 192
+	}
+	if c.IdleW == 0 {
+		c.IdleW = 105
+	}
+	if c.PeakW == 0 {
+		c.PeakW = 415
+	}
+	if c.AmbientC == 0 {
+		c.AmbientC = 21
+	}
+}
+
+// Fault selects an injectable failure mode.
+type Fault int
+
+// Supported fault injections.
+const (
+	FaultNone       Fault = iota
+	FaultOverheat         // cooling failure: fans stall, temperature climbs
+	FaultMemLeak          // memory usage creeps to 100%
+	FaultBMCDegrade       // BMC reports Warning and responds slowly
+	FaultHostDown         // host powered off: sensors at floor, health Critical
+)
+
+// Readings is the out-of-band sensor snapshot a BMC query observes —
+// the nine metrics of Table I plus voltages.
+type Readings struct {
+	BMCHealth  Health
+	HostHealth Health
+	CPUTempC   [2]float64
+	InletTempC float64
+	FanRPM     [4]float64
+	PowerW     float64
+	VoltageV   []float64
+	PowerState string // "On" or "Off"
+}
+
+// HostMetrics is the in-band view the resource manager reports
+// (Table II).
+type HostMetrics struct {
+	CPUUsage   float64 // fraction [0,1]
+	MemTotalGB float64
+	MemUsedGB  float64
+	SwapTotal  float64
+	SwapUsed   float64
+	LoadAvg    float64
+	NJobs      int
+}
+
+// Node is a simulated compute node. All methods are safe for
+// concurrent use (the BMC handler, the execution daemon, and the
+// cluster stepper touch the node from different goroutines).
+type Node struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	cpuLoad  float64 // scheduler-demanded load fraction [0,1]
+	memUsed  float64 // scheduler-demanded GB
+	forceCPU float64 // rogue load outside the scheduler's control
+	forceMem float64
+	swapUsed float64
+	nJobs    int
+
+	cpuTemp  [2]float64
+	inlet    float64
+	fanRPM   [4]float64
+	power    float64
+	loadAvg  float64
+	fault    Fault
+	faultAge time.Duration
+
+	netDemandRx, netDemandTx float64
+	netRx, netTx             float64
+	ioDemandR, ioDemandW     float64
+	ioRead, ioWrite          float64
+}
+
+// New creates a node at thermal equilibrium for an idle machine.
+func New(cfg Config) *Node {
+	cfg.applyDefaults()
+	n := &Node{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x6d6f6e73746572)),
+	}
+	n.inlet = cfg.AmbientC
+	for i := range n.cpuTemp {
+		n.cpuTemp[i] = cfg.AmbientC + 12
+	}
+	for i := range n.fanRPM {
+		n.fanRPM[i] = fanMinRPM
+	}
+	n.power = cfg.IdleW
+	return n
+}
+
+// Config returns the node's hardware description.
+func (n *Node) Config() Config { return n.cfg }
+
+// Name returns the node's cluster name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Addr returns the node's management address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// Thermal/fan/power model constants. Values are chosen to produce
+// realistic Xeon telemetry (idle ~33 °C, full load ~75 °C, fans
+// 4–14 kRPM, 105–415 W).
+const (
+	fanMinRPM     = 4680.0
+	fanMaxRPM     = 14280.0
+	cpuTempIdle   = 12.0 // °C above inlet at idle
+	cpuTempLoad   = 44.0 // additional °C at full load with nominal cooling
+	thermalTauSec = 90.0 // CPU package time constant
+	inletTauSec   = 600.0
+	fanTauSec     = 20.0
+	fanKickC      = 45.0 // temperature where fans start ramping
+	fanSpanC      = 30.0 // degrees over which fans reach max
+	warnTempC     = 85.0
+	critTempC     = 95.0
+)
+
+// SetDemand sets the job-driven resource demand: cpu in [0,1] as a
+// fraction of all cores, mem in GB, and the number of jobs currently
+// placed on the node. The execution daemon calls this whenever the job
+// mix changes.
+func (n *Node) SetDemand(cpu float64, memGB float64, jobs int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cpuLoad = clamp(cpu, 0, 1)
+	n.memUsed = clamp(memGB, 0, n.cfg.MemoryGB)
+	n.nJobs = jobs
+}
+
+// ForceLoad adds resource pressure outside the resource manager's
+// control — a rogue process, a stress test run over SSH. Unlike
+// SetDemand it is not overwritten by the execution daemon when the job
+// mix changes; clear it with ForceLoad(0, 0). The effective load is
+// the sum of scheduled and forced demand, clamped to capacity.
+func (n *Node) ForceLoad(cpu float64, memGB float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.forceCPU = clamp(cpu, 0, 1)
+	n.forceMem = clamp(memGB, 0, n.cfg.MemoryGB)
+}
+
+// Inject sets (or clears, with FaultNone) a fault.
+func (n *Node) Inject(f Fault) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fault = f
+	n.faultAge = 0
+}
+
+// ActiveFault reports the current fault.
+func (n *Node) ActiveFault() Fault {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fault
+}
+
+// Step advances the physical model by dt.
+func (n *Node) Step(dt time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sec := dt.Seconds()
+	if sec <= 0 {
+		return
+	}
+	if n.fault != FaultNone {
+		n.faultAge += dt
+	}
+
+	load := clamp(n.cpuLoad+n.forceCPU, 0, 1)
+	if n.fault == FaultHostDown {
+		load = 0
+	}
+	if n.fault == FaultMemLeak {
+		n.memUsed = clamp(n.memUsed+0.02*sec, 0, n.cfg.MemoryGB)
+		if n.memUsed > 0.95*n.cfg.MemoryGB {
+			n.swapUsed = clamp(n.swapUsed+0.01*sec, 0, 8)
+		}
+	}
+
+	// Load average follows demanded load with a 60 s lag.
+	n.loadAvg += (load*float64(n.cfg.Cores) - n.loadAvg) * lag(sec, 60)
+
+	// Inlet drifts slowly around ambient with a diurnal-ish wobble.
+	inletTarget := n.cfg.AmbientC + 1.5*math.Sin(n.faultPhase()) + n.jitter(0.2)
+	n.inlet += (inletTarget - n.inlet) * lag(sec, inletTauSec)
+
+	// Fans chase the hottest CPU; a cooling fault stalls them.
+	hottest := math.Max(n.cpuTemp[0], n.cpuTemp[1])
+	fanFrac := clamp((hottest-fanKickC)/fanSpanC, 0, 1)
+	for i := range n.fanRPM {
+		target := fanMinRPM + fanFrac*(fanMaxRPM-fanMinRPM)
+		if n.fault == FaultOverheat {
+			target = fanMinRPM * 0.25 // stalled/failed cooling
+		}
+		if n.fault == FaultHostDown {
+			target = 0
+		}
+		n.fanRPM[i] += (target - n.fanRPM[i]) * lag(sec, fanTauSec)
+		n.fanRPM[i] += n.jitter(25)
+		if n.fanRPM[i] < 0 {
+			n.fanRPM[i] = 0
+		}
+	}
+
+	// CPU temperature: rises with load, cooled by fans. A cooling
+	// failure reduces the cooling effectiveness so temperature climbs
+	// well past the warning threshold.
+	cooling := (n.fanRPM[0] + n.fanRPM[1] + n.fanRPM[2] + n.fanRPM[3]) / (4 * fanMaxRPM)
+	for i := range n.cpuTemp {
+		imbalance := 1.0 + 0.06*float64(i) // CPU2 runs slightly hotter
+		target := n.inlet + cpuTempIdle + cpuTempLoad*load*imbalance
+		target += (1 - cooling) * 18 * (0.3 + load)
+		if n.fault == FaultHostDown {
+			target = n.inlet
+		}
+		n.cpuTemp[i] += (target - n.cpuTemp[i]) * lag(sec, thermalTauSec)
+		n.cpuTemp[i] += n.jitter(0.15)
+	}
+
+	n.stepIONet(sec)
+
+	// Power: idle + load-proportional + fan draw.
+	fanW := 30 * (n.fanRPM[0] + n.fanRPM[1] + n.fanRPM[2] + n.fanRPM[3]) / (4 * fanMaxRPM)
+	target := n.cfg.IdleW + (n.cfg.PeakW-n.cfg.IdleW)*load + fanW
+	if n.fault == FaultHostDown {
+		target = 8 // BMC standby draw
+	}
+	n.power += (target - n.power) * lag(sec, 15)
+	n.power += n.jitter(1.2)
+	if n.power < 0 {
+		n.power = 0
+	}
+}
+
+func (n *Node) faultPhase() float64 {
+	// A fixed per-node phase so inlet wobbles are not cluster-synchronous.
+	return float64(n.cfg.Seed%360) * math.Pi / 180
+}
+
+func (n *Node) jitter(scale float64) float64 {
+	return (n.rng.Float64()*2 - 1) * scale
+}
+
+// lag converts a time constant into a first-order update coefficient.
+func lag(dtSec, tauSec float64) float64 {
+	return 1 - math.Exp(-dtSec/tauSec)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Readings returns the out-of-band sensor snapshot.
+func (n *Node) Readings() Readings {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r := Readings{
+		BMCHealth:  HealthOK,
+		HostHealth: HealthOK,
+		CPUTempC:   n.cpuTemp,
+		InletTempC: n.inlet,
+		FanRPM:     n.fanRPM,
+		PowerW:     n.power,
+		VoltageV:   []float64{1.82 + n.rngJitterLocked(0.01), 1.82 + n.rngJitterLocked(0.01), 12.1 + n.rngJitterLocked(0.05)},
+		PowerState: "On",
+	}
+	hottest := math.Max(n.cpuTemp[0], n.cpuTemp[1])
+	switch {
+	case hottest >= critTempC:
+		r.HostHealth = HealthCritical
+	case hottest >= warnTempC || n.memUsed+n.forceMem > 0.97*n.cfg.MemoryGB:
+		r.HostHealth = HealthWarning
+	}
+	switch n.fault {
+	case FaultBMCDegrade:
+		r.BMCHealth = HealthWarning
+	case FaultHostDown:
+		r.HostHealth = HealthCritical
+		r.PowerState = "Off"
+	}
+	return r
+}
+
+func (n *Node) rngJitterLocked(scale float64) float64 {
+	return (n.rng.Float64()*2 - 1) * scale
+}
+
+// Host returns the in-band metrics view.
+func (n *Node) Host() HostMetrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cpu := clamp(n.cpuLoad+n.forceCPU, 0, 1)
+	if n.fault == FaultHostDown {
+		cpu = 0
+	}
+	return HostMetrics{
+		CPUUsage:   cpu,
+		MemTotalGB: n.cfg.MemoryGB,
+		MemUsedGB:  clamp(n.memUsed+n.forceMem, 0, n.cfg.MemoryGB),
+		SwapTotal:  8,
+		SwapUsed:   n.swapUsed,
+		LoadAvg:    n.loadAvg,
+		NJobs:      n.nJobs,
+	}
+}
+
+// HealthVector returns the nine-dimensional health profile the
+// HiperJobViz radar chart and the k-means clustering consume, in a
+// fixed dimension order.
+func (n *Node) HealthVector() [9]float64 {
+	r := n.Readings()
+	h := n.Host()
+	return [9]float64{
+		r.CPUTempC[0],
+		r.CPUTempC[1],
+		r.InletTempC,
+		(r.FanRPM[0] + r.FanRPM[1] + r.FanRPM[2] + r.FanRPM[3]) / 4,
+		r.PowerW,
+		h.CPUUsage * 100,
+		safeDiv(h.MemUsedGB, h.MemTotalGB) * 100,
+		h.LoadAvg,
+		float64(r.HostHealth.Code()),
+	}
+}
+
+// HealthDimensions names the HealthVector entries.
+func HealthDimensions() [9]string {
+	return [9]string{
+		"CPU1 Temp", "CPU2 Temp", "Inlet Temp", "Fan Speed",
+		"Power", "CPU Usage", "Memory Usage", "Load Avg", "Host Health",
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (n *Node) String() string {
+	r := n.Readings()
+	return fmt.Sprintf("%s cpu=%.1f/%.1f°C inlet=%.1f°C power=%.1fW", n.cfg.Name, r.CPUTempC[0], r.CPUTempC[1], r.InletTempC, r.PowerW)
+}

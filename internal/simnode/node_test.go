@@ -1,0 +1,327 @@
+package simnode
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func settle(n *Node, d time.Duration) {
+	for elapsed := time.Duration(0); elapsed < d; elapsed += 5 * time.Second {
+		n.Step(5 * time.Second)
+	}
+}
+
+func TestHealthCodes(t *testing.T) {
+	cases := map[Health]int64{HealthOK: 0, HealthWarning: 1, HealthCritical: 2}
+	for h, code := range cases {
+		if h.Code() != code {
+			t.Errorf("%s.Code() = %d, want %d", h, h.Code(), code)
+		}
+		if HealthFromCode(code) != h {
+			t.Errorf("HealthFromCode(%d) = %s, want %s", code, HealthFromCode(code), h)
+		}
+	}
+	if HealthFromCode(42) != HealthOK {
+		t.Error("unknown code should decode to OK")
+	}
+}
+
+func TestDefaultsAreQuanahProfile(t *testing.T) {
+	n := New(Config{Name: "1-1", Addr: "10.101.1.1"})
+	cfg := n.Config()
+	if cfg.Cores != 36 {
+		t.Errorf("cores = %d, want 36", cfg.Cores)
+	}
+	if cfg.MemoryGB != 192 {
+		t.Errorf("memory = %v, want 192", cfg.MemoryGB)
+	}
+}
+
+func TestIdleNodeIsCoolAndHealthy(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 1})
+	settle(n, 30*time.Minute)
+	r := n.Readings()
+	if r.HostHealth != HealthOK || r.BMCHealth != HealthOK {
+		t.Fatalf("idle node unhealthy: %+v", r)
+	}
+	if r.CPUTempC[0] < 25 || r.CPUTempC[0] > 45 {
+		t.Fatalf("idle CPU temp = %.1f, want ~30s °C", r.CPUTempC[0])
+	}
+	if r.PowerW < 80 || r.PowerW > 160 {
+		t.Fatalf("idle power = %.1f, want ~105 W", r.PowerW)
+	}
+}
+
+func TestLoadRaisesTempAndPower(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 2})
+	settle(n, 20*time.Minute)
+	idle := n.Readings()
+	n.SetDemand(1.0, 120, 4)
+	settle(n, 20*time.Minute)
+	busy := n.Readings()
+	if busy.CPUTempC[0] <= idle.CPUTempC[0]+10 {
+		t.Fatalf("full load temp %.1f not much above idle %.1f", busy.CPUTempC[0], idle.CPUTempC[0])
+	}
+	if busy.PowerW <= idle.PowerW+150 {
+		t.Fatalf("full load power %.1f not much above idle %.1f", busy.PowerW, idle.PowerW)
+	}
+	if busy.FanRPM[0] <= idle.FanRPM[0] {
+		t.Fatalf("fans did not ramp: %.0f vs %.0f", busy.FanRPM[0], idle.FanRPM[0])
+	}
+	if busy.HostHealth != HealthOK {
+		t.Fatalf("healthy full load reported %s", busy.HostHealth)
+	}
+}
+
+func TestCPU2RunsHotterUnderLoad(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 3})
+	n.SetDemand(1.0, 100, 1)
+	settle(n, 30*time.Minute)
+	r := n.Readings()
+	if r.CPUTempC[1] <= r.CPUTempC[0] {
+		t.Fatalf("CPU2 (%.1f) not hotter than CPU1 (%.1f)", r.CPUTempC[1], r.CPUTempC[0])
+	}
+}
+
+func TestOverheatFaultTripsWarningThenCritical(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 4})
+	n.SetDemand(1.0, 100, 1)
+	settle(n, 15*time.Minute)
+	n.Inject(FaultOverheat)
+	var sawWarning bool
+	for i := 0; i < 600; i++ {
+		n.Step(5 * time.Second)
+		h := n.Readings().HostHealth
+		if h == HealthWarning {
+			sawWarning = true
+		}
+		if h == HealthCritical {
+			if !sawWarning {
+				t.Fatal("went critical without passing warning")
+			}
+			return
+		}
+	}
+	t.Fatalf("overheat fault never went critical (temp %.1f)", n.Readings().CPUTempC[1])
+}
+
+func TestHostDownFault(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 5})
+	n.SetDemand(0.8, 100, 3)
+	settle(n, 10*time.Minute)
+	n.Inject(FaultHostDown)
+	settle(n, 10*time.Minute)
+	r := n.Readings()
+	if r.PowerState != "Off" {
+		t.Fatalf("power state = %s, want Off", r.PowerState)
+	}
+	if r.HostHealth != HealthCritical {
+		t.Fatalf("down host health = %s", r.HostHealth)
+	}
+	if r.PowerW > 20 {
+		t.Fatalf("down host draws %.1f W", r.PowerW)
+	}
+	if h := n.Host(); h.CPUUsage != 0 {
+		t.Fatalf("down host reports CPU %v", h.CPUUsage)
+	}
+}
+
+func TestMemLeakFaultReachesWarning(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 6, MemoryGB: 4})
+	n.Inject(FaultMemLeak)
+	settle(n, time.Hour)
+	if n.Host().MemUsedGB < 3.9 {
+		t.Fatalf("leak only reached %.2f GB", n.Host().MemUsedGB)
+	}
+	if n.Readings().HostHealth == HealthOK {
+		t.Fatal("full memory did not degrade health")
+	}
+	if n.ActiveFault() != FaultMemLeak {
+		t.Fatal("ActiveFault mismatch")
+	}
+}
+
+func TestBMCDegradeFault(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 7})
+	n.Inject(FaultBMCDegrade)
+	n.Step(time.Second)
+	if n.Readings().BMCHealth != HealthWarning {
+		t.Fatal("BMC degrade not reflected in readings")
+	}
+	n.Inject(FaultNone)
+	if n.Readings().BMCHealth != HealthOK {
+		t.Fatal("fault clear not reflected")
+	}
+}
+
+func TestSetDemandClamps(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 8})
+	n.SetDemand(2.5, 1e6, 1)
+	h := n.Host()
+	if h.CPUUsage != 1 {
+		t.Fatalf("cpu = %v, want clamp to 1", h.CPUUsage)
+	}
+	if h.MemUsedGB != n.Config().MemoryGB {
+		t.Fatalf("mem = %v, want clamp to total", h.MemUsedGB)
+	}
+	n.SetDemand(-1, -5, 0)
+	h = n.Host()
+	if h.CPUUsage != 0 || h.MemUsedGB != 0 {
+		t.Fatalf("negative demand not clamped: %+v", h)
+	}
+}
+
+func TestHealthVectorDimensions(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 9})
+	settle(n, 10*time.Minute)
+	v := n.HealthVector()
+	dims := HealthDimensions()
+	if len(v) != len(dims) {
+		t.Fatalf("vector/dims length mismatch")
+	}
+	if v[0] <= 0 || v[2] <= 0 || v[4] <= 0 {
+		t.Fatalf("implausible health vector: %v", v)
+	}
+	if v[8] != 0 {
+		t.Fatalf("healthy node vector health dim = %v", v[8])
+	}
+}
+
+func TestStepZeroOrNegativeIsNoop(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 10})
+	before := n.Readings()
+	n.Step(0)
+	n.Step(-time.Second)
+	after := n.Readings()
+	if before.CPUTempC != after.CPUTempC {
+		t.Fatal("zero step changed state")
+	}
+}
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	run := func() Readings {
+		n := New(Config{Name: "1-1", Seed: 42})
+		n.SetDemand(0.6, 64, 2)
+		settle(n, 10*time.Minute)
+		return n.Readings()
+	}
+	a, b := run(), run()
+	if a.CPUTempC != b.CPUTempC || a.PowerW != b.PowerW {
+		t.Fatal("same seed produced different trajectories")
+	}
+}
+
+func TestFleetNaming(t *testing.T) {
+	cases := []struct {
+		i    int
+		name string
+		addr string
+	}{
+		{0, "1-1", "10.101.1.1"},
+		{30, "1-31", "10.101.1.31"},
+		{59, "1-60", "10.101.1.60"},
+		{60, "2-1", "10.101.2.1"},
+		{466, "8-47", "10.101.8.47"},
+	}
+	for _, c := range cases {
+		if got := NodeName(c.i); got != c.name {
+			t.Errorf("NodeName(%d) = %q, want %q", c.i, got, c.name)
+		}
+		if got := NodeAddr(c.i); got != c.addr {
+			t.Errorf("NodeAddr(%d) = %q, want %q", c.i, got, c.addr)
+		}
+	}
+}
+
+func TestFleetLookupsAndStep(t *testing.T) {
+	f := NewFleet(8, 1)
+	if f.Len() != 8 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	n, ok := f.ByName("1-3")
+	if !ok || n.Addr() != "10.101.1.3" {
+		t.Fatalf("ByName failed: %v %v", n, ok)
+	}
+	if _, ok := f.ByAddr("10.101.1.8"); !ok {
+		t.Fatal("ByAddr failed")
+	}
+	if _, ok := f.ByAddr("10.0.0.1"); ok {
+		t.Fatal("ByAddr matched unknown address")
+	}
+	f.Node(0).SetDemand(1, 100, 1)
+	f.Settle(20 * time.Minute)
+	if f.Node(0).Readings().CPUTempC[0] <= f.Node(1).Readings().CPUTempC[0]+5 {
+		t.Fatal("loaded node not hotter than idle peer after fleet settle")
+	}
+}
+
+func TestPropTemperatureBounded(t *testing.T) {
+	f := func(loadPct uint8, minutes uint8) bool {
+		n := New(Config{Name: "p", Seed: int64(loadPct)})
+		n.SetDemand(float64(loadPct%101)/100, 50, 1)
+		for i := 0; i < int(minutes%60)+1; i++ {
+			n.Step(time.Minute)
+		}
+		r := n.Readings()
+		for _, temp := range r.CPUTempC {
+			if temp < 0 || temp > 120 {
+				return false
+			}
+		}
+		return r.PowerW >= 0 && r.PowerW <= 500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficAndIOFollowDemand(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 12})
+	n.SetTraffic(100e6, 80e6)
+	n.SetIO(200, 100)
+	settle(n, 5*time.Minute)
+	net := n.Network()
+	if net.RxBps < 80e6 || net.RxBps > 120e6 {
+		t.Fatalf("rx = %v, want ~100e6", net.RxBps)
+	}
+	if net.TxBps < 60e6 || net.TxBps > 100e6 {
+		t.Fatalf("tx = %v", net.TxBps)
+	}
+	io := n.IO()
+	if io.ReadMBps < 150 || io.ReadMBps > 250 {
+		t.Fatalf("read = %v, want ~200", io.ReadMBps)
+	}
+	// Clearing demand decays activity.
+	n.SetTraffic(0, 0)
+	n.SetIO(0, 0)
+	settle(n, 5*time.Minute)
+	if n.Network().RxBps > 1e6 || n.IO().ReadMBps > 5 {
+		t.Fatalf("activity did not decay: %+v %+v", n.Network(), n.IO())
+	}
+}
+
+func TestTrafficClampedToLineRate(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 13})
+	n.SetTraffic(1e15, 1e15)
+	n.SetIO(1e9, 1e9)
+	settle(n, 20*time.Minute)
+	if n.Network().RxBps > fabricLineRate*1.02 {
+		t.Fatalf("rx exceeds line rate: %v", n.Network().RxBps)
+	}
+	if n.IO().ReadMBps > fsMaxMBps*1.02 {
+		t.Fatalf("read exceeds fs envelope: %v", n.IO().ReadMBps)
+	}
+}
+
+func TestHostDownZeroesTrafficAndIO(t *testing.T) {
+	n := New(Config{Name: "1-1", Seed: 14})
+	n.SetTraffic(50e6, 50e6)
+	n.SetIO(100, 50)
+	settle(n, 5*time.Minute)
+	n.Inject(FaultHostDown)
+	settle(n, 5*time.Minute)
+	if n.Network().TxBps > 1e5 || n.IO().WriteMBps > 1 {
+		t.Fatalf("down host still active: %+v %+v", n.Network(), n.IO())
+	}
+}

@@ -1,0 +1,195 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+)
+
+// aggregator consumes field values in time order and produces one
+// summary value. ok=false from result means the bucket had no usable
+// input (e.g. only non-numeric values for a numeric aggregate).
+type aggregator interface {
+	add(v Value)
+	result() (Value, bool)
+	reset()
+}
+
+// newAggregator returns an aggregator implementation by name.
+func newAggregator(name string) (aggregator, bool) {
+	switch name {
+	case "count":
+		return &countAgg{}, true
+	case "sum":
+		return &sumAgg{}, true
+	case "mean":
+		return &meanAgg{}, true
+	case "max":
+		return &extremeAgg{max: true}, true
+	case "min":
+		return &extremeAgg{}, true
+	case "first":
+		return &firstAgg{}, true
+	case "last":
+		return &lastAgg{}, true
+	case "spread":
+		return &spreadAgg{}, true
+	case "stddev":
+		return &stddevAgg{}, true
+	case "median":
+		return &medianAgg{}, true
+	default:
+		return nil, false
+	}
+}
+
+type countAgg struct{ n int64 }
+
+func (a *countAgg) add(Value)             { a.n++ }
+func (a *countAgg) result() (Value, bool) { return Int(a.n), a.n > 0 }
+func (a *countAgg) reset()                { a.n = 0 }
+
+type sumAgg struct {
+	sum float64
+	ok  bool
+}
+
+func (a *sumAgg) add(v Value) {
+	if f, ok := v.AsFloat(); ok {
+		a.sum += f
+		a.ok = true
+	}
+}
+func (a *sumAgg) result() (Value, bool) { return Float(a.sum), a.ok }
+func (a *sumAgg) reset()                { a.sum, a.ok = 0, false }
+
+type meanAgg struct {
+	sum float64
+	n   int64
+}
+
+func (a *meanAgg) add(v Value) {
+	if f, ok := v.AsFloat(); ok {
+		a.sum += f
+		a.n++
+	}
+}
+func (a *meanAgg) result() (Value, bool) {
+	if a.n == 0 {
+		return Value{}, false
+	}
+	return Float(a.sum / float64(a.n)), true
+}
+func (a *meanAgg) reset() { a.sum, a.n = 0, 0 }
+
+type extremeAgg struct {
+	max  bool
+	best float64
+	ok   bool
+}
+
+func (a *extremeAgg) add(v Value) {
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	if !a.ok || (a.max && f > a.best) || (!a.max && f < a.best) {
+		a.best = f
+		a.ok = true
+	}
+}
+func (a *extremeAgg) result() (Value, bool) { return Float(a.best), a.ok }
+func (a *extremeAgg) reset()                { a.best, a.ok = 0, false }
+
+type firstAgg struct {
+	v  Value
+	ok bool
+}
+
+func (a *firstAgg) add(v Value) {
+	if !a.ok {
+		a.v, a.ok = v, true
+	}
+}
+func (a *firstAgg) result() (Value, bool) { return a.v, a.ok }
+func (a *firstAgg) reset()                { a.v, a.ok = Value{}, false }
+
+type lastAgg struct {
+	v  Value
+	ok bool
+}
+
+func (a *lastAgg) add(v Value)           { a.v, a.ok = v, true }
+func (a *lastAgg) result() (Value, bool) { return a.v, a.ok }
+func (a *lastAgg) reset()                { a.v, a.ok = Value{}, false }
+
+type spreadAgg struct {
+	min, max float64
+	ok       bool
+}
+
+func (a *spreadAgg) add(v Value) {
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	if !a.ok {
+		a.min, a.max, a.ok = f, f, true
+		return
+	}
+	if f < a.min {
+		a.min = f
+	}
+	if f > a.max {
+		a.max = f
+	}
+}
+func (a *spreadAgg) result() (Value, bool) { return Float(a.max - a.min), a.ok }
+func (a *spreadAgg) reset()                { a.ok = false }
+
+// stddevAgg computes the sample standard deviation with Welford's
+// online algorithm.
+type stddevAgg struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (a *stddevAgg) add(v Value) {
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	a.n++
+	d := f - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (f - a.mean)
+}
+func (a *stddevAgg) result() (Value, bool) {
+	if a.n < 2 {
+		return Value{}, false
+	}
+	return Float(math.Sqrt(a.m2 / float64(a.n-1))), true
+}
+func (a *stddevAgg) reset() { a.n, a.mean, a.m2 = 0, 0, 0 }
+
+type medianAgg struct{ vals []float64 }
+
+func (a *medianAgg) add(v Value) {
+	if f, ok := v.AsFloat(); ok {
+		a.vals = append(a.vals, f)
+	}
+}
+func (a *medianAgg) result() (Value, bool) {
+	n := len(a.vals)
+	if n == 0 {
+		return Value{}, false
+	}
+	sorted := make([]float64, n)
+	copy(sorted, a.vals)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return Float(sorted[n/2]), true
+	}
+	return Float((sorted[n/2-1] + sorted[n/2]) / 2), true
+}
+func (a *medianAgg) reset() { a.vals = a.vals[:0] }

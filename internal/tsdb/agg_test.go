@@ -1,0 +1,177 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+)
+
+func feed(a aggregator, vals ...float64) {
+	for _, v := range vals {
+		a.add(Float(v))
+	}
+}
+
+func mustResult(t *testing.T, a aggregator) Value {
+	t.Helper()
+	v, ok := a.result()
+	if !ok {
+		t.Fatal("aggregator produced no result")
+	}
+	return v
+}
+
+func TestNewAggregatorNames(t *testing.T) {
+	for _, name := range []string{"count", "sum", "mean", "max", "min", "first", "last", "spread", "stddev", "median"} {
+		if _, ok := newAggregator(name); !ok {
+			t.Errorf("aggregator %q missing", name)
+		}
+	}
+	if _, ok := newAggregator("percentile"); ok {
+		t.Error("unknown aggregator accepted")
+	}
+}
+
+func TestCountCountsAllKinds(t *testing.T) {
+	a, _ := newAggregator("count")
+	a.add(Float(1))
+	a.add(Str("x"))
+	a.add(Bool(true))
+	if v := mustResult(t, a); v.I != 3 {
+		t.Fatalf("count = %v", v)
+	}
+}
+
+func TestSumIgnoresNonNumeric(t *testing.T) {
+	a, _ := newAggregator("sum")
+	feed(a, 1, 2, 3)
+	a.add(Str("nope"))
+	if v := mustResult(t, a); v.F != 6 {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func TestMeanEmptyNotOK(t *testing.T) {
+	a, _ := newAggregator("mean")
+	if _, ok := a.result(); ok {
+		t.Fatal("empty mean reported ok")
+	}
+	a.add(Str("only strings"))
+	if _, ok := a.result(); ok {
+		t.Fatal("string-only mean reported ok")
+	}
+}
+
+func TestMinMaxNegativeValues(t *testing.T) {
+	mx, _ := newAggregator("max")
+	mn, _ := newAggregator("min")
+	feed(mx, -5, -2, -9)
+	feed(mn, -5, -2, -9)
+	if v := mustResult(t, mx); v.F != -2 {
+		t.Fatalf("max = %v", v)
+	}
+	if v := mustResult(t, mn); v.F != -9 {
+		t.Fatalf("min = %v", v)
+	}
+}
+
+func TestFirstLastKeepKind(t *testing.T) {
+	f, _ := newAggregator("first")
+	l, _ := newAggregator("last")
+	for _, v := range []Value{Str("a"), Int(2), Str("c")} {
+		f.add(v)
+		l.add(v)
+	}
+	if v := mustResult(t, f); v.Kind != KindString || v.S != "a" {
+		t.Fatalf("first = %v", v)
+	}
+	if v := mustResult(t, l); v.Kind != KindString || v.S != "c" {
+		t.Fatalf("last = %v", v)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	a, _ := newAggregator("spread")
+	feed(a, 10, 4, 7)
+	if v := mustResult(t, a); v.F != 6 {
+		t.Fatalf("spread = %v", v)
+	}
+}
+
+func TestStddevMatchesDefinition(t *testing.T) {
+	a, _ := newAggregator("stddev")
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	feed(a, vals...)
+	var mean, m2 float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		m2 += (v - mean) * (v - mean)
+	}
+	want := math.Sqrt(m2 / float64(len(vals)-1))
+	got := mustResult(t, a).F
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", got, want)
+	}
+}
+
+func TestStddevNeedsTwoSamples(t *testing.T) {
+	a, _ := newAggregator("stddev")
+	a.add(Float(1))
+	if _, ok := a.result(); ok {
+		t.Fatal("stddev of one sample reported ok")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	odd, _ := newAggregator("median")
+	feed(odd, 9, 1, 5)
+	if v := mustResult(t, odd); v.F != 5 {
+		t.Fatalf("odd median = %v", v)
+	}
+	even, _ := newAggregator("median")
+	feed(even, 1, 2, 3, 4)
+	if v := mustResult(t, even); v.F != 2.5 {
+		t.Fatalf("even median = %v", v)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	for _, name := range []string{"count", "sum", "mean", "max", "min", "first", "last", "spread", "stddev", "median"} {
+		a, _ := newAggregator(name)
+		feed(a, 1, 2, 3)
+		a.reset()
+		if name == "stddev" {
+			feed(a, 5, 5)
+			if v := mustResult(t, a); v.F != 0 {
+				t.Errorf("%s after reset = %v", name, v)
+			}
+			continue
+		}
+		feed(a, 5)
+		v, ok := a.result()
+		if !ok {
+			t.Errorf("%s: no result after reset+add", name)
+			continue
+		}
+		switch name {
+		case "count":
+			if v.I != 1 {
+				t.Errorf("count after reset = %v", v)
+			}
+		case "spread":
+			if v.F != 0 {
+				t.Errorf("spread after reset = %v", v)
+			}
+		case "median", "sum", "mean", "max", "min":
+			if v.F != 5 {
+				t.Errorf("%s after reset = %v", name, v)
+			}
+		case "first", "last":
+			if v.F != 5 {
+				t.Errorf("%s after reset = %v", name, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultShardDuration is the time width of one shard in seconds (one
+// day, matching InfluxDB's default retention-policy shard group
+// duration for short retention policies).
+const DefaultShardDuration = 24 * 60 * 60
+
+// Options configures a DB.
+type Options struct {
+	// ShardDuration is the shard width in seconds. Zero selects
+	// DefaultShardDuration.
+	ShardDuration int64
+}
+
+// DB is an in-process time-series database: a set of measurements, each
+// holding tag-indexed series, stored in time-window shards.
+//
+// DB is safe for concurrent use. Writes take the write lock briefly per
+// batch; queries run under the read lock and may proceed concurrently
+// with each other (the concurrency the Metrics Builder exploits in the
+// Fig 15 experiment).
+type DB struct {
+	mu            sync.RWMutex
+	shardDuration int64
+	shards        map[int64]*shard // keyed by start time
+	shardStarts   []int64          // sorted
+	// index: measurement -> tag key -> tag value -> set of series keys
+	index map[string]*measurementIndex
+	stats DBStats
+}
+
+type measurementIndex struct {
+	byTag  map[string]map[string][]string // tag key -> value -> series keys
+	series map[string]Tags                // series key -> sorted tags
+	fields map[string]ValueKind           // field key -> first-seen kind
+}
+
+// DBStats aggregates engine-wide counters.
+type DBStats struct {
+	PointsWritten  int64
+	BatchesWritten int64
+	SeriesCreated  int64
+	Measurements   int
+}
+
+// Open creates an empty DB.
+func Open(opts Options) *DB {
+	sd := opts.ShardDuration
+	if sd <= 0 {
+		sd = DefaultShardDuration
+	}
+	return &DB{
+		shardDuration: sd,
+		shards:        make(map[int64]*shard),
+		index:         make(map[string]*measurementIndex),
+	}
+}
+
+// WritePoints stores a batch of points. The batch is validated first;
+// on error nothing is written. Tag sets are canonicalized (sorted) on
+// ingest.
+func (db *DB) WritePoints(points []Point) error {
+	for i := range points {
+		if err := points[i].Validate(); err != nil {
+			return fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i := range points {
+		p := &points[i]
+		sorted := p.Tags.Sorted()
+		key := seriesKey(p.Measurement, sorted)
+		db.indexSeriesLocked(p, key, sorted)
+		sh := db.shardForLocked(p.Time)
+		sh.write(p, key, sorted)
+		db.stats.PointsWritten++
+	}
+	db.stats.BatchesWritten++
+	return nil
+}
+
+// WritePoint stores a single point.
+func (db *DB) WritePoint(p Point) error { return db.WritePoints([]Point{p}) }
+
+func (db *DB) indexSeriesLocked(p *Point, key string, sorted Tags) {
+	mi, ok := db.index[p.Measurement]
+	if !ok {
+		mi = &measurementIndex{
+			byTag:  make(map[string]map[string][]string),
+			series: make(map[string]Tags),
+			fields: make(map[string]ValueKind),
+		}
+		db.index[p.Measurement] = mi
+		db.stats.Measurements++
+	}
+	for fk, fv := range p.Fields {
+		if _, seen := mi.fields[fk]; !seen {
+			mi.fields[fk] = fv.Kind
+		}
+	}
+	if _, ok := mi.series[key]; ok {
+		return
+	}
+	mi.series[key] = sorted
+	db.stats.SeriesCreated++
+	for _, t := range sorted {
+		vals, ok := mi.byTag[t.Key]
+		if !ok {
+			vals = make(map[string][]string)
+			mi.byTag[t.Key] = vals
+		}
+		vals[t.Value] = append(vals[t.Value], key)
+	}
+}
+
+func (db *DB) shardForLocked(ts int64) *shard {
+	start := ts - mod(ts, db.shardDuration)
+	sh, ok := db.shards[start]
+	if !ok {
+		sh = newShard(start, start+db.shardDuration)
+		db.shards[start] = sh
+		db.shardStarts = append(db.shardStarts, start)
+		sort.Slice(db.shardStarts, func(i, j int) bool { return db.shardStarts[i] < db.shardStarts[j] })
+	}
+	return sh
+}
+
+// mod is a floored modulo that behaves for negative timestamps.
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// shardsOverlapping returns shards intersecting [start, end), in time
+// order. Callers must hold at least the read lock.
+func (db *DB) shardsOverlappingLocked(start, end int64) []*shard {
+	var out []*shard
+	for _, s := range db.shardStarts {
+		sh := db.shards[s]
+		if sh.end <= start || sh.start >= end {
+			continue
+		}
+		out = append(out, sh)
+	}
+	return out
+}
+
+// Measurements lists measurement names in sorted order.
+func (db *DB) Measurements() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.index))
+	for m := range db.index {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesCardinality reports the number of distinct series in a
+// measurement ("" for the whole DB). Query cost scales with this
+// number — the property the paper's schema redesign attacks.
+func (db *DB) SeriesCardinality(measurement string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if measurement != "" {
+		if mi, ok := db.index[measurement]; ok {
+			return len(mi.series)
+		}
+		return 0
+	}
+	n := 0
+	for _, mi := range db.index {
+		n += len(mi.series)
+	}
+	return n
+}
+
+// TagValues lists the distinct values of a tag key within a
+// measurement, sorted.
+func (db *DB) TagValues(measurement, tagKey string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	mi, ok := db.index[measurement]
+	if !ok {
+		return nil
+	}
+	vals, ok := mi.byTag[tagKey]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(vals))
+	for v := range vals {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FieldKinds reports the field keys and first-seen kinds of a
+// measurement.
+func (db *DB) FieldKinds(measurement string) map[string]ValueKind {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	mi, ok := db.index[measurement]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]ValueKind, len(mi.fields))
+	for k, v := range mi.fields {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats returns engine-wide counters.
+func (db *DB) Stats() DBStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+// DiskStats aggregates per-shard size accounting.
+type DiskStats struct {
+	Shards     int
+	Points     int64
+	DataBytes  int64
+	IndexBytes int64
+}
+
+// TotalBytes is data plus index bytes.
+func (d DiskStats) TotalBytes() int64 { return d.DataBytes + d.IndexBytes }
+
+// Disk reports the engine's encoded data volume. Volumes are exact
+// encoded sizes of the stored points, the quantity compared in Fig 13.
+func (db *DB) Disk() DiskStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var d DiskStats
+	d.Shards = len(db.shards)
+	for _, sh := range db.shards {
+		d.Points += sh.points
+		d.DataBytes += sh.bytes
+		d.IndexBytes += int64(sh.keyBytes)
+	}
+	return d
+}
+
+// ShardStats lists per-shard statistics in time order.
+func (db *DB) ShardStats() []ShardStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]ShardStats, 0, len(db.shardStarts))
+	for _, s := range db.shardStarts {
+		out = append(out, db.shards[s].stats())
+	}
+	return out
+}
+
+// DropMeasurement removes a measurement: its index entries and all its
+// stored series data. It reports whether the measurement existed.
+func (db *DB) DropMeasurement(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	mi, ok := db.index[name]
+	if !ok {
+		return false
+	}
+	for key := range mi.series {
+		for _, start := range db.shardStarts {
+			sh := db.shards[start]
+			if sr, ok := sh.series[key]; ok {
+				sh.points -= int64(sr.points())
+				sh.bytes -= int64(sr.bytes)
+				sh.keyBytes -= len(key) + 8
+				delete(sh.series, key)
+			}
+		}
+	}
+	delete(db.index, name)
+	db.stats.Measurements--
+	return true
+}
+
+// DeleteBefore drops whole shards whose window ends at or before t
+// (retention enforcement). It reports the number of shards dropped.
+// Series index entries are retained (matching InfluxDB, where the
+// in-memory index survives shard drops until a restart).
+func (db *DB) DeleteBefore(t int64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	keep := db.shardStarts[:0]
+	for _, s := range db.shardStarts {
+		if db.shards[s].end <= t {
+			delete(db.shards, s)
+			dropped++
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	db.shardStarts = keep
+	return dropped
+}

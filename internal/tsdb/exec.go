@@ -1,0 +1,408 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// QueryStats records the work a query performed — the quantities the
+// experiment harness converts into device time.
+type QueryStats struct {
+	SeriesScanned int   // distinct series probed
+	PointsScanned int64 // samples read from columns
+	BytesScanned  int64 // encoded bytes of the samples read
+	Rows          int   // rows emitted
+}
+
+// Add accumulates other into s.
+func (s *QueryStats) Add(o QueryStats) {
+	s.SeriesScanned += o.SeriesScanned
+	s.PointsScanned += o.PointsScanned
+	s.BytesScanned += o.BytesScanned
+	s.Rows += o.Rows
+}
+
+// Row is one output row: a timestamp and one value per projected
+// column. A nil-kind? No — missing values are reported via the Present
+// bitmap to keep Value simple.
+type Row struct {
+	Time    int64
+	Values  []Value
+	Present []bool // Present[i] reports whether Values[i] is set
+}
+
+// ResultSeries is one output series (per group).
+type ResultSeries struct {
+	Name    string
+	Tags    Tags // group-by tag values (empty when no tag grouping)
+	Columns []string
+	Rows    []Row
+}
+
+// Result is the full answer to one query.
+type Result struct {
+	Series []ResultSeries
+	Stats  QueryStats
+}
+
+// Query parses and executes a statement (SELECT or SHOW).
+func (db *DB) Query(stmt string) (*Result, error) {
+	if isShowStatement(stmt) {
+		return db.execShow(stmt)
+	}
+	if isDropStatement(stmt) {
+		return db.execDrop(stmt)
+	}
+	q, err := Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return db.Exec(q)
+}
+
+// Exec executes a parsed query.
+func (db *DB) Exec(q *Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	keys := db.matchSeriesLocked(q)
+	res := &Result{}
+	res.Stats.SeriesScanned = len(keys)
+	if len(keys) == 0 {
+		return res, nil
+	}
+
+	groups := groupSeries(q, keys, db.index[q.Measurement])
+	shards := db.shardsOverlappingLocked(q.Start, q.End)
+
+	columns := append([]string{"time"}, fieldLabels(q)...)
+	for _, g := range groups {
+		var rs ResultSeries
+		rs.Name = q.Measurement
+		rs.Tags = g.tags
+		rs.Columns = columns
+		if q.Aggregated() {
+			db.execAggLocked(q, g.keys, shards, &rs, &res.Stats)
+		} else {
+			db.execRawLocked(q, g.keys, shards, &rs, &res.Stats)
+		}
+		if q.Descending {
+			for i, j := 0, len(rs.Rows)-1; i < j; i, j = i+1, j-1 {
+				rs.Rows[i], rs.Rows[j] = rs.Rows[j], rs.Rows[i]
+			}
+		}
+		if q.Limit > 0 && len(rs.Rows) > q.Limit {
+			rs.Rows = rs.Rows[:q.Limit]
+		}
+		res.Stats.Rows += len(rs.Rows)
+		if len(rs.Rows) > 0 {
+			res.Series = append(res.Series, rs)
+		}
+	}
+	sort.Slice(res.Series, func(i, j int) bool {
+		return tagsLess(res.Series[i].Tags, res.Series[j].Tags)
+	})
+	return res, nil
+}
+
+func fieldLabels(q *Query) []string {
+	out := make([]string, len(q.Fields))
+	for i, f := range q.Fields {
+		out[i] = f.Label()
+	}
+	return out
+}
+
+// matchSeriesLocked finds series keys in the measurement that satisfy
+// every tag predicate, using the most selective tag's posting list.
+func (db *DB) matchSeriesLocked(q *Query) []string {
+	mi, ok := db.index[q.Measurement]
+	if !ok {
+		return nil
+	}
+	var candidates []string
+	if len(q.TagConds) > 0 {
+		best := -1
+		var bestList []string
+		for _, c := range q.TagConds {
+			vals, ok := mi.byTag[c.Key]
+			if !ok {
+				return nil
+			}
+			list, ok := vals[c.Value]
+			if !ok {
+				return nil
+			}
+			if best == -1 || len(list) < best {
+				best = len(list)
+				bestList = list
+			}
+		}
+		candidates = bestList
+	} else {
+		candidates = make([]string, 0, len(mi.series))
+		for k := range mi.series {
+			candidates = append(candidates, k)
+		}
+	}
+	var out []string
+	for _, k := range candidates {
+		tags := mi.series[k]
+		ok := true
+		for _, c := range q.TagConds {
+			v, has := tags.Get(c.Key)
+			if !has || v != c.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+type seriesGroup struct {
+	tags Tags
+	keys []string
+}
+
+// groupSeries partitions matched series by the GROUP BY tag values.
+// "*" groups by every tag (one group per series).
+func groupSeries(q *Query, keys []string, mi *measurementIndex) []seriesGroup {
+	if len(q.GroupByTags) == 0 {
+		return []seriesGroup{{keys: keys}}
+	}
+	star := false
+	for _, t := range q.GroupByTags {
+		if t == "*" {
+			star = true
+		}
+	}
+	byID := make(map[string]*seriesGroup)
+	var order []string
+	for _, k := range keys {
+		tags := mi.series[k]
+		var gt Tags
+		if star {
+			gt = tags
+		} else {
+			for _, gk := range q.GroupByTags {
+				v, _ := tags.Get(gk)
+				gt = append(gt, Tag{gk, v})
+			}
+		}
+		id := seriesKey("", gt)
+		g, ok := byID[id]
+		if !ok {
+			g = &seriesGroup{tags: gt}
+			byID[id] = g
+			order = append(order, id)
+		}
+		g.keys = append(g.keys, k)
+	}
+	sort.Strings(order)
+	out := make([]seriesGroup, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out
+}
+
+func tagsLess(a, b Tags) bool {
+	return seriesKey("", a) < seriesKey("", b)
+}
+
+// sample is one (time, value) pulled from a column during a scan.
+type sample struct {
+	t int64
+	v Value
+}
+
+// scanField collects, in time order, every sample of one field across
+// the group's series and the overlapping shards.
+func (db *DB) scanFieldLocked(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) []sample {
+	var out []sample
+	sorted := true
+	for _, sh := range shards {
+		for _, k := range keys {
+			sr, ok := sh.series[k]
+			if !ok {
+				continue
+			}
+			col, ok := sr.fields[field]
+			if !ok {
+				continue
+			}
+			col.ensureSorted()
+			lo, hi := col.rangeIndexes(start, end)
+			if lo >= hi {
+				continue
+			}
+			if len(out) > 0 && col.times[lo] < out[len(out)-1].t {
+				sorted = false
+			}
+			for i := lo; i < hi; i++ {
+				out = append(out, sample{col.times[i], col.vals[i]})
+				stats.PointsScanned++
+				stats.BytesScanned += 8 + int64(col.vals[i].EncodedSize())
+			}
+		}
+	}
+	if !sorted {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].t < out[j].t })
+	}
+	return out
+}
+
+// execAggLocked computes aggregate rows, optionally bucketed by
+// GROUP BY time. Buckets with no samples are omitted (InfluxDB's
+// fill(none) behaviour).
+func (db *DB) execAggLocked(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats) {
+	nf := len(q.Fields)
+	samplesPerField := make([][]sample, nf)
+	for i, f := range q.Fields {
+		samplesPerField[i] = db.scanFieldLocked(keys, f.Field, shards, q.Start, q.End, stats)
+	}
+	if q.GroupByTime <= 0 {
+		// Single row over the whole range.
+		row := Row{Time: rangeStart(q), Values: make([]Value, nf), Present: make([]bool, nf)}
+		any := false
+		for i, f := range q.Fields {
+			agg, _ := newAggregator(f.Func)
+			for _, s := range samplesPerField[i] {
+				agg.add(s.v)
+			}
+			if v, ok := agg.result(); ok {
+				row.Values[i], row.Present[i] = v, true
+				any = true
+			}
+		}
+		if any {
+			rs.Rows = append(rs.Rows, row)
+		}
+		return
+	}
+
+	iv := q.GroupByTime
+	type bucketAgg struct {
+		aggs []aggregator
+		any  []bool
+	}
+	buckets := make(map[int64]*bucketAgg)
+	var order []int64
+	for i, f := range q.Fields {
+		for _, s := range samplesPerField[i] {
+			bt := s.t - mod(s.t, iv)
+			b, ok := buckets[bt]
+			if !ok {
+				b = &bucketAgg{aggs: make([]aggregator, nf), any: make([]bool, nf)}
+				for j, ff := range q.Fields {
+					b.aggs[j], _ = newAggregator(ff.Func)
+					_ = ff
+				}
+				buckets[bt] = b
+				order = append(order, bt)
+			}
+			b.aggs[i].add(s.v)
+			b.any[i] = true
+		}
+		_ = f
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	for _, bt := range order {
+		b := buckets[bt]
+		row := Row{Time: bt, Values: make([]Value, nf), Present: make([]bool, nf)}
+		any := false
+		for i := range q.Fields {
+			if !b.any[i] {
+				continue
+			}
+			if v, ok := b.aggs[i].result(); ok {
+				row.Values[i], row.Present[i] = v, true
+				any = true
+			}
+		}
+		if any {
+			rs.Rows = append(rs.Rows, row)
+		}
+	}
+}
+
+func rangeStart(q *Query) int64 {
+	if q.Start == math.MinInt64 {
+		return 0
+	}
+	return q.Start
+}
+
+// execRawLocked emits raw samples. Fields are merge-aligned on
+// identical timestamps *within* one series; rows from different series
+// in the group are concatenated and time-sorted, never merged (two
+// nodes sampled at the same instant stay two rows).
+func (db *DB) execRawLocked(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats) {
+	nf := len(q.Fields)
+	for _, key := range keys {
+		rowsByTime := make(map[int64]*Row)
+		var order []int64
+		for i, f := range q.Fields {
+			for _, s := range db.scanFieldLocked([]string{key}, f.Field, shards, q.Start, q.End, stats) {
+				r, ok := rowsByTime[s.t]
+				if !ok {
+					r = &Row{Time: s.t, Values: make([]Value, nf), Present: make([]bool, nf)}
+					rowsByTime[s.t] = r
+					order = append(order, s.t)
+				}
+				r.Values[i], r.Present[i] = s.v, true
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+		for _, t := range order {
+			rs.Rows = append(rs.Rows, *rowsByTime[t])
+		}
+	}
+	sort.SliceStable(rs.Rows, func(a, b int) bool { return rs.Rows[a].Time < rs.Rows[b].Time })
+}
+
+// FormatResult renders a result as an aligned text table, useful in
+// CLIs and examples.
+func FormatResult(r *Result) string {
+	var b strings.Builder
+	for i := range r.Series {
+		s := &r.Series[i]
+		fmt.Fprintf(&b, "name: %s", s.Name)
+		if len(s.Tags) > 0 {
+			b.WriteString(" tags: ")
+			for j, t := range s.Tags {
+				if j > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "%s=%s", t.Key, t.Value)
+			}
+		}
+		b.WriteString("\n")
+		b.WriteString(strings.Join(s.Columns, "\t"))
+		b.WriteString("\n")
+		for _, row := range s.Rows {
+			b.WriteString(FormatTime(row.Time))
+			for k, v := range row.Values {
+				b.WriteByte('\t')
+				if row.Present[k] {
+					b.WriteString(v.String())
+				} else {
+					b.WriteString("null")
+				}
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveFile writes a snapshot of the database to path atomically (via a
+// temp file + rename in the same directory).
+func (db *DB) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".monster-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("tsdb: save %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if err := db.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("tsdb: save %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("tsdb: save %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("tsdb: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("tsdb: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile restores a database from a snapshot file.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: load %s: %w", path, err)
+	}
+	defer f.Close()
+	db, err := Restore(f)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: load %s: %w", path, err)
+	}
+	return db, nil
+}

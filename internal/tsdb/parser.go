@@ -1,0 +1,436 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Parse parses an InfluxQL-subset statement into a Query.
+func Parse(s string) (*Query, error) {
+	p := &parser{lex: newLexer(s)}
+	q, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: parse %q: %w", s, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically-known statements; it panics on
+// error.
+func MustParse(s string) *Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // 'single quoted'
+	tokNumber
+	tokDuration // 5m, 30s, 2h, 1d
+	tokLParen
+	tokRParen
+	tokComma
+	tokEq
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokStar
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+	err  error
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.run()
+	return l
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) run() {
+	s := l.src
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			l.emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			l.emit(tokRParen, ")", i)
+			i++
+		case c == ',':
+			l.emit(tokComma, ",", i)
+			i++
+		case c == '=':
+			l.emit(tokEq, "=", i)
+			i++
+		case c == '*':
+			l.emit(tokStar, "*", i)
+			i++
+		case c == '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				l.emit(tokLE, "<=", i)
+				i += 2
+			} else {
+				l.emit(tokLT, "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				l.emit(tokGE, ">=", i)
+				i += 2
+			} else {
+				l.emit(tokGT, ">", i)
+				i++
+			}
+		case c == '\'':
+			j := strings.IndexByte(s[i+1:], '\'')
+			if j < 0 {
+				l.err = fmt.Errorf("unterminated string at offset %d", i)
+				return
+			}
+			l.emit(tokString, s[i+1:i+1+j], i)
+			i += j + 2
+		case c == '"':
+			j := strings.IndexByte(s[i+1:], '"')
+			if j < 0 {
+				l.err = fmt.Errorf("unterminated identifier at offset %d", i)
+				return
+			}
+			l.emit(tokIdent, s[i+1:i+1+j], i)
+			i += j + 2
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+			j := i + 1
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+				j++
+			}
+			// A trailing duration unit makes it a duration literal.
+			k := j
+			for k < len(s) && isLetter(s[k]) {
+				k++
+			}
+			if k > j {
+				l.emit(tokDuration, s[i:k], i)
+				i = k
+			} else {
+				l.emit(tokNumber, s[i:j], i)
+				i = j
+			}
+		case isLetter(c) || c == '_':
+			j := i + 1
+			for j < len(s) && (isLetter(s[j]) || s[j] >= '0' && s[j] <= '9' || s[j] == '_' || s[j] == '.') {
+				j++
+			}
+			l.emit(tokIdent, s[i:j], i)
+			i = j
+		default:
+			l.err = fmt.Errorf("unexpected character %q at offset %d", rune(c), i)
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return unicode.IsLetter(rune(c))
+}
+
+type parser struct {
+	lex *lexer
+	i   int
+}
+
+func (p *parser) peek() token {
+	if p.i < len(p.lex.toks) {
+		return p.lex.toks[p.i]
+	}
+	return token{kind: tokEOF}
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("expected %s, got %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parse() (*Query, error) {
+	if p.lex.err != nil {
+		return nil, p.lex.err
+	}
+	if !p.keyword("SELECT") {
+		return nil, fmt.Errorf("expected SELECT, got %s", p.peek())
+	}
+	q := &Query{Start: math.MinInt64, End: math.MaxInt64}
+	for {
+		fe, err := p.parseFieldExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Fields = append(q.Fields, fe)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if !p.keyword("FROM") {
+		return nil, fmt.Errorf("expected FROM, got %s", p.peek())
+	}
+	m, err := p.expect(tokIdent, "measurement name")
+	if err != nil {
+		return nil, err
+	}
+	q.Measurement = m.text
+	if p.keyword("WHERE") {
+		if err := p.parseWhere(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("GROUP") {
+		if !p.keyword("BY") {
+			return nil, fmt.Errorf("expected BY after GROUP, got %s", p.peek())
+		}
+		if err := p.parseGroupBy(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("ORDER") {
+		if !p.keyword("BY") {
+			return nil, fmt.Errorf("expected BY after ORDER, got %s", p.peek())
+		}
+		t := p.next()
+		if t.kind != tokIdent || !strings.EqualFold(t.text, "time") {
+			return nil, fmt.Errorf("only ORDER BY time is supported, got %s", t)
+		}
+		switch {
+		case p.keyword("DESC"):
+			q.Descending = true
+		case p.keyword("ASC"):
+		}
+	}
+	if p.keyword("LIMIT") {
+		n, err := p.expect(tokNumber, "LIMIT count")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(n.text)
+		if err != nil {
+			return nil, fmt.Errorf("bad LIMIT %q", n.text)
+		}
+		q.Limit = v
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("unexpected trailing input %s", t)
+	}
+	return q, nil
+}
+
+func (p *parser) parseFieldExpr() (FieldExpr, error) {
+	id, err := p.expect(tokIdent, "field or function")
+	if err != nil {
+		return FieldExpr{}, err
+	}
+	if p.peek().kind != tokLParen {
+		return FieldExpr{Field: id.text}, nil
+	}
+	p.next() // (
+	field, err := p.expect(tokIdent, "field name")
+	if err != nil {
+		return FieldExpr{}, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return FieldExpr{}, err
+	}
+	return FieldExpr{Func: strings.ToLower(id.text), Field: field.text}, nil
+}
+
+func (p *parser) parseWhere(q *Query) error {
+	for {
+		id, err := p.expect(tokIdent, "tag key or time")
+		if err != nil {
+			return err
+		}
+		if strings.EqualFold(id.text, "time") {
+			if err := p.parseTimeCond(q); err != nil {
+				return err
+			}
+		} else {
+			if _, err := p.expect(tokEq, "="); err != nil {
+				return err
+			}
+			v, err := p.expect(tokString, "tag value string")
+			if err != nil {
+				return err
+			}
+			q.TagConds = append(q.TagConds, TagCond{Key: id.text, Value: v.text})
+		}
+		if !p.keyword("AND") {
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseTimeCond(q *Query) error {
+	op := p.next()
+	switch op.kind {
+	case tokGE, tokGT, tokLT, tokLE, tokEq:
+	default:
+		return fmt.Errorf("expected comparison after time, got %s", op)
+	}
+	v := p.next()
+	var sec int64
+	switch v.kind {
+	case tokString:
+		s, err := ParseTime(v.text)
+		if err != nil {
+			return err
+		}
+		sec = s
+	case tokNumber:
+		s, err := strconv.ParseInt(v.text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad epoch literal %q", v.text)
+		}
+		sec = s
+	default:
+		return fmt.Errorf("expected timestamp literal, got %s", v)
+	}
+	switch op.kind {
+	case tokGE:
+		q.Start = sec
+	case tokGT:
+		q.Start = sec + 1
+	case tokLT:
+		q.End = sec
+	case tokLE:
+		q.End = sec + 1
+	case tokEq:
+		q.Start, q.End = sec, sec+1
+	}
+	return nil
+}
+
+func (p *parser) parseGroupBy(q *Query) error {
+	for {
+		t := p.peek()
+		if t.kind == tokIdent && strings.EqualFold(t.text, "time") {
+			// Could be time(5m) or a tag literally named time only via
+			// quoting; unquoted time means the bucket clause.
+			p.next()
+			if _, err := p.expect(tokLParen, "( after time"); err != nil {
+				return err
+			}
+			d, err := p.expect(tokDuration, "duration like 5m")
+			if err != nil {
+				return err
+			}
+			iv, err := parseDuration(d.text)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return err
+			}
+			q.GroupByTime = int64(iv / time.Second)
+		} else if t.kind == tokIdent {
+			p.next()
+			q.GroupByTags = append(q.GroupByTags, t.text)
+		} else if t.kind == tokStar {
+			p.next()
+			q.GroupByTags = append(q.GroupByTags, "*")
+		} else {
+			return fmt.Errorf("expected group key, got %s", t)
+		}
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseDuration parses InfluxQL duration literals (s, m, h, d, w).
+func parseDuration(s string) (time.Duration, error) {
+	i := 0
+	for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+		i++
+	}
+	if i == 0 || i == len(s) {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	n, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	var unit time.Duration
+	switch s[i:] {
+	case "s":
+		unit = time.Second
+	case "m":
+		unit = time.Minute
+	case "h":
+		unit = time.Hour
+	case "d":
+		unit = 24 * time.Hour
+	case "w":
+		unit = 7 * 24 * time.Hour
+	default:
+		return 0, fmt.Errorf("bad duration unit in %q", s)
+	}
+	return time.Duration(n * float64(unit)), nil
+}

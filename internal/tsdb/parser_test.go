@@ -1,0 +1,233 @@
+package tsdb
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParsePaperQuery(t *testing.T) {
+	// The exact statement shape from Section III-D of the paper.
+	q, err := Parse(`SELECT max("Reading") FROM "Power" WHERE "NodeId"='10.101.1.1' AND "Label"='NodePower' AND time >= '2020-04-20T12:00:00Z' AND time < '2020-04-21T12:00:00Z' GROUP BY time(5m)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Fields) != 1 || q.Fields[0].Func != "max" || q.Fields[0].Field != "Reading" {
+		t.Fatalf("fields = %+v", q.Fields)
+	}
+	if q.Measurement != "Power" {
+		t.Fatalf("measurement = %q", q.Measurement)
+	}
+	if len(q.TagConds) != 2 {
+		t.Fatalf("tag conds = %+v", q.TagConds)
+	}
+	if q.TagConds[0] != (TagCond{"NodeId", "10.101.1.1"}) {
+		t.Fatalf("cond0 = %+v", q.TagConds[0])
+	}
+	wantStart, _ := ParseTime("2020-04-20T12:00:00Z")
+	wantEnd, _ := ParseTime("2020-04-21T12:00:00Z")
+	if q.Start != wantStart || q.End != wantEnd {
+		t.Fatalf("range = [%d,%d), want [%d,%d)", q.Start, q.End, wantStart, wantEnd)
+	}
+	if q.GroupByTime != 300 {
+		t.Fatalf("group interval = %d, want 300", q.GroupByTime)
+	}
+}
+
+func TestParseUnquotedIdentifiers(t *testing.T) {
+	q, err := Parse(`SELECT mean(Reading) FROM Thermal WHERE Label='CPU1Temp' GROUP BY time(30s), NodeId LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Fields[0].Func != "mean" {
+		t.Fatalf("func = %q", q.Fields[0].Func)
+	}
+	if q.GroupByTime != 30 {
+		t.Fatalf("interval = %d", q.GroupByTime)
+	}
+	if len(q.GroupByTags) != 1 || q.GroupByTags[0] != "NodeId" {
+		t.Fatalf("group tags = %v", q.GroupByTags)
+	}
+	if q.Limit != 10 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseRawSelect(t *testing.T) {
+	q, err := Parse(`SELECT "Reading" FROM "Power"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Aggregated() {
+		t.Fatal("raw select reported aggregated")
+	}
+	if q.Start != math.MinInt64 || q.End != math.MaxInt64 {
+		t.Fatal("unbounded query got bounds")
+	}
+}
+
+func TestParseMultipleFields(t *testing.T) {
+	q, err := Parse(`SELECT max("Reading"), min("Reading"), mean("Reading") FROM "Power"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Fields) != 3 {
+		t.Fatalf("fields = %+v", q.Fields)
+	}
+}
+
+func TestParseEpochTimeLiterals(t *testing.T) {
+	q, err := Parse(`SELECT count("Reading") FROM "Power" WHERE time >= 100 AND time < 200`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Start != 100 || q.End != 200 {
+		t.Fatalf("range = [%d,%d)", q.Start, q.End)
+	}
+}
+
+func TestParseTimeOperators(t *testing.T) {
+	cases := []struct {
+		stmt       string
+		start, end int64
+	}{
+		{`SELECT count(f) FROM m WHERE time > 100`, 101, math.MaxInt64},
+		{`SELECT count(f) FROM m WHERE time <= 100`, math.MinInt64, 101},
+		{`SELECT count(f) FROM m WHERE time = 100`, 100, 101},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.stmt, err)
+		}
+		if q.Start != c.start || q.End != c.end {
+			t.Errorf("%s: range [%d,%d), want [%d,%d)", c.stmt, q.Start, q.End, c.start, c.end)
+		}
+	}
+}
+
+func TestParseGroupByStar(t *testing.T) {
+	q, err := Parse(`SELECT mean(f) FROM m GROUP BY *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupByTags) != 1 || q.GroupByTags[0] != "*" {
+		t.Fatalf("group tags = %v", q.GroupByTags)
+	}
+}
+
+func TestParseDurationUnits(t *testing.T) {
+	cases := map[string]int64{
+		"30s": 30, "5m": 300, "2h": 7200, "1d": 86400, "1w": 604800,
+	}
+	for lit, want := range cases {
+		q, err := Parse(`SELECT mean(f) FROM m GROUP BY time(` + lit + `)`)
+		if err != nil {
+			t.Fatalf("%s: %v", lit, err)
+		}
+		if q.GroupByTime != want {
+			t.Errorf("time(%s) = %d, want %d", lit, q.GroupByTime, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`FROM m`,
+		`SELECT FROM m`,
+		`SELECT f`,
+		`SELECT f FROM`,
+		`SELECT max(f FROM m`,
+		`SELECT nosuchagg(f) FROM m`,
+		`SELECT f FROM m WHERE`,
+		`SELECT f FROM m WHERE k=`,
+		`SELECT f FROM m WHERE k='v`,
+		`SELECT f FROM m WHERE time ~ 5`,
+		`SELECT f FROM m WHERE time >= 'bogus'`,
+		`SELECT mean(f) FROM m GROUP time(5m)`,
+		`SELECT mean(f) FROM m GROUP BY time(5m`,
+		`SELECT mean(f) FROM m GROUP BY time(5q)`,
+		`SELECT mean(f) FROM m LIMIT x`,
+		`SELECT f FROM m trailing`,
+		`SELECT f FROM m GROUP BY time(5m)`, // raw + group-by-time
+		`SELECT f, max(f) FROM m`,           // mixed raw/agg
+		`SELECT f FROM m WHERE time >= 200 AND time < 100`,
+	}
+	for _, stmt := range bad {
+		if _, err := Parse(stmt); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", stmt)
+		}
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("not a query")
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	stmts := []string{
+		`SELECT max("Reading") FROM "Power" WHERE "NodeId" = '10.101.1.1' AND time >= '2020-04-20T12:00:00Z' AND time < '2020-04-21T12:00:00Z' GROUP BY time(5m)`,
+		`SELECT "Reading" FROM "Power"`,
+		`SELECT mean("f") FROM "m" GROUP BY "NodeId" LIMIT 5`,
+	}
+	for _, s := range stmts {
+		q1, err := Parse(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed query:\n%s\n%s", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestParserRejectsWeirdCharacters(t *testing.T) {
+	_, err := Parse("SELECT f FROM m WHERE a=`x`")
+	if err == nil {
+		t.Fatal("backquote accepted")
+	}
+	if !strings.Contains(err.Error(), "unexpected character") {
+		t.Fatalf("error %q does not mention the bad character", err)
+	}
+}
+
+func TestParseOrderByTime(t *testing.T) {
+	q, err := Parse(`SELECT "Reading" FROM "Power" ORDER BY time DESC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Descending || q.Limit != 1 {
+		t.Fatalf("query = %+v", q)
+	}
+	q, err = Parse(`SELECT "Reading" FROM "Power" ORDER BY time ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Descending {
+		t.Fatal("ASC parsed as descending")
+	}
+	for _, bad := range []string{
+		`SELECT f FROM m ORDER time DESC`,
+		`SELECT f FROM m ORDER BY value DESC`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+	// Round trip.
+	q1 := MustParse(`SELECT "f" FROM "m" ORDER BY time DESC LIMIT 3`)
+	q2 := MustParse(q1.String())
+	if !q2.Descending || q2.Limit != 3 {
+		t.Fatalf("round trip lost ORDER BY: %s", q1.String())
+	}
+}

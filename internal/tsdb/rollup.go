@@ -1,0 +1,203 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Rollups are the engine's continuous queries: InfluxDB's "variety of
+// features that can be used to calculate aggregation, roll-ups,
+// downsampling" the paper leans on (Section III-C). A RollupSpec
+// materializes a downsampled copy of one field into a target
+// measurement; consumers with coarse intervals then scan orders of
+// magnitude fewer points (see BenchmarkAblationRollup).
+type RollupSpec struct {
+	// Source measurement and field to downsample.
+	Source string
+	Field  string
+	// Aggregate function ("max", "mean", ...).
+	Aggregate string
+	// Interval is the bucket width in seconds.
+	Interval int64
+	// Target measurement; empty derives "<Source>_<agg>_<interval>s".
+	Target string
+}
+
+// Validate checks the spec.
+func (s *RollupSpec) Validate() error {
+	if s.Source == "" || s.Field == "" {
+		return fmt.Errorf("tsdb: rollup needs source and field")
+	}
+	if s.Interval <= 0 {
+		return fmt.Errorf("tsdb: rollup interval must be positive")
+	}
+	if s.Aggregate == "" {
+		return fmt.Errorf("tsdb: rollup needs an aggregate")
+	}
+	if _, ok := newAggregator(s.Aggregate); !ok {
+		return fmt.Errorf("tsdb: unknown rollup aggregate %q", s.Aggregate)
+	}
+	return nil
+}
+
+// TargetName resolves the target measurement.
+func (s *RollupSpec) TargetName() string {
+	if s.Target != "" {
+		return s.Target
+	}
+	return fmt.Sprintf("%s_%s_%ds", s.Source, s.Aggregate, s.Interval)
+}
+
+// Rollups manages a set of continuous downsampling queries over one
+// DB. Each Run processes complete buckets between the per-spec
+// watermark and the given data time.
+type Rollups struct {
+	db *DB
+
+	mu        sync.Mutex
+	specs     []RollupSpec
+	watermark map[string]int64 // target -> first unprocessed bucket start
+}
+
+// NewRollups creates a manager for db.
+func NewRollups(db *DB) *Rollups {
+	return &Rollups{db: db, watermark: make(map[string]int64)}
+}
+
+// Add registers a spec; processing starts at the first Run.
+func (r *Rollups) Add(spec RollupSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := spec.TargetName()
+	for _, s := range r.specs {
+		if s.TargetName() == name {
+			return fmt.Errorf("tsdb: rollup target %q already registered", name)
+		}
+	}
+	r.specs = append(r.specs, spec)
+	r.watermark[name] = math.MinInt64
+	return nil
+}
+
+// Specs lists registered specs.
+func (r *Rollups) Specs() []RollupSpec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RollupSpec, len(r.specs))
+	copy(out, r.specs)
+	return out
+}
+
+// Run materializes every complete bucket with end <= now (data time,
+// unix seconds) for all specs. It reports the number of rollup points
+// written.
+func (r *Rollups) Run(now int64) (int, error) {
+	r.mu.Lock()
+	specs := make([]RollupSpec, len(r.specs))
+	copy(specs, r.specs)
+	r.mu.Unlock()
+
+	total := 0
+	for _, spec := range specs {
+		n, err := r.runOne(spec, now)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (r *Rollups) runOne(spec RollupSpec, now int64) (int, error) {
+	target := spec.TargetName()
+	horizon := now - mod(now, spec.Interval) // first incomplete bucket
+
+	r.mu.Lock()
+	start := r.watermark[target]
+	r.mu.Unlock()
+	if start == math.MinInt64 {
+		// First run: begin at the oldest stored data.
+		first, ok := r.db.earliestTime(spec.Source)
+		if !ok {
+			return 0, nil // nothing to do yet
+		}
+		start = first - mod(first, spec.Interval)
+	}
+	if start >= horizon {
+		return 0, nil
+	}
+
+	q := &Query{
+		Fields:      []FieldExpr{{Func: spec.Aggregate, Field: spec.Field}},
+		Measurement: spec.Source,
+		Start:       start,
+		End:         horizon,
+		GroupByTime: spec.Interval,
+		GroupByTags: []string{"*"},
+	}
+	res, err := r.db.Exec(q)
+	if err != nil {
+		return 0, err
+	}
+	var pts []Point
+	for _, s := range res.Series {
+		for _, row := range s.Rows {
+			if !row.Present[0] {
+				continue
+			}
+			pts = append(pts, Point{
+				Measurement: target,
+				Tags:        s.Tags,
+				Fields:      map[string]Value{spec.Field: row.Values[0]},
+				Time:        row.Time,
+			})
+		}
+	}
+	if len(pts) > 0 {
+		if err := r.db.WritePoints(pts); err != nil {
+			return 0, err
+		}
+	}
+	r.mu.Lock()
+	r.watermark[target] = horizon
+	r.mu.Unlock()
+	return len(pts), nil
+}
+
+// earliestTime reports the earliest stored timestamp of a measurement.
+func (db *DB) earliestTime(measurement string) (int64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	mi, ok := db.index[measurement]
+	if !ok {
+		return 0, false
+	}
+	best := int64(math.MaxInt64)
+	found := false
+	for _, s := range db.shardStarts {
+		sh := db.shards[s]
+		for key := range mi.series {
+			sr, ok := sh.series[key]
+			if !ok {
+				continue
+			}
+			for _, col := range sr.fields {
+				col.ensureSorted()
+				if len(col.times) > 0 && col.times[0] < best {
+					best = col.times[0]
+					found = true
+				}
+			}
+		}
+		if found {
+			// Shards are time-ordered; the first shard containing the
+			// measurement holds its earliest point.
+			break
+		}
+	}
+	return best, found
+}

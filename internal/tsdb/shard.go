@@ -1,0 +1,129 @@
+package tsdb
+
+import (
+	"sort"
+)
+
+// column stores one field of one series as parallel time/value slices.
+// Appends usually arrive in time order; out-of-order writes set dirty
+// and the column is sorted lazily before reads.
+type column struct {
+	times []int64
+	vals  []Value
+	dirty bool
+}
+
+func (c *column) append(t int64, v Value) {
+	if n := len(c.times); n > 0 && t < c.times[n-1] {
+		c.dirty = true
+	}
+	c.times = append(c.times, t)
+	c.vals = append(c.vals, v)
+}
+
+// ensureSorted sorts the column by time (stable, preserving write order
+// for equal timestamps). Later writes at the same timestamp win for
+// last-value semantics, which stable sort preserves.
+func (c *column) ensureSorted() {
+	if !c.dirty {
+		return
+	}
+	idx := make([]int, len(c.times))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return c.times[idx[a]] < c.times[idx[b]] })
+	nt := make([]int64, len(c.times))
+	nv := make([]Value, len(c.vals))
+	for i, j := range idx {
+		nt[i] = c.times[j]
+		nv[i] = c.vals[j]
+	}
+	c.times, c.vals = nt, nv
+	c.dirty = false
+}
+
+// rangeIndexes returns the half-open index range [lo, hi) of samples
+// with start <= time < end. The column must be sorted.
+func (c *column) rangeIndexes(start, end int64) (int, int) {
+	lo := sort.Search(len(c.times), func(i int) bool { return c.times[i] >= start })
+	hi := sort.Search(len(c.times), func(i int) bool { return c.times[i] >= end })
+	return lo, hi
+}
+
+// series is all data for one (measurement, tagset) identity within a
+// shard.
+type series struct {
+	measurement string
+	tags        Tags // sorted
+	fields      map[string]*column
+	bytes       int // encoded bytes of all points appended
+}
+
+func (s *series) points() int {
+	max := 0
+	for _, c := range s.fields {
+		if len(c.times) > max {
+			max = len(c.times)
+		}
+	}
+	return max
+}
+
+// shard holds all series for one time window [start, end).
+type shard struct {
+	start, end int64 // unix seconds, half-open
+	series     map[string]*series
+	keyBytes   int // bytes of series keys indexed in this shard
+	points     int64
+	bytes      int64
+}
+
+func newShard(start, end int64) *shard {
+	return &shard{start: start, end: end, series: make(map[string]*series)}
+}
+
+func (sh *shard) write(p *Point, key string, sorted Tags) {
+	sr, ok := sh.series[key]
+	if !ok {
+		sr = &series{
+			measurement: p.Measurement,
+			tags:        sorted,
+			fields:      make(map[string]*column),
+		}
+		sh.series[key] = sr
+		sh.keyBytes += len(key) + 8 // key plus index entry overhead
+	}
+	for fk, fv := range p.Fields {
+		col, ok := sr.fields[fk]
+		if !ok {
+			col = &column{}
+			sr.fields[fk] = col
+		}
+		col.append(p.Time, fv)
+	}
+	sz := p.EncodedSize()
+	sr.bytes += sz
+	sh.points++
+	sh.bytes += int64(sz)
+}
+
+// ShardStats summarizes one shard's contents.
+type ShardStats struct {
+	Start, End int64
+	Series     int
+	Points     int64
+	Bytes      int64 // data bytes
+	IndexBytes int64 // series-key/index bytes
+}
+
+func (sh *shard) stats() ShardStats {
+	return ShardStats{
+		Start:      sh.start,
+		End:        sh.end,
+		Series:     len(sh.series),
+		Points:     sh.points,
+		Bytes:      sh.bytes,
+		IndexBytes: int64(sh.keyBytes),
+	}
+}

@@ -1,0 +1,297 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot format: a simple length-prefixed binary stream.
+//
+//	magic "MTSD" | version u16 | shardDuration i64 | nShards u32
+//	per shard: start i64 | nSeries u32
+//	  per series: key | measurement | nTags u32 | (k,v)* | nFields u32
+//	    per field: name | nSamples u32 | (time i64, value)*
+//	value: kind u8 + payload
+//
+// Strings are u32 length + bytes. Integers are little-endian.
+
+const snapshotMagic = "MTSD"
+const snapshotVersion = 1
+
+// Snapshot serializes the whole database to w. It takes the read lock
+// for the duration, so concurrent queries proceed but writes block.
+func (db *DB) Snapshot(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	writeU16(bw, snapshotVersion)
+	writeI64(bw, db.shardDuration)
+	writeU32(bw, uint32(len(db.shardStarts)))
+	for _, start := range db.shardStarts {
+		sh := db.shards[start]
+		writeI64(bw, sh.start)
+		keys := make([]string, 0, len(sh.series))
+		for k := range sh.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		writeU32(bw, uint32(len(keys)))
+		for _, k := range keys {
+			sr := sh.series[k]
+			writeStr(bw, k)
+			writeStr(bw, sr.measurement)
+			writeU32(bw, uint32(len(sr.tags)))
+			for _, t := range sr.tags {
+				writeStr(bw, t.Key)
+				writeStr(bw, t.Value)
+			}
+			fields := make([]string, 0, len(sr.fields))
+			for f := range sr.fields {
+				fields = append(fields, f)
+			}
+			sort.Strings(fields)
+			writeU32(bw, uint32(len(fields)))
+			for _, f := range fields {
+				col := sr.fields[f]
+				col.ensureSorted()
+				writeStr(bw, f)
+				writeU32(bw, uint32(len(col.times)))
+				for i := range col.times {
+					writeI64(bw, col.times[i])
+					writeValue(bw, col.vals[i])
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore loads a snapshot written by Snapshot into a fresh DB.
+func Restore(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tsdb: restore: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("tsdb: restore: bad magic %q", magic)
+	}
+	ver, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != snapshotVersion {
+		return nil, fmt.Errorf("tsdb: restore: unsupported version %d", ver)
+	}
+	sd, err := readI64(br)
+	if err != nil {
+		return nil, err
+	}
+	db := Open(Options{ShardDuration: sd})
+	nShards, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	for s := uint32(0); s < nShards; s++ {
+		start, err := readI64(br)
+		if err != nil {
+			return nil, err
+		}
+		_ = start
+		nSeries, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < nSeries; i++ {
+			if err := db.restoreSeries(br); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+func (db *DB) restoreSeries(br *bufio.Reader) error {
+	if _, err := readStr(br); err != nil { // key is recomputed
+		return err
+	}
+	measurement, err := readStr(br)
+	if err != nil {
+		return err
+	}
+	nTags, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	tags := make(Tags, 0, nTags)
+	for t := uint32(0); t < nTags; t++ {
+		k, err := readStr(br)
+		if err != nil {
+			return err
+		}
+		v, err := readStr(br)
+		if err != nil {
+			return err
+		}
+		tags = append(tags, Tag{k, v})
+	}
+	nFields, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	// Merge fields back into multi-field points: for each timestamp, the
+	// k-th occurrence of that timestamp in every field joins the k-th
+	// reassembled point. This restores both the stored samples and the
+	// original point/byte accounting for the common case of aligned
+	// multi-field writes.
+	type occKey struct {
+		t int64
+		k int
+	}
+	merged := make(map[occKey]map[string]Value)
+	var order []occKey
+	for f := uint32(0); f < nFields; f++ {
+		name, err := readStr(br)
+		if err != nil {
+			return err
+		}
+		nSamples, err := readU32(br)
+		if err != nil {
+			return err
+		}
+		occ := make(map[int64]int)
+		for s := uint32(0); s < nSamples; s++ {
+			ts, err := readI64(br)
+			if err != nil {
+				return err
+			}
+			v, err := readValue(br)
+			if err != nil {
+				return err
+			}
+			key := occKey{ts, occ[ts]}
+			occ[ts]++
+			fields, ok := merged[key]
+			if !ok {
+				fields = make(map[string]Value)
+				merged[key] = fields
+				order = append(order, key)
+			}
+			fields[name] = v
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].t != order[j].t {
+			return order[i].t < order[j].t
+		}
+		return order[i].k < order[j].k
+	})
+	pts := make([]Point, 0, len(order))
+	for _, key := range order {
+		pts = append(pts, Point{
+			Measurement: measurement,
+			Tags:        tags,
+			Fields:      merged[key],
+			Time:        key.t,
+		})
+	}
+	return db.WritePoints(pts)
+}
+
+func writeU16(w io.Writer, v uint16) { binary.Write(w, binary.LittleEndian, v) }
+func writeU32(w io.Writer, v uint32) { binary.Write(w, binary.LittleEndian, v) }
+func writeI64(w io.Writer, v int64)  { binary.Write(w, binary.LittleEndian, v) }
+func writeF64(w io.Writer, v float64) {
+	binary.Write(w, binary.LittleEndian, v)
+}
+
+func writeStr(w *bufio.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func writeValue(w *bufio.Writer, v Value) {
+	w.WriteByte(byte(v.Kind))
+	switch v.Kind {
+	case KindFloat:
+		writeF64(w, v.F)
+	case KindInt:
+		writeI64(w, v.I)
+	case KindString:
+		writeStr(w, v.S)
+	case KindBool:
+		if v.B {
+			w.WriteByte(1)
+		} else {
+			w.WriteByte(0)
+		}
+	}
+}
+
+func readU16(r io.Reader) (uint16, error) {
+	var v uint16
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readI64(r io.Reader) (int64, error) {
+	var v int64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readF64(r io.Reader) (float64, error) {
+	var v float64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readStr(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<28 {
+		return "", fmt.Errorf("tsdb: restore: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readValue(r *bufio.Reader) (Value, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch ValueKind(kind) {
+	case KindFloat:
+		f, err := readF64(r)
+		return Float(f), err
+	case KindInt:
+		i, err := readI64(r)
+		return Int(i), err
+	case KindString:
+		s, err := readStr(r)
+		return Str(s), err
+	case KindBool:
+		b, err := r.ReadByte()
+		return Bool(b != 0), err
+	default:
+		return Value{}, fmt.Errorf("tsdb: restore: bad value kind %d", kind)
+	}
+}
