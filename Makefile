@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# check is the pre-PR gate: formatting, static analysis, a full build,
+# the whole test suite, and the race detector over the packages with
+# real concurrency (the builder fan-out and the storage engine).
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/builder ./internal/tsdb
+
+# bench runs the Metrics Builder ladder benchmarks (Figs 10-19):
+# naive-sequential vs batched-concurrent vs cached.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBuilder' -benchtime 100x .

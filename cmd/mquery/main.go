@@ -81,6 +81,7 @@ func main() {
 
 	fmt.Printf("window [%s, %s) interval %v agg %s\n", start.Format(time.RFC3339), end.Format(time.RFC3339), *interval, *agg)
 	fmt.Printf("transfer: %d wire bytes, %d decoded bytes, %v\n", res.WireBytes, res.BodyBytes, res.TransferTime.Round(time.Millisecond))
+	printBuilderStats(res.Stats)
 	resp := res.Response
 	fmt.Printf("nodes: %d\n", len(resp.Nodes))
 	for _, ns := range resp.Nodes {
@@ -102,6 +103,26 @@ func main() {
 				time.Unix(j.SubmitTime, 0).UTC().Format(time.RFC3339), finish)
 		}
 	}
+}
+
+// printBuilderStats prints the server-side build breakdown carried in
+// the X-Monster-Stats header: what the builder queried, how much it
+// scanned, and where the time went per stage.
+func printBuilderStats(st monster.BuilderStats) {
+	if st.Queries == 0 {
+		return // header absent (older server) — nothing to report
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	cached := ""
+	if st.CacheHit {
+		cached = " (cache hit)"
+	}
+	fmt.Printf("builder: %d queries, %d series, %d points merged%s\n", st.Queries, st.Series, st.Points, cached)
+	fmt.Printf("scanned: %d series, %d points, %d bytes\n",
+		st.TSDB.SeriesScanned, st.TSDB.PointsScanned, st.TSDB.BytesScanned)
+	fmt.Printf("payload: %d bytes raw -> %d bytes compressed\n", st.BytesRaw, st.BytesCompressed)
+	fmt.Printf("stages:  plan %.2fms, query %.2fms, merge %.2fms, encode %.2fms, compress %.2fms, total %.2fms\n",
+		ms(st.PlanTime), ms(st.QueryTime), ms(st.MergeTime), ms(st.EncodeTime), ms(st.CompressTime), ms(st.Total))
 }
 
 func metricNames(ns monster.NodeSeries) []string {

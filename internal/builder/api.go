@@ -1,0 +1,230 @@
+package builder
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// StatsHeader carries the builder's Stats for one response as a JSON
+// HTTP header, so consumers see the server-side stage breakdown
+// without it inflating the (compressed) body.
+const StatsHeader = "X-Monster-Stats"
+
+// API serves a Builder over HTTP:
+//
+//	GET /v1/metrics?start=S&end=E&interval=5m&agg=max&nodes=a,b&metrics=Power/NodePower&jobs=true
+//	GET /v1/stats
+//
+// start and end accept epoch seconds or RFC3339. interval accepts a Go
+// duration ("5m") or bare seconds; omitting it returns raw samples.
+// Responses are JSON; when the consumer sends Accept-Encoding:
+// deflate, the body is zlib-compressed (Content-Encoding: deflate) —
+// the paper's transport optimization. zlevel=1..9 overrides the
+// compression level. Validation failures are 400s with {"error": ...}.
+type API struct {
+	b   *Builder
+	mux *http.ServeMux
+}
+
+// NewAPI builds the HTTP surface over a Builder.
+func NewAPI(b *Builder) *API {
+	a := &API{b: b, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/v1/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseTimeParam accepts epoch seconds or RFC3339.
+func parseTimeParam(s string) (time.Time, error) {
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(sec, 0).UTC(), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("want epoch seconds or RFC3339, got %q", s)
+	}
+	return t, nil
+}
+
+// parseIntervalParam accepts a Go duration string or bare seconds.
+func parseIntervalParam(s string) (time.Duration, error) {
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Duration(sec) * time.Second, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("want duration or seconds, got %q", s)
+	}
+	return d, nil
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var req Request
+
+	for _, p := range []struct {
+		name string
+		dst  *time.Time
+	}{{"start", &req.Start}, {"end", &req.End}} {
+		v := q.Get(p.name)
+		if v == "" {
+			httpError(w, http.StatusBadRequest, "missing %s parameter", p.name)
+			return
+		}
+		t, err := parseTimeParam(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad %s: %v", p.name, err)
+			return
+		}
+		*p.dst = t
+	}
+	if v := q.Get("interval"); v != "" {
+		iv, err := parseIntervalParam(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad interval: %v", err)
+			return
+		}
+		if iv <= 0 {
+			httpError(w, http.StatusBadRequest, "interval must be positive, got %q", v)
+			return
+		}
+		req.Interval = iv
+	}
+	req.Aggregate = q.Get("agg")
+	if v := q.Get("nodes"); v != "" {
+		req.Nodes = strings.Split(v, ",")
+	}
+	if v := q.Get("metrics"); v != "" {
+		for _, name := range strings.Split(v, ",") {
+			m, err := ParseMetric(name)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad metrics: %v", err)
+				return
+			}
+			req.Metrics = append(req.Metrics, m)
+		}
+	}
+	if v := q.Get("jobs"); v != "" {
+		jobs, err := strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad jobs: %v", err)
+			return
+		}
+		req.IncludeJobs = jobs
+	}
+	zlevel := 0
+	if v := q.Get("zlevel"); v != "" {
+		zl, err := strconv.Atoi(v)
+		if err != nil || zl < 0 || zl > 9 {
+			httpError(w, http.StatusBadRequest, "bad zlevel: want 0..9, got %q", v)
+			return
+		}
+		zlevel = zl
+	}
+
+	resp, st, err := a.b.Fetch(r.Context(), req)
+	if err != nil {
+		var reqErr *RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			httpError(w, http.StatusBadRequest, "%s", reqErr.Reason)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The consumer went away mid-fan-out; nothing to answer.
+			httpError(w, 499, "request canceled")
+		default:
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+
+	te := time.Now()
+	body, err := Encode(resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	st.EncodeTime = time.Since(te)
+	st.BytesRaw = int64(len(body))
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Vary", "Accept-Encoding")
+	if acceptsDeflate(r.Header.Get("Accept-Encoding")) {
+		tc := time.Now()
+		comp, err := Compress(body, zlevel)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "compress: %v", err)
+			return
+		}
+		st.CompressTime = time.Since(tc)
+		st.BytesCompressed = int64(len(comp))
+		body = comp
+		w.Header().Set("Content-Encoding", "deflate")
+	}
+	st.Total += st.EncodeTime + st.CompressTime
+	if hdr, err := json.Marshal(st); err == nil {
+		w.Header().Set(StatsHeader, string(hdr))
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// acceptsDeflate reports whether an Accept-Encoding header admits
+// deflate (with a non-zero quality).
+func acceptsDeflate(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		enc = strings.TrimSpace(enc)
+		if enc != "deflate" && enc != "*" {
+			continue
+		}
+		if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(q), 64); err == nil && f == 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// handleStats reports storage-engine counters (the mquery -stats view).
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	db := a.b.DB()
+	disk := db.Disk()
+	type measurement struct {
+		Name   string `json:"name"`
+		Series int    `json:"series"`
+	}
+	out := struct {
+		Points       int64         `json:"points"`
+		DataBytes    int64         `json:"data_bytes"`
+		IndexBytes   int64         `json:"index_bytes"`
+		Shards       int           `json:"shards"`
+		Measurements []measurement `json:"measurements"`
+	}{
+		Points:     disk.Points,
+		DataBytes:  disk.DataBytes,
+		IndexBytes: disk.IndexBytes,
+		Shards:     disk.Shards,
+	}
+	for _, name := range db.Measurements() {
+		out.Measurements = append(out.Measurements, measurement{Name: name, Series: db.SeriesCardinality(name)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,258 @@
+package builder
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func apiServer(t *testing.T, nodes, minutes int) (*httptest.Server, *Builder) {
+	t.Helper()
+	db := seedDB(t, nodes, minutes)
+	b := New(db, Options{Concurrent: true})
+	srv := httptest.NewServer(NewAPI(b))
+	t.Cleanup(srv.Close)
+	return srv, b
+}
+
+// TestAPIRoundTrip drives Client -> httptest.Server -> API -> Builder
+// and checks the response matches a direct Fetch, compressed and not.
+func TestAPIRoundTrip(t *testing.T) {
+	srv, b := apiServer(t, 5, 60)
+	req := stdRequest(60)
+	req.IncludeJobs = true
+	direct, _, err := b.Fetch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compress := range []bool{false, true} {
+		client := &Client{BaseURL: srv.URL, Compress: compress}
+		res, err := client.Fetch(context.Background(), req)
+		if err != nil {
+			t.Fatalf("compress=%t: %v", compress, err)
+		}
+		if !reflect.DeepEqual(res.Response, direct) {
+			t.Fatalf("compress=%t: remote response differs from direct fetch", compress)
+		}
+		if compress {
+			if res.WireBytes >= res.BodyBytes {
+				t.Fatalf("compression did not shrink transport: %d vs %d", res.WireBytes, res.BodyBytes)
+			}
+			if res.Stats.BytesCompressed == 0 || res.Stats.BytesCompressed != res.WireBytes {
+				t.Fatalf("stats bytes = %+v, wire %d", res.Stats, res.WireBytes)
+			}
+		} else if res.WireBytes != res.BodyBytes {
+			t.Fatalf("identity transfer rewrote body: %d vs %d", res.WireBytes, res.BodyBytes)
+		}
+		if res.Stats.Queries == 0 || res.Stats.BytesRaw != res.BodyBytes {
+			t.Fatalf("compress=%t: stats header missing or wrong: %+v", compress, res.Stats)
+		}
+		if res.TransferTime <= 0 {
+			t.Fatal("no transfer time measured")
+		}
+	}
+}
+
+func TestAPIParameterForms(t *testing.T) {
+	srv, _ := apiServer(t, 3, 30)
+	start, end := testStart.Unix(), testStart.Add(30*time.Minute).Unix()
+	urls := []string{
+		// Epoch seconds + Go duration.
+		fmt.Sprintf("%s/v1/metrics?start=%d&end=%d&interval=5m&agg=max", srv.URL, start, end),
+		// RFC3339 + bare-seconds interval + subsets.
+		fmt.Sprintf("%s/v1/metrics?start=%s&end=%s&interval=300&nodes=10.101.1.1,10.101.1.2&metrics=Power/NodePower,UGE/CPUUsage&jobs=true",
+			srv.URL, testStart.Format(time.RFC3339), testStart.Add(30*time.Minute).Format(time.RFC3339)),
+		// No interval: raw samples.
+		fmt.Sprintf("%s/v1/metrics?start=%d&end=%d", srv.URL, start, end),
+	}
+	for _, u := range urls {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", u, resp.StatusCode, body)
+		}
+		dec, err := Decode(body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", u, err)
+		}
+		if len(dec.Nodes) == 0 {
+			t.Fatalf("GET %s returned no nodes", u)
+		}
+	}
+}
+
+func TestAPIBadRequests(t *testing.T) {
+	srv, _ := apiServer(t, 2, 10)
+	start, end := testStart.Unix(), testStart.Add(10*time.Minute).Unix()
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"missing start", fmt.Sprintf("end=%d", end)},
+		{"missing end", fmt.Sprintf("start=%d", start)},
+		{"bad start", fmt.Sprintf("start=yesterday&end=%d", end)},
+		{"end before start", fmt.Sprintf("start=%d&end=%d", end, start)},
+		{"end equals start", fmt.Sprintf("start=%d&end=%d", start, start)},
+		{"zero interval", fmt.Sprintf("start=%d&end=%d&interval=0", start, end)},
+		{"negative interval", fmt.Sprintf("start=%d&end=%d&interval=-5m", start, end)},
+		{"garbage interval", fmt.Sprintf("start=%d&end=%d&interval=soon", start, end)},
+		{"unknown aggregate", fmt.Sprintf("start=%d&end=%d&interval=5m&agg=percentile", start, end)},
+		{"bad metric", fmt.Sprintf("start=%d&end=%d&metrics=NodePower", start, end)},
+		{"bad jobs flag", fmt.Sprintf("start=%d&end=%d&jobs=maybe", start, end)},
+		{"bad zlevel", fmt.Sprintf("start=%d&end=%d&zlevel=11", start, end)},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(srv.URL + "/v1/metrics?" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+			continue
+		}
+		if err != nil || e.Error == "" {
+			t.Errorf("%s: no error JSON: %v", tc.name, err)
+		}
+	}
+}
+
+func TestAPIClientCancellationMidFanOut(t *testing.T) {
+	srv, _ := apiServer(t, 32, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	client := &Client{BaseURL: srv.URL, Compress: true}
+	if _, err := client.Fetch(ctx, stdRequest(60)); err == nil {
+		t.Fatal("canceled fetch succeeded")
+	}
+	// The server must stay healthy for the next consumer.
+	res, err := (&Client{BaseURL: srv.URL}).Fetch(context.Background(), stdRequest(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Response.Nodes) != 32 {
+		t.Fatalf("nodes after cancellation = %d", len(res.Response.Nodes))
+	}
+}
+
+func TestAPICompressionNegotiation(t *testing.T) {
+	srv, _ := apiServer(t, 2, 10)
+	u := fmt.Sprintf("%s/v1/metrics?start=%d&end=%d&interval=5m",
+		srv.URL, testStart.Unix(), testStart.Add(10*time.Minute).Unix())
+	cases := []struct {
+		accept  string
+		deflate bool
+	}{
+		{"", false},
+		{"identity", false},
+		{"gzip", false},
+		{"deflate", true},
+		{"gzip, deflate", true},
+		{"deflate;q=0", false},
+		{"*", true},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(http.MethodGet, u, nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept-Encoding", tc.accept)
+		} else {
+			req.Header.Set("Accept-Encoding", "identity")
+		}
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		gotDeflate := resp.Header.Get("Content-Encoding") == "deflate"
+		want := tc.deflate
+		if tc.accept == "" {
+			want = false
+		}
+		if gotDeflate != want {
+			t.Errorf("Accept-Encoding %q: deflate=%t, want %t", tc.accept, gotDeflate, want)
+			continue
+		}
+		if gotDeflate {
+			if _, err := Decompress(body); err != nil {
+				t.Errorf("Accept-Encoding %q: bad deflate body: %v", tc.accept, err)
+			}
+		} else if _, err := Decode(body); err != nil {
+			t.Errorf("Accept-Encoding %q: bad identity body: %v", tc.accept, err)
+		}
+		if resp.Header.Get("Vary") != "Accept-Encoding" {
+			t.Errorf("Accept-Encoding %q: missing Vary header", tc.accept)
+		}
+	}
+}
+
+func TestAPIStatsEndpoint(t *testing.T) {
+	srv, b := apiServer(t, 3, 20)
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Points       int64 `json:"points"`
+		DataBytes    int64 `json:"data_bytes"`
+		Shards       int   `json:"shards"`
+		Measurements []struct {
+			Name   string `json:"name"`
+			Series int    `json:"series"`
+		} `json:"measurements"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Points != b.DB().Disk().Points || body.Points == 0 {
+		t.Fatalf("points = %d", body.Points)
+	}
+	found := false
+	for _, m := range body.Measurements {
+		if m.Name == "Power" && m.Series == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Power measurement not reported: %+v", body.Measurements)
+	}
+}
+
+func TestAPIStatsHeaderParses(t *testing.T) {
+	srv, _ := apiServer(t, 2, 10)
+	u := fmt.Sprintf("%s/v1/metrics?start=%d&end=%d&interval=5m",
+		srv.URL, testStart.Unix(), testStart.Add(10*time.Minute).Unix())
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	hdr := resp.Header.Get(StatsHeader)
+	if hdr == "" || strings.ContainsAny(hdr, "\r\n") {
+		t.Fatalf("stats header = %q", hdr)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(hdr), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries == 0 || st.Nodes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

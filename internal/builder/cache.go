@@ -1,0 +1,123 @@
+package builder
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// DefaultCacheCapacity is the entry capacity when NewCache is given
+// zero.
+const DefaultCacheCapacity = 128
+
+// Cache is an LRU response cache over a Builder — the optimization
+// that serves Fig 16's repeated-consumer asks (dashboards polling the
+// same window shape) without touching storage.
+//
+// Consistency is by mutation epoch: every Fetch compares the storage
+// engine's Epoch() against the epoch the cache last saw and flushes
+// everything on mismatch. A monitoring DB ingests on every collection
+// cycle, so entries live for at most one collection interval — exactly
+// the window during which repeated consumer asks are identical.
+//
+// Cached responses are shared; callers must treat them as read-only.
+type Cache struct {
+	b   *Builder
+	cap int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recent; holds *cacheEntry
+	items map[string]*list.Element
+	epoch int64
+	stats CacheStats
+}
+
+type cacheEntry struct {
+	key   string
+	resp  *Response
+	stats Stats
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"` // whole-cache epoch flushes
+	Size          int   `json:"size"`
+}
+
+// NewCache wraps a Builder in an LRU response cache holding up to
+// capacity responses (0 selects DefaultCacheCapacity).
+func NewCache(b *Builder, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		b:     b,
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		epoch: b.db.Epoch(),
+	}
+}
+
+// Fetch answers the request from cache when the storage epoch is
+// unchanged and an identical request (same window, interval,
+// aggregate, node and metric subsets) was answered before; otherwise
+// it delegates to the Builder and caches the answer.
+func (c *Cache) Fetch(ctx context.Context, req Request) (*Response, Stats, error) {
+	key := req.Key()
+
+	c.mu.Lock()
+	if epoch := c.b.db.Epoch(); epoch != c.epoch {
+		if c.ll.Len() > 0 {
+			c.stats.Invalidations++
+		}
+		c.ll.Init()
+		c.items = make(map[string]*list.Element)
+		c.epoch = epoch
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		c.stats.Hits++
+		st := ent.stats
+		st.CacheHit = true
+		c.mu.Unlock()
+		return ent.resp, st, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	resp, st, err := c.b.Fetch(ctx, req)
+	if err != nil {
+		return nil, st, err
+	}
+
+	c.mu.Lock()
+	// A write may have landed during the fill; only cache the answer if
+	// it is still current.
+	if c.b.db.Epoch() == c.epoch {
+		if _, ok := c.items[key]; !ok {
+			if c.ll.Len() >= c.cap {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.items, oldest.Value.(*cacheEntry).key)
+				c.stats.Evictions++
+			}
+			c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp, stats: st})
+		}
+	}
+	c.mu.Unlock()
+	return resp, st, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Size = c.ll.Len()
+	return st
+}

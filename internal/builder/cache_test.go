@@ -1,0 +1,146 @@
+package builder
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"monster/internal/tsdb"
+)
+
+func TestCacheHitOnRepeat(t *testing.T) {
+	db := seedDB(t, 4, 30)
+	c := NewCache(New(db, Options{Concurrent: true}), 0)
+	req := stdRequest(30)
+
+	resp1, st1, err := c.Fetch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CacheHit {
+		t.Fatal("first fetch reported a hit")
+	}
+	resp2, st2, err := c.Fetch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit {
+		t.Fatal("second fetch missed")
+	}
+	if resp1 != resp2 {
+		t.Fatal("hit returned a different response object")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheKeyNormalization(t *testing.T) {
+	db := seedDB(t, 3, 10)
+	c := NewCache(New(db, Options{}), 0)
+	a := stdRequest(10)
+	a.Nodes = []string{"10.101.1.2", "10.101.1.1"}
+	b := stdRequest(10)
+	b.Nodes = []string{"10.101.1.1", "10.101.1.2"}
+	if _, _, err := c.Fetch(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	if _, st, err := c.Fetch(context.Background(), b); err != nil || !st.CacheHit {
+		t.Fatalf("reordered node list missed the cache: hit=%t err=%v", st.CacheHit, err)
+	}
+}
+
+func TestCacheInvalidatedByWrite(t *testing.T) {
+	db := seedDB(t, 2, 10)
+	c := NewCache(New(db, Options{}), 0)
+	req := stdRequest(10)
+	if _, _, err := c.Fetch(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	// A new collection cycle lands.
+	err := db.WritePoint(tsdb.Point{
+		Measurement: "Power",
+		Tags:        tsdb.Tags{{Key: "NodeId", Value: "10.101.1.1"}, {Key: "Label", Value: "NodePower"}},
+		Fields:      map[string]tsdb.Value{"Reading": tsdb.Float(250)},
+		Time:        testStart.Unix() + 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := c.Fetch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("stale response served after a write")
+	}
+	if got := c.Stats(); got.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", got.Invalidations)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	db := seedDB(t, 2, 30)
+	c := NewCache(New(db, Options{}), 2)
+	mk := func(minutes int) Request {
+		return Request{Start: testStart, End: testStart.Add(time.Duration(minutes) * time.Minute),
+			Interval: 5 * time.Minute, Aggregate: "max"}
+	}
+	ctx := context.Background()
+	for _, m := range []int{10, 20, 30} { // third insert evicts the 10-minute entry
+		if _, _, err := c.Fetch(ctx, mk(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, st, err := c.Fetch(ctx, mk(20)); err != nil || !st.CacheHit {
+		t.Fatalf("surviving entry missed: %v", err)
+	}
+	if _, st, err := c.Fetch(ctx, mk(10)); err != nil || st.CacheHit {
+		t.Fatalf("evicted entry hit: %v", err)
+	}
+}
+
+func TestCachePropagatesErrors(t *testing.T) {
+	db := seedDB(t, 1, 5)
+	c := NewCache(New(db, Options{}), 0)
+	_, _, err := c.Fetch(context.Background(), Request{Start: testStart, End: testStart})
+	if err == nil {
+		t.Fatal("invalid request accepted through cache")
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("error cached: %+v", st)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	db := seedDB(t, 4, 20)
+	c := NewCache(New(db, Options{Concurrent: true}), 8)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 20; i++ {
+				req := stdRequest(10 + (g+i)%3*5)
+				if _, _, err := c.Fetch(context.Background(), req); err != nil {
+					done <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*20 {
+		t.Fatalf("lost fetches: %+v", st)
+	}
+}

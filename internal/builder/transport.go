@@ -1,0 +1,93 @@
+package builder
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Encode renders a Response as its JSON wire format.
+func Encode(resp *Response) ([]byte, error) {
+	return json.Marshal(resp)
+}
+
+// Decode parses the JSON wire format back into a Response.
+func Decode(data []byte) (*Response, error) {
+	var resp Response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("builder: decode response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Per-level pools of zlib writers: Compress runs on the API's hot path
+// for every response, and a zlib.Writer's allocation (window plus
+// hash chains, ~1.3 MB) dwarfs the data it compresses. Index 0 is
+// DefaultCompression, 1–9 the explicit levels.
+var zlibWriters [10]sync.Pool
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Compress zlib-compresses a response body — the paper's transport
+// optimization, which shrinks the monitoring JSON to ~5% of its raw
+// size (Fig 18). Level 0 selects zlib's default level; 1–9 are the
+// explicit speed/ratio trade-offs.
+func Compress(data []byte, level int) ([]byte, error) {
+	if level < 0 || level > 9 {
+		return nil, fmt.Errorf("builder: compression level %d out of range [0,9]", level)
+	}
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+
+	w, _ := zlibWriters[level].Get().(*zlib.Writer)
+	if w == nil {
+		zl := level
+		if zl == 0 {
+			zl = zlib.DefaultCompression
+		}
+		var err error
+		if w, err = zlib.NewWriterLevel(buf, zl); err != nil {
+			return nil, fmt.Errorf("builder: zlib writer: %w", err)
+		}
+	} else {
+		w.Reset(buf)
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("builder: compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("builder: compress: %w", err)
+	}
+	zlibWriters[level].Put(w)
+
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(data []byte) ([]byte, error) {
+	r, err := zlib.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("builder: decompress: %w", err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("builder: decompress: %w", err)
+	}
+	return out, nil
+}
+
+// CompressionRatio is compressed size over raw size (the Fig 18
+// metric; ~0.05 for monitoring JSON).
+func CompressionRatio(raw, compressed []byte) float64 {
+	if len(raw) == 0 {
+		return 0
+	}
+	return float64(len(compressed)) / float64(len(raw))
+}

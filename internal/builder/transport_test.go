@@ -1,0 +1,111 @@
+package builder
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	db := seedDB(t, 3, 20)
+	b := New(db, Options{Concurrent: true})
+	req := stdRequest(20)
+	req.IncludeJobs = true
+	resp, _, err := b.Fetch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp, back) {
+		t.Fatal("JSON round trip changed the response")
+	}
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestCompressRoundTripAllLevels(t *testing.T) {
+	data := []byte(strings.Repeat("Reading: 273.15, Node: 10.101.1.42; ", 2000))
+	for level := 0; level <= 9; level++ {
+		comp, err := Compress(data, level)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if len(comp) >= len(data) {
+			t.Fatalf("level %d did not shrink: %d -> %d", level, len(data), len(comp))
+		}
+		back, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("level %d corrupted the data", level)
+		}
+	}
+}
+
+func TestCompressLevelValidation(t *testing.T) {
+	for _, level := range []int{-1, 10, 100} {
+		if _, err := Compress([]byte("x"), level); err == nil {
+			t.Errorf("level %d accepted", level)
+		}
+	}
+}
+
+func TestCompressReusesPooledWriters(t *testing.T) {
+	// Two sequential compressions at the same level must both round
+	// trip — a stale pooled writer would corrupt the second stream.
+	data := []byte(strings.Repeat("abcdef", 500))
+	for i := 0; i < 3; i++ {
+		comp, err := Compress(data, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decompress(comp)
+		if err != nil || !bytes.Equal(back, data) {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	if _, err := Decompress([]byte("definitely not zlib")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCompressionRatioOnRealResponse(t *testing.T) {
+	db := seedDB(t, 8, 120)
+	b := New(db, Options{Concurrent: true})
+	req := stdRequest(120)
+	req.Interval = time.Minute // 1-minute buckets: lots of repetitive JSON
+	resp, _, err := b.Fetch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Encode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compress(raw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := CompressionRatio(raw, comp)
+	if ratio <= 0 || ratio > 0.35 {
+		t.Fatalf("ratio = %.3f (raw %d, compressed %d) — paper reports ~0.05 on monitoring JSON", ratio, len(raw), len(comp))
+	}
+	if CompressionRatio(nil, comp) != 0 {
+		t.Fatal("empty raw ratio not zero")
+	}
+}

@@ -33,6 +33,10 @@ type DB struct {
 	// index: measurement -> tag key -> tag value -> set of series keys
 	index map[string]*measurementIndex
 	stats DBStats
+	// epoch counts mutations (write batches, drops, retention). Caches
+	// layered above the DB — the Metrics Builder's LRU response cache —
+	// compare epochs to invalidate without inspecting data.
+	epoch int64
 }
 
 type measurementIndex struct {
@@ -83,7 +87,19 @@ func (db *DB) WritePoints(points []Point) error {
 		db.stats.PointsWritten++
 	}
 	db.stats.BatchesWritten++
+	if len(points) > 0 {
+		db.epoch++
+	}
 	return nil
+}
+
+// Epoch reports the DB's mutation epoch: a counter bumped by every
+// write batch, measurement drop, and retention sweep that changes
+// stored data. A response cached at epoch E is stale iff Epoch() != E.
+func (db *DB) Epoch() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.epoch
 }
 
 // WritePoint stores a single point.
@@ -289,6 +305,7 @@ func (db *DB) DropMeasurement(name string) bool {
 	}
 	delete(db.index, name)
 	db.stats.Measurements--
+	db.epoch++
 	return true
 }
 
@@ -310,5 +327,8 @@ func (db *DB) DeleteBefore(t int64) int {
 		}
 	}
 	db.shardStarts = keep
+	if dropped > 0 {
+		db.epoch++
+	}
 	return dropped
 }

@@ -81,13 +81,15 @@ func (db *DB) Exec(q *Query) (*Result, error) {
 	shards := db.shardsOverlappingLocked(q.Start, q.End)
 
 	columns := append([]string{"time"}, fieldLabels(q)...)
+	res.Series = make([]ResultSeries, 0, len(groups))
+	var scratch aggScratch
 	for _, g := range groups {
 		var rs ResultSeries
 		rs.Name = q.Measurement
 		rs.Tags = g.tags
 		rs.Columns = columns
 		if q.Aggregated() {
-			db.execAggLocked(q, g.keys, shards, &rs, &res.Stats)
+			db.execAggLocked(q, g.keys, shards, &rs, &res.Stats, &scratch)
 		} else {
 			db.execRawLocked(q, g.keys, shards, &rs, &res.Stats)
 		}
@@ -103,6 +105,9 @@ func (db *DB) Exec(q *Query) (*Result, error) {
 		if len(rs.Rows) > 0 {
 			res.Series = append(res.Series, rs)
 		}
+	}
+	if len(res.Series) == 0 {
+		res.Series = nil // keep "no output" indistinguishable from the unsized path
 	}
 	sort.Slice(res.Series, func(i, j int) bool {
 		return tagsLess(res.Series[i].Tags, res.Series[j].Tags)
@@ -120,13 +125,52 @@ func fieldLabels(q *Query) []string {
 
 // matchSeriesLocked finds series keys in the measurement that satisfy
 // every tag predicate, using the most selective tag's posting list.
+// Regex predicates are resolved against the tag-value index — each
+// pattern is matched once per distinct value, not once per series.
 func (db *DB) matchSeriesLocked(q *Query) []string {
 	mi, ok := db.index[q.Measurement]
 	if !ok {
 		return nil
 	}
+	// Single-regex statements — the batched fan-out shape — take a
+	// direct route: match each distinct tag value once, union the
+	// posting lists, done. No per-series re-check, no resolution map.
+	if len(q.TagConds) == 0 && len(q.TagRegexps) == 1 {
+		c := q.TagRegexps[0]
+		vals, ok := mi.byTag[c.Key]
+		if !ok {
+			return nil
+		}
+		var out []string
+		for v, list := range vals {
+			if c.Re.MatchString(v) {
+				out = append(out, list...)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	// Pre-resolve each regex predicate to its set of matching values.
+	reMatch := make([]map[string]bool, len(q.TagRegexps))
+	for i, c := range q.TagRegexps {
+		vals, ok := mi.byTag[c.Key]
+		if !ok {
+			return nil
+		}
+		m := make(map[string]bool, len(vals))
+		for v := range vals {
+			if c.Re.MatchString(v) {
+				m[v] = true
+			}
+		}
+		if len(m) == 0 {
+			return nil
+		}
+		reMatch[i] = m
+	}
 	var candidates []string
-	if len(q.TagConds) > 0 {
+	switch {
+	case len(q.TagConds) > 0:
 		best := -1
 		var bestList []string
 		for _, c := range q.TagConds {
@@ -144,13 +188,26 @@ func (db *DB) matchSeriesLocked(q *Query) []string {
 			}
 		}
 		candidates = bestList
-	} else {
+	case len(q.TagRegexps) > 0:
+		// Union the posting lists of the regex predicate with the
+		// fewest matching values.
+		best := 0
+		for i := range reMatch {
+			if len(reMatch[i]) < len(reMatch[best]) {
+				best = i
+			}
+		}
+		vals := mi.byTag[q.TagRegexps[best].Key]
+		for v := range reMatch[best] {
+			candidates = append(candidates, vals[v]...)
+		}
+	default:
 		candidates = make([]string, 0, len(mi.series))
 		for k := range mi.series {
 			candidates = append(candidates, k)
 		}
 	}
-	var out []string
+	out := make([]string, 0, len(candidates))
 	for _, k := range candidates {
 		tags := mi.series[k]
 		ok := true
@@ -159,6 +216,15 @@ func (db *DB) matchSeriesLocked(q *Query) []string {
 			if !has || v != c.Value {
 				ok = false
 				break
+			}
+		}
+		for i, c := range q.TagRegexps {
+			if !ok {
+				break
+			}
+			v, has := tags.Get(c.Key)
+			if !has || !reMatch[i][v] {
+				ok = false
 			}
 		}
 		if ok {
@@ -174,6 +240,34 @@ type seriesGroup struct {
 	keys []string
 }
 
+// groupKeysCover reports whether the GROUP BY keys cover the complete
+// tag set of every matched series — in which case grouping is
+// one-to-one with the series and no dedup map is needed.
+func groupKeysCover(q *Query, keys []string, mi *measurementIndex) bool {
+	if len(q.GroupByTags) == 0 {
+		return false
+	}
+	for i, gk := range q.GroupByTags { // duplicate keys never cover
+		for j := 0; j < i; j++ {
+			if q.GroupByTags[j] == gk {
+				return false
+			}
+		}
+	}
+	for _, k := range keys {
+		tags := mi.series[k]
+		if len(tags) != len(q.GroupByTags) {
+			return false
+		}
+		for _, gk := range q.GroupByTags {
+			if _, ok := tags.Get(gk); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // groupSeries partitions matched series by the GROUP BY tag values.
 // "*" groups by every tag (one group per series).
 func groupSeries(q *Query, keys []string, mi *measurementIndex) []seriesGroup {
@@ -186,20 +280,58 @@ func groupSeries(q *Query, keys []string, mi *measurementIndex) []seriesGroup {
 			star = true
 		}
 	}
+	// Fast path: GROUP BY * — or a key set covering every series' full
+	// tag set, like the fan-out GROUP BY "NodeId", "Label" — puts each
+	// series in its own group, so the map/dedup machinery below is pure
+	// overhead. Keys arrive sorted, which keeps the output order
+	// deterministic.
+	if star || groupKeysCover(q, keys, mi) {
+		out := make([]seriesGroup, len(keys))
+		for i, k := range keys {
+			out[i] = seriesGroup{tags: mi.series[k], keys: keys[i : i+1 : i+1]}
+		}
+		return out
+	}
 	byID := make(map[string]*seriesGroup)
 	var order []string
 	for _, k := range keys {
 		tags := mi.series[k]
 		var gt Tags
+		var id string
 		if star {
-			gt = tags
+			gt, id = tags, k
 		} else {
-			for _, gk := range q.GroupByTags {
-				v, _ := tags.Get(gk)
-				gt = append(gt, Tag{gk, v})
+			// When the GROUP BY keys cover the series' full tag set —
+			// the common GROUP BY "NodeId", "Label" shape — the group
+			// is the series itself: reuse its canonical tag set and
+			// storage key instead of building new ones per series.
+			full := len(q.GroupByTags) == len(tags)
+			if full {
+				for i, gk := range q.GroupByTags {
+					if _, ok := tags.Get(gk); !ok {
+						full = false
+						break
+					}
+					for j := 0; j < i; j++ { // duplicate GROUP BY keys never cover
+						if q.GroupByTags[j] == gk {
+							full = false
+						}
+					}
+					if !full {
+						break
+					}
+				}
+			}
+			if full {
+				gt, id = tags, k
+			} else {
+				for _, gk := range q.GroupByTags {
+					v, _ := tags.Get(gk)
+					gt = append(gt, Tag{gk, v})
+				}
+				id = seriesKey("", gt)
 			}
 		}
-		id := seriesKey("", gt)
 		g, ok := byID[id]
 		if !ok {
 			g = &seriesGroup{tags: gt}
@@ -216,8 +348,20 @@ func groupSeries(q *Query, keys []string, mi *measurementIndex) []seriesGroup {
 	return out
 }
 
+// tagsLess orders tag sets field-wise (key, then value, per position).
+// This matches the ordering of the rendered series keys for ordinary
+// tag values while allocating nothing; batched queries sort hundreds
+// of output series per statement, so this is on the query hot path.
 func tagsLess(a, b Tags) bool {
-	return seriesKey("", a) < seriesKey("", b)
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Key != b[i].Key {
+			return a[i].Key < b[i].Key
+		}
+		if a[i].Value != b[i].Value {
+			return a[i].Value < b[i].Value
+		}
+	}
+	return len(a) < len(b)
 }
 
 // sample is one (time, value) pulled from a column during a scan.
@@ -226,11 +370,30 @@ type sample struct {
 	v Value
 }
 
-// scanField collects, in time order, every sample of one field across
-// the group's series and the overlapping shards.
-func (db *DB) scanFieldLocked(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) []sample {
-	var out []sample
-	sorted := true
+// colChunk is one contiguous, time-sorted run of column samples that
+// falls inside the query range. Scans operate on chunk lists so the
+// common case — every chunk already in global time order — can
+// aggregate straight off the storage slices without materializing
+// per-sample structs.
+type colChunk struct {
+	col    *column
+	lo, hi int
+}
+
+// collectChunks gathers the column ranges of one field across the
+// group's series and overlapping shards. It reports whether visiting
+// the chunks in order yields globally time-sorted samples, and the
+// total sample count. It does not touch query stats — the caller
+// accounts for each sample exactly once when it is consumed.
+func collectChunks(keys []string, field string, shards []*shard, start, end int64) ([]colChunk, bool, int) {
+	return collectChunksInto(nil, keys, field, shards, start, end)
+}
+
+// collectChunksInto is collectChunks appending into a reusable buffer.
+func collectChunksInto(chunks []colChunk, keys []string, field string, shards []*shard, start, end int64) (_ []colChunk, sorted bool, n int) {
+	sorted = true
+	var last int64
+	have := false
 	for _, sh := range shards {
 		for _, k := range keys {
 			sr, ok := sh.series[k]
@@ -246,14 +409,27 @@ func (db *DB) scanFieldLocked(keys []string, field string, shards []*shard, star
 			if lo >= hi {
 				continue
 			}
-			if len(out) > 0 && col.times[lo] < out[len(out)-1].t {
+			if have && col.times[lo] < last {
 				sorted = false
 			}
-			for i := lo; i < hi; i++ {
-				out = append(out, sample{col.times[i], col.vals[i]})
-				stats.PointsScanned++
-				stats.BytesScanned += 8 + int64(col.vals[i].EncodedSize())
-			}
+			last = col.times[hi-1]
+			have = true
+			chunks = append(chunks, colChunk{col, lo, hi})
+			n += hi - lo
+		}
+	}
+	return chunks, sorted, n
+}
+
+// materialize flattens a chunk list into a time-sorted sample slice,
+// charging each sample to the query stats.
+func materialize(chunks []colChunk, sorted bool, n int, stats *QueryStats) []sample {
+	out := make([]sample, 0, n)
+	for _, ch := range chunks {
+		for i := ch.lo; i < ch.hi; i++ {
+			out = append(out, sample{ch.col.times[i], ch.col.vals[i]})
+			stats.PointsScanned++
+			stats.BytesScanned += 8 + int64(ch.col.vals[i].EncodedSize())
 		}
 	}
 	if !sorted {
@@ -262,14 +438,391 @@ func (db *DB) scanFieldLocked(keys []string, field string, shards []*shard, star
 	return out
 }
 
+// scanField collects, in time order, every sample of one field across
+// the group's series and the overlapping shards.
+func (db *DB) scanFieldLocked(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) []sample {
+	chunks, sorted, n := collectChunks(keys, field, shards, start, end)
+	return materialize(chunks, sorted, n, stats)
+}
+
+// maxFastBuckets bounds the dense bucket array used by the aggregation
+// fast path; sparser or wider queries fall back to the map-based path.
+const maxFastBuckets = 1 << 16
+
+// aggScratch recycles the non-escaping per-group buffers of the
+// aggregation fast path across the (often hundreds of) output groups
+// of one statement. Bucket slabs are handed out zeroed.
+type aggScratch struct {
+	chunksPerField [][]colChunk
+	f1, f2         []float64
+	n              []int64
+	seen           []bool
+}
+
+func (s *aggScratch) chunkLists(nf int) [][]colChunk {
+	if cap(s.chunksPerField) < nf {
+		s.chunksPerField = make([][]colChunk, nf)
+	}
+	s.chunksPerField = s.chunksPerField[:nf]
+	for i := range s.chunksPerField {
+		s.chunksPerField[i] = s.chunksPerField[i][:0]
+	}
+	return s.chunksPerField
+}
+
+func (s *aggScratch) floats1(nb int) []float64 {
+	if cap(s.f1) < nb {
+		s.f1 = make([]float64, nb)
+	}
+	s.f1 = s.f1[:nb]
+	clear(s.f1)
+	return s.f1
+}
+
+func (s *aggScratch) floats2(nb int) []float64 {
+	if cap(s.f2) < nb {
+		s.f2 = make([]float64, nb)
+	}
+	s.f2 = s.f2[:nb]
+	clear(s.f2)
+	return s.f2
+}
+
+func (s *aggScratch) ints(nb int) []int64 {
+	if cap(s.n) < nb {
+		s.n = make([]int64, nb)
+	}
+	s.n = s.n[:nb]
+	clear(s.n)
+	return s.n
+}
+
+func (s *aggScratch) bools(nb int) []bool {
+	if cap(s.seen) < nb {
+		s.seen = make([]bool, nb)
+	}
+	s.seen = s.seen[:nb]
+	clear(s.seen)
+	return s.seen
+}
+
 // execAggLocked computes aggregate rows, optionally bucketed by
 // GROUP BY time. Buckets with no samples are omitted (InfluxDB's
 // fill(none) behaviour).
-func (db *DB) execAggLocked(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats) {
+//
+// The hot path aggregates directly off the storage columns: when every
+// chunk is already in global time order (the overwhelmingly common
+// case — one series per group, appends in time order), samples are fed
+// to the aggregators in the exact order the slow path would after its
+// stable sort, so results are bit-identical while skipping the
+// per-sample materialization and the bucket hash map.
+func (db *DB) execAggLocked(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats, scratch *aggScratch) {
+	nf := len(q.Fields)
+	chunksPerField := scratch.chunkLists(nf)
+	allSorted := true
+	minT, maxT := int64(math.MaxInt64), int64(math.MinInt64)
+	for i, f := range q.Fields {
+		chunks, sorted, _ := collectChunksInto(chunksPerField[i], keys, f.Field, shards, q.Start, q.End)
+		chunksPerField[i] = chunks
+		scratch.chunksPerField[i] = chunks // keep the grown backing for reuse
+		if !sorted {
+			allSorted = false
+		}
+		if len(chunks) > 0 && sorted {
+			if t := chunks[0].col.times[chunks[0].lo]; t < minT {
+				minT = t
+			}
+			last := chunks[len(chunks)-1]
+			if t := last.col.times[last.hi-1]; t > maxT {
+				maxT = t
+			}
+		}
+	}
+	if allSorted {
+		if q.GroupByTime <= 0 {
+			db.aggWholeRange(q, chunksPerField, rs, stats)
+			return
+		}
+		if minT <= maxT {
+			base := minT - mod(minT, q.GroupByTime)
+			if nb := (maxT-base)/q.GroupByTime + 1; nb > 0 && nb <= maxFastBuckets {
+				db.aggBucketedFast(q, chunksPerField, base, int(nb), rs, stats, scratch)
+				return
+			}
+		} else {
+			return // no samples at all
+		}
+	}
+	db.aggBucketedSlow(q, chunksPerField, allSorted, rs, stats)
+}
+
+// aggWholeRange emits the single-row (no GROUP BY time) aggregate
+// straight from the chunk lists.
+func (db *DB) aggWholeRange(q *Query, chunksPerField [][]colChunk, rs *ResultSeries, stats *QueryStats) {
+	nf := len(q.Fields)
+	row := Row{Time: rangeStart(q), Values: make([]Value, nf), Present: make([]bool, nf)}
+	any := false
+	for i, f := range q.Fields {
+		agg, _ := newAggregator(f.Func)
+		for _, ch := range chunksPerField[i] {
+			for j := ch.lo; j < ch.hi; j++ {
+				agg.add(ch.col.vals[j])
+				stats.PointsScanned++
+				stats.BytesScanned += 8 + int64(ch.col.vals[j].EncodedSize())
+			}
+		}
+		if v, ok := agg.result(); ok {
+			row.Values[i], row.Present[i] = v, true
+			any = true
+		}
+	}
+	if any {
+		rs.Rows = append(rs.Rows, row)
+	}
+}
+
+// Dense bucket kernels for the simple reductions. Specializing the
+// inner scan loop per aggregate keeps the hot path free of interface
+// dispatch and per-bucket aggregator allocations; order-sensitive or
+// state-heavy aggregates (first, last, stddev, median) route through
+// the generic lazily-allocated aggregator slots.
+const (
+	kGeneric = iota
+	kCount
+	kSum
+	kMean
+	kMax
+	kMin
+	kSpread
+)
+
+// numericAt reads vals[j] as a float without copying the full Value
+// struct, charging its encoded size (plus the 8-byte timestamp) to
+// bytes. The kernels call this once per sample, so it stays a pointer
+// read plus a switch.
+func numericAt(vals []Value, j int, bytes *int64) (float64, bool) {
+	v := &vals[j]
+	switch v.Kind {
+	case KindFloat:
+		*bytes += 16
+		return v.F, true
+	case KindInt:
+		*bytes += 16
+		return float64(v.I), true
+	default:
+		*bytes += 8 + int64(v.EncodedSize())
+		return 0, false
+	}
+}
+
+func kernelFor(fn string) int {
+	switch fn {
+	case "count":
+		return kCount
+	case "sum":
+		return kSum
+	case "mean":
+		return kMean
+	case "max":
+		return kMax
+	case "min":
+		return kMin
+	case "spread":
+		return kSpread
+	default:
+		return kGeneric
+	}
+}
+
+// aggBucketedFast aggregates time-sorted chunks into dense bucket
+// arrays indexed by (t - base) / interval. Empty buckets cost nothing
+// and are omitted from the output (fill(none)). Row value/present
+// storage is carved from two per-group slabs instead of being
+// allocated per row.
+func (db *DB) aggBucketedFast(q *Query, chunksPerField [][]colChunk, base int64, nb int, rs *ResultSeries, stats *QueryStats, scratch *aggScratch) {
+	nf := len(q.Fields)
+	iv := q.GroupByTime
+	type denseField struct {
+		mode   int
+		n      []int64
+		f1, f2 []float64
+		seen   []bool
+		aggs   []aggregator
+	}
+	fields := make([]denseField, nf)
+	for i, f := range q.Fields {
+		df := &fields[i]
+		df.mode = kernelFor(f.Func)
+		// The first field borrows the statement-scoped scratch slabs
+		// (the single-field shape dominates fan-out queries); extra
+		// fields fall back to fresh allocations.
+		switch first := i == 0; df.mode {
+		case kCount:
+			if first {
+				df.n = scratch.ints(nb)
+			} else {
+				df.n = make([]int64, nb)
+			}
+		case kMean:
+			if first {
+				df.f1, df.n = scratch.floats1(nb), scratch.ints(nb)
+			} else {
+				df.f1, df.n = make([]float64, nb), make([]int64, nb)
+			}
+		case kSum, kMax, kMin:
+			if first {
+				df.f1, df.seen = scratch.floats1(nb), scratch.bools(nb)
+			} else {
+				df.f1, df.seen = make([]float64, nb), make([]bool, nb)
+			}
+		case kSpread:
+			if first {
+				df.f1, df.f2, df.seen = scratch.floats1(nb), scratch.floats2(nb), scratch.bools(nb)
+			} else {
+				df.f1, df.f2, df.seen = make([]float64, nb), make([]float64, nb), make([]bool, nb)
+			}
+		default:
+			df.aggs = make([]aggregator, nb)
+		}
+		var bytes int64
+		for _, ch := range chunksPerField[i] {
+			times, vals := ch.col.times, ch.col.vals
+			stats.PointsScanned += int64(ch.hi - ch.lo)
+			switch df.mode {
+			case kCount:
+				for j := ch.lo; j < ch.hi; j++ {
+					df.n[(times[j]-base)/iv]++
+					bytes += 8 + int64(vals[j].EncodedSize())
+				}
+			case kSum:
+				for j := ch.lo; j < ch.hi; j++ {
+					if fv, ok := numericAt(vals, j, &bytes); ok {
+						b := (times[j] - base) / iv
+						df.f1[b] += fv
+						df.seen[b] = true
+					}
+				}
+			case kMean:
+				for j := ch.lo; j < ch.hi; j++ {
+					if fv, ok := numericAt(vals, j, &bytes); ok {
+						b := (times[j] - base) / iv
+						df.f1[b] += fv
+						df.n[b]++
+					}
+				}
+			case kMax:
+				for j := ch.lo; j < ch.hi; j++ {
+					if fv, ok := numericAt(vals, j, &bytes); ok {
+						b := (times[j] - base) / iv
+						if !df.seen[b] || fv > df.f1[b] {
+							df.f1[b] = fv
+							df.seen[b] = true
+						}
+					}
+				}
+			case kMin:
+				for j := ch.lo; j < ch.hi; j++ {
+					if fv, ok := numericAt(vals, j, &bytes); ok {
+						b := (times[j] - base) / iv
+						if !df.seen[b] || fv < df.f1[b] {
+							df.f1[b] = fv
+							df.seen[b] = true
+						}
+					}
+				}
+			case kSpread:
+				for j := ch.lo; j < ch.hi; j++ {
+					if fv, ok := numericAt(vals, j, &bytes); ok {
+						b := (times[j] - base) / iv
+						if !df.seen[b] {
+							df.f1[b], df.f2[b], df.seen[b] = fv, fv, true
+						} else {
+							if fv < df.f1[b] {
+								df.f1[b] = fv
+							}
+							if fv > df.f2[b] {
+								df.f2[b] = fv
+							}
+						}
+					}
+				}
+			default:
+				for j := ch.lo; j < ch.hi; j++ {
+					b := (times[j] - base) / iv
+					a := df.aggs[b]
+					if a == nil {
+						a, _ = newAggregator(f.Func)
+						df.aggs[b] = a
+					}
+					a.add(vals[j])
+					bytes += 8 + int64(vals[j].EncodedSize())
+				}
+			}
+		}
+		stats.BytesScanned += bytes
+	}
+
+	rowVals := make([]Value, nb*nf)
+	rowPres := make([]bool, nb*nf)
+	rows := make([]Row, 0, nb)
+	for b := 0; b < nb; b++ {
+		any := false
+		vs := rowVals[b*nf : (b+1)*nf : (b+1)*nf]
+		ps := rowPres[b*nf : (b+1)*nf : (b+1)*nf]
+		for i := range fields {
+			df := &fields[i]
+			var v Value
+			ok := false
+			switch df.mode {
+			case kCount:
+				if df.n[b] > 0 {
+					v, ok = Int(df.n[b]), true
+				}
+			case kSum, kMax, kMin:
+				if df.seen[b] {
+					v, ok = Float(df.f1[b]), true
+				}
+			case kMean:
+				if df.n[b] > 0 {
+					v, ok = Float(df.f1[b]/float64(df.n[b])), true
+				}
+			case kSpread:
+				if df.seen[b] {
+					v, ok = Float(df.f2[b]-df.f1[b]), true
+				}
+			default:
+				if a := df.aggs[b]; a != nil {
+					v, ok = a.result()
+				}
+			}
+			if ok {
+				vs[i], ps[i] = v, true
+				any = true
+			}
+		}
+		if any {
+			rows = append(rows, Row{Time: base + int64(b)*iv, Values: vs, Present: ps})
+		}
+	}
+	if len(rs.Rows) == 0 {
+		rs.Rows = rows
+	} else {
+		rs.Rows = append(rs.Rows, rows...)
+	}
+}
+
+// aggBucketedSlow is the general path: it materializes (and, when
+// needed, time-sorts) the samples, then buckets through a map. Handles
+// out-of-order chunk lists and pathologically wide bucket ranges.
+func (db *DB) aggBucketedSlow(q *Query, chunksPerField [][]colChunk, sorted bool, rs *ResultSeries, stats *QueryStats) {
 	nf := len(q.Fields)
 	samplesPerField := make([][]sample, nf)
-	for i, f := range q.Fields {
-		samplesPerField[i] = db.scanFieldLocked(keys, f.Field, shards, q.Start, q.End, stats)
+	for i, chunks := range chunksPerField {
+		n := 0
+		for _, ch := range chunks {
+			n += ch.hi - ch.lo
+		}
+		samplesPerField[i] = materialize(chunks, sorted, n, stats)
 	}
 	if q.GroupByTime <= 0 {
 		// Single row over the whole range.

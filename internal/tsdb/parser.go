@@ -3,11 +3,44 @@ package tsdb
 import (
 	"fmt"
 	"math"
+	"regexp"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 	"unicode"
 )
+
+// Compiled regex predicates are cached by pattern text: batched fan-out
+// queries reuse the same node-alternation patterns on every request,
+// and compiling them dominates the parse cost otherwise. The cache is
+// cleared wholesale if it ever grows past reCacheLimit distinct
+// patterns so adversarial workloads cannot pin unbounded memory.
+const reCacheLimit = 4096
+
+var (
+	reCache     sync.Map // pattern string -> *regexp.Regexp
+	reCacheSize atomic.Int64
+)
+
+func compileCachedRegex(pattern string) (*regexp.Regexp, error) {
+	if v, ok := reCache.Load(pattern); ok {
+		return v.(*regexp.Regexp), nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if reCacheSize.Load() >= reCacheLimit {
+		reCache.Clear()
+		reCacheSize.Store(0)
+	}
+	if _, loaded := reCache.LoadOrStore(pattern, re); !loaded {
+		reCacheSize.Add(1)
+	}
+	return re, nil
+}
 
 // Parse parses an InfluxQL-subset statement into a Query.
 func Parse(s string) (*Query, error) {
@@ -44,11 +77,13 @@ const (
 	tokRParen
 	tokComma
 	tokEq
+	tokMatch // =~
 	tokLT
 	tokLE
 	tokGT
 	tokGE
 	tokStar
+	tokRegex // /pattern/
 )
 
 type token struct {
@@ -99,8 +134,40 @@ func (l *lexer) run() {
 			l.emit(tokComma, ",", i)
 			i++
 		case c == '=':
-			l.emit(tokEq, "=", i)
-			i++
+			if i+1 < len(s) && s[i+1] == '~' {
+				l.emit(tokMatch, "=~", i)
+				i += 2
+			} else {
+				l.emit(tokEq, "=", i)
+				i++
+			}
+		case c == '/':
+			// Regex literal: scan to the next unescaped '/'. The only
+			// escape the lexer interprets is \/ (a literal slash); every
+			// other backslash sequence is passed through to the regexp
+			// engine untouched.
+			var sb strings.Builder
+			j := i + 1
+			closed := false
+			for j < len(s) {
+				if s[j] == '\\' && j+1 < len(s) && s[j+1] == '/' {
+					sb.WriteByte('/')
+					j += 2
+					continue
+				}
+				if s[j] == '/' {
+					closed = true
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			if !closed {
+				l.err = fmt.Errorf("unterminated regex at offset %d", i)
+				return
+			}
+			l.emit(tokRegex, sb.String(), i)
+			i = j + 1
 		case c == '*':
 			l.emit(tokStar, "*", i)
 			i++
@@ -309,6 +376,17 @@ func (p *parser) parseWhere(q *Query) error {
 			if err := p.parseTimeCond(q); err != nil {
 				return err
 			}
+		} else if p.peek().kind == tokMatch {
+			p.next()
+			v, err := p.expect(tokRegex, "regex literal like /^(a|b)$/")
+			if err != nil {
+				return err
+			}
+			re, err := compileCachedRegex(v.text)
+			if err != nil {
+				return fmt.Errorf("bad regex for %q: %v", id.text, err)
+			}
+			q.TagRegexps = append(q.TagRegexps, TagRegex{Key: id.text, Re: re})
 		} else {
 			if _, err := p.expect(tokEq, "="); err != nil {
 				return err

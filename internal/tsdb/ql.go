@@ -3,6 +3,7 @@ package tsdb
 import (
 	"fmt"
 	"math"
+	"regexp"
 	"strings"
 )
 
@@ -15,9 +16,13 @@ import (
 //	  GROUP BY time(5m)
 //
 // Supported: one or more projected fields (raw or aggregated), tag
-// equality predicates joined with AND, absolute time bounds (RFC3339
-// strings or integer epoch seconds), GROUP BY time(interval) and/or
-// tags, and LIMIT.
+// equality and regex predicates joined with AND, absolute time bounds
+// (RFC3339 strings or integer epoch seconds), GROUP BY time(interval)
+// and/or tags, and LIMIT.
+//
+// The regex predicate ("NodeId" =~ /^(a|b|c)$/) is the multi-node
+// batching primitive the optimized Metrics Builder generates: one
+// query covers a whole node chunk instead of one query per node.
 
 // FieldExpr is one projected column: a raw field or an aggregate over a
 // field.
@@ -40,11 +45,19 @@ type TagCond struct {
 	Value string
 }
 
+// TagRegex is a regular-expression predicate on a tag ("Key" =~ /re/).
+// A series matches when the tag is present and its value matches Re.
+type TagRegex struct {
+	Key string
+	Re  *regexp.Regexp
+}
+
 // Query is a parsed statement.
 type Query struct {
 	Fields      []FieldExpr
 	Measurement string
 	TagConds    []TagCond
+	TagRegexps  []TagRegex
 	Start       int64 // inclusive, unix seconds; MinInt64 when unbounded
 	End         int64 // exclusive, unix seconds; MaxInt64 when unbounded
 	GroupByTime int64 // bucket width in seconds; 0 = no time grouping
@@ -81,6 +94,9 @@ func (q *Query) String() string {
 	var conds []string
 	for _, c := range q.TagConds {
 		conds = append(conds, fmt.Sprintf("%q = '%s'", c.Key, c.Value))
+	}
+	for _, c := range q.TagRegexps {
+		conds = append(conds, fmt.Sprintf("%q =~ /%s/", c.Key, strings.ReplaceAll(c.Re.String(), "/", `\/`)))
 	}
 	if q.Start != math.MinInt64 {
 		conds = append(conds, fmt.Sprintf("time >= '%s'", FormatTime(q.Start)))
@@ -150,6 +166,11 @@ func (q *Query) Validate() error {
 	}
 	if q.GroupByTime > 0 && !agg {
 		return fmt.Errorf("tsdb: GROUP BY time requires an aggregate function")
+	}
+	for _, c := range q.TagRegexps {
+		if c.Re == nil {
+			return fmt.Errorf("tsdb: regex predicate on %q has no pattern", c.Key)
+		}
 	}
 	if q.GroupByTime < 0 {
 		return fmt.Errorf("tsdb: negative GROUP BY time interval")

@@ -116,6 +116,9 @@ type (
 	Metric = builder.Metric
 	// BuilderClient fetches from a remote builder API.
 	BuilderClient = builder.Client
+	// BuilderStats is the per-stage build breakdown (queries issued,
+	// points scanned, bytes, stage timings) reported with every fetch.
+	BuilderStats = builder.Stats
 	// BuilderCache is an LRU response cache over a Builder.
 	BuilderCache = builder.Cache
 	// JobRecord is job info returned with IncludeJobs.
