@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/builder ./internal/tsdb
+	$(GO) test -race ./internal/builder ./internal/tsdb ./internal/collector ./internal/core
 
 # bench runs the Metrics Builder ladder benchmarks (Figs 10-19):
 # naive-sequential vs batched-concurrent vs cached.

@@ -210,17 +210,24 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		Name   string `json:"name"`
 		Series int    `json:"series"`
 	}
+	dbStats := db.Stats()
 	out := struct {
 		Points       int64         `json:"points"`
 		DataBytes    int64         `json:"data_bytes"`
 		IndexBytes   int64         `json:"index_bytes"`
 		Shards       int           `json:"shards"`
+		Epoch        int64         `json:"epoch"`
+		Batches      int64         `json:"batches_written"`
+		WriteWaitNs  int64         `json:"write_wait_ns"`
 		Measurements []measurement `json:"measurements"`
 	}{
-		Points:     disk.Points,
-		DataBytes:  disk.DataBytes,
-		IndexBytes: disk.IndexBytes,
-		Shards:     disk.Shards,
+		Points:      disk.Points,
+		DataBytes:   disk.DataBytes,
+		IndexBytes:  disk.IndexBytes,
+		Shards:      disk.Shards,
+		Epoch:       db.Epoch(),
+		Batches:     dbStats.BatchesWritten,
+		WriteWaitNs: dbStats.WriteWaitNs,
 	}
 	for _, name := range db.Measurements() {
 		out.Measurements = append(out.Measurements, measurement{Name: name, Series: db.SeriesCardinality(name)})

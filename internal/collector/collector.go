@@ -79,6 +79,15 @@ type Stats struct {
 	FinishExact     int64
 	LastSweep       time.Duration
 	LastCycle       time.Duration
+	// WriteTime is cumulative wall time spent inside storage writes;
+	// WriteWait is the portion of it the storage engine reports as lock
+	// wait (zero under the snapshot write path unless batches contend
+	// with drops/retention — the non-stalling property the contention
+	// experiment measures). LastWrite is the most recent cycle's write
+	// wall time.
+	WriteTime time.Duration
+	WriteWait time.Duration
+	LastWrite time.Duration
 }
 
 // Collector is the centralized collecting agent.
@@ -529,6 +538,9 @@ func (c *Collector) writeBatched(points []tsdb.Point) error {
 	if size < 0 {
 		size = 1
 	}
+	waitBefore := c.db.Stats().WriteWaitNs
+	start := time.Now()
+	batches := int64(0)
 	for off := 0; off < len(points); off += size {
 		end := off + size
 		if end > len(points) {
@@ -537,10 +549,16 @@ func (c *Collector) writeBatched(points []tsdb.Point) error {
 		if err := c.db.WritePoints(points[off:end]); err != nil {
 			return err
 		}
-		c.mu.Lock()
-		c.stats.Batches++
-		c.mu.Unlock()
+		batches++
 	}
+	elapsed := time.Since(start)
+	wait := time.Duration(c.db.Stats().WriteWaitNs - waitBefore)
+	c.mu.Lock()
+	c.stats.Batches += batches
+	c.stats.WriteTime += elapsed
+	c.stats.WriteWait += wait
+	c.stats.LastWrite = elapsed
+	c.mu.Unlock()
 	return nil
 }
 

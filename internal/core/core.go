@@ -58,6 +58,13 @@ type Config struct {
 	ConcurrentQueries bool
 	// ShardDuration overrides the TSDB shard width (seconds).
 	ShardDuration int64
+	// QueryWorkers bounds the storage engine's per-query worker pool
+	// for parallel series-group execution (0 = automatic, 1 = serial).
+	QueryWorkers int
+	// StorageGlobalLock restores the engine's pre-snapshot global
+	// RWMutex serialization — the A/B baseline for the contention
+	// experiment, never useful in production.
+	StorageGlobalLock bool
 	// Retention drops storage shards older than this (0 keeps
 	// everything). Enforced once per collection interval.
 	Retention time.Duration
@@ -133,7 +140,11 @@ func New(cfg Config) *System {
 	})
 	qm := scheduler.NewQMaster(nodes.Nodes(), cfg.Start, scheduler.Options{})
 	api := scheduler.NewAPI(qm)
-	db := tsdb.Open(tsdb.Options{ShardDuration: cfg.ShardDuration})
+	db := tsdb.Open(tsdb.Options{
+		ShardDuration: cfg.ShardDuration,
+		ExecWorkers:   cfg.QueryWorkers,
+		GlobalLock:    cfg.StorageGlobalLock,
+	})
 
 	rf := redfish.NewClient(redfish.ClientOptions{
 		HTTPClient:     bmcs.Client(),

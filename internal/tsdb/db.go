@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // DefaultShardDuration is the time width of one shard in seconds (one
@@ -16,27 +18,41 @@ type Options struct {
 	// ShardDuration is the shard width in seconds. Zero selects
 	// DefaultShardDuration.
 	ShardDuration int64
+
+	// ExecWorkers bounds the worker pool Exec uses to scan and
+	// aggregate series groups in parallel. Zero selects an automatic
+	// bound (GOMAXPROCS, capped); 1 forces serial execution.
+	ExecWorkers int
+
+	// GlobalLock restores the pre-snapshot concurrency model for A/B
+	// comparison: queries hold a read lock for their full duration and
+	// each write batch takes the exclusive lock, so a collector flush
+	// stalls every concurrent query. Used by BenchmarkMixedReadWrite
+	// and the ext-contention experiment as the baseline.
+	GlobalLock bool
 }
 
 // DB is an in-process time-series database: a set of measurements, each
 // holding tag-indexed series, stored in time-window shards.
 //
-// DB is safe for concurrent use. Writes take the write lock briefly per
-// batch; queries run under the read lock and may proceed concurrently
-// with each other (the concurrency the Metrics Builder exploits in the
-// Fig 15 experiment).
+// DB is safe for concurrent use. The entire database state lives in an
+// immutable dbView published through an atomic pointer: readers load
+// the current view and run lock-free against that consistent snapshot,
+// so queries never block behind a write batch and always see a batch
+// in its entirety or not at all. Mutators (WritePoints,
+// DropMeasurement, DeleteBefore, Restore) serialize on writeMu and
+// derive the next view copy-on-write (see view.go).
 type DB struct {
-	mu            sync.RWMutex
 	shardDuration int64
-	shards        map[int64]*shard // keyed by start time
-	shardStarts   []int64          // sorted
-	// index: measurement -> tag key -> tag value -> set of series keys
-	index map[string]*measurementIndex
-	stats DBStats
-	// epoch counts mutations (write batches, drops, retention). Caches
-	// layered above the DB — the Metrics Builder's LRU response cache —
-	// compare epochs to invalidate without inspecting data.
-	epoch int64
+	execWorkers   int
+	globalLock    bool
+
+	writeMu sync.Mutex
+	view    atomic.Pointer[dbView]
+
+	// legacyMu reproduces the old global-RWMutex serialization when
+	// Options.GlobalLock is set; otherwise it is never touched.
+	legacyMu sync.RWMutex
 }
 
 type measurementIndex struct {
@@ -51,6 +67,10 @@ type DBStats struct {
 	BatchesWritten int64
 	SeriesCreated  int64
 	Measurements   int
+	// WriteWaitNs is cumulative time writers spent waiting to acquire
+	// the write path (the store-side contention signal mirrored into
+	// collector.Stats and /v1/stats).
+	WriteWaitNs int64
 }
 
 // Open creates an empty DB.
@@ -59,37 +79,78 @@ func Open(opts Options) *DB {
 	if sd <= 0 {
 		sd = DefaultShardDuration
 	}
-	return &DB{
+	db := &DB{
 		shardDuration: sd,
-		shards:        make(map[int64]*shard),
-		index:         make(map[string]*measurementIndex),
+		execWorkers:   opts.ExecWorkers,
+		globalLock:    opts.GlobalLock,
+	}
+	db.view.Store(&dbView{
+		shards: make(map[int64]*shard),
+		index:  make(map[string]*measurementIndex),
+	})
+	return db
+}
+
+// acquireView pins the current snapshot for a reader. In the default
+// mode this is a single atomic load; in GlobalLock mode it additionally
+// takes the legacy read lock, which the reader must hold for its full
+// duration (releaseView drops it).
+func (db *DB) acquireView() *dbView {
+	if db.globalLock {
+		db.legacyMu.RLock()
+	}
+	return db.view.Load()
+}
+
+func (db *DB) releaseView() {
+	if db.globalLock {
+		db.legacyMu.RUnlock()
 	}
 }
 
+// lockWrite serializes a mutator and reports how long it waited.
+func (db *DB) lockWrite() time.Duration {
+	t0 := time.Now()
+	if db.globalLock {
+		db.legacyMu.Lock()
+	}
+	db.writeMu.Lock()
+	return time.Since(t0)
+}
+
+func (db *DB) unlockWrite() {
+	db.writeMu.Unlock()
+	if db.globalLock {
+		db.legacyMu.Unlock()
+	}
+}
+
+// publish installs the next view. Callers must hold writeMu.
+func (db *DB) publish(v *dbView) { db.view.Store(v) }
+
 // WritePoints stores a batch of points. The batch is validated first;
 // on error nothing is written. Tag sets are canonicalized (sorted) on
-// ingest.
+// ingest. Concurrent queries keep running against the previous snapshot
+// and switch to the new one atomically when the batch publishes.
 func (db *DB) WritePoints(points []Point) error {
 	for i := range points {
 		if err := points[i].Validate(); err != nil {
 			return fmt.Errorf("point %d: %w", i, err)
 		}
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	wait := db.lockWrite()
+	defer db.unlockWrite()
+	b := newBatch(db.view.Load(), db.shardDuration)
 	for i := range points {
 		p := &points[i]
 		sorted := p.Tags.Sorted()
 		key := seriesKey(p.Measurement, sorted)
-		db.indexSeriesLocked(p, key, sorted)
-		sh := db.shardForLocked(p.Time)
-		sh.write(p, key, sorted)
-		db.stats.PointsWritten++
+		b.indexSeries(p, key, sorted)
+		b.writePoint(p, key, sorted)
 	}
-	db.stats.BatchesWritten++
-	if len(points) > 0 {
-		db.epoch++
-	}
+	nv := b.finish(len(points) > 0)
+	nv.stats.WriteWaitNs += wait.Nanoseconds()
+	db.publish(nv)
 	return nil
 }
 
@@ -97,56 +158,13 @@ func (db *DB) WritePoints(points []Point) error {
 // write batch, measurement drop, and retention sweep that changes
 // stored data. A response cached at epoch E is stale iff Epoch() != E.
 func (db *DB) Epoch() int64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.epoch
+	v := db.acquireView()
+	defer db.releaseView()
+	return v.epoch
 }
 
 // WritePoint stores a single point.
 func (db *DB) WritePoint(p Point) error { return db.WritePoints([]Point{p}) }
-
-func (db *DB) indexSeriesLocked(p *Point, key string, sorted Tags) {
-	mi, ok := db.index[p.Measurement]
-	if !ok {
-		mi = &measurementIndex{
-			byTag:  make(map[string]map[string][]string),
-			series: make(map[string]Tags),
-			fields: make(map[string]ValueKind),
-		}
-		db.index[p.Measurement] = mi
-		db.stats.Measurements++
-	}
-	for fk, fv := range p.Fields {
-		if _, seen := mi.fields[fk]; !seen {
-			mi.fields[fk] = fv.Kind
-		}
-	}
-	if _, ok := mi.series[key]; ok {
-		return
-	}
-	mi.series[key] = sorted
-	db.stats.SeriesCreated++
-	for _, t := range sorted {
-		vals, ok := mi.byTag[t.Key]
-		if !ok {
-			vals = make(map[string][]string)
-			mi.byTag[t.Key] = vals
-		}
-		vals[t.Value] = append(vals[t.Value], key)
-	}
-}
-
-func (db *DB) shardForLocked(ts int64) *shard {
-	start := ts - mod(ts, db.shardDuration)
-	sh, ok := db.shards[start]
-	if !ok {
-		sh = newShard(start, start+db.shardDuration)
-		db.shards[start] = sh
-		db.shardStarts = append(db.shardStarts, start)
-		sort.Slice(db.shardStarts, func(i, j int) bool { return db.shardStarts[i] < db.shardStarts[j] })
-	}
-	return sh
-}
 
 // mod is a floored modulo that behaves for negative timestamps.
 func mod(a, b int64) int64 {
@@ -157,26 +175,12 @@ func mod(a, b int64) int64 {
 	return m
 }
 
-// shardsOverlapping returns shards intersecting [start, end), in time
-// order. Callers must hold at least the read lock.
-func (db *DB) shardsOverlappingLocked(start, end int64) []*shard {
-	var out []*shard
-	for _, s := range db.shardStarts {
-		sh := db.shards[s]
-		if sh.end <= start || sh.start >= end {
-			continue
-		}
-		out = append(out, sh)
-	}
-	return out
-}
-
 // Measurements lists measurement names in sorted order.
 func (db *DB) Measurements() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.index))
-	for m := range db.index {
+	v := db.acquireView()
+	defer db.releaseView()
+	out := make([]string, 0, len(v.index))
+	for m := range v.index {
 		out = append(out, m)
 	}
 	sort.Strings(out)
@@ -187,16 +191,16 @@ func (db *DB) Measurements() []string {
 // measurement ("" for the whole DB). Query cost scales with this
 // number — the property the paper's schema redesign attacks.
 func (db *DB) SeriesCardinality(measurement string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v := db.acquireView()
+	defer db.releaseView()
 	if measurement != "" {
-		if mi, ok := db.index[measurement]; ok {
+		if mi, ok := v.index[measurement]; ok {
 			return len(mi.series)
 		}
 		return 0
 	}
 	n := 0
-	for _, mi := range db.index {
+	for _, mi := range v.index {
 		n += len(mi.series)
 	}
 	return n
@@ -205,9 +209,9 @@ func (db *DB) SeriesCardinality(measurement string) int {
 // TagValues lists the distinct values of a tag key within a
 // measurement, sorted.
 func (db *DB) TagValues(measurement, tagKey string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	mi, ok := db.index[measurement]
+	v := db.acquireView()
+	defer db.releaseView()
+	mi, ok := v.index[measurement]
 	if !ok {
 		return nil
 	}
@@ -216,8 +220,8 @@ func (db *DB) TagValues(measurement, tagKey string) []string {
 		return nil
 	}
 	out := make([]string, 0, len(vals))
-	for v := range vals {
-		out = append(out, v)
+	for val := range vals {
+		out = append(out, val)
 	}
 	sort.Strings(out)
 	return out
@@ -226,24 +230,24 @@ func (db *DB) TagValues(measurement, tagKey string) []string {
 // FieldKinds reports the field keys and first-seen kinds of a
 // measurement.
 func (db *DB) FieldKinds(measurement string) map[string]ValueKind {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	mi, ok := db.index[measurement]
+	v := db.acquireView()
+	defer db.releaseView()
+	mi, ok := v.index[measurement]
 	if !ok {
 		return nil
 	}
 	out := make(map[string]ValueKind, len(mi.fields))
-	for k, v := range mi.fields {
-		out[k] = v
+	for k, kind := range mi.fields {
+		out[k] = kind
 	}
 	return out
 }
 
 // Stats returns engine-wide counters.
 func (db *DB) Stats() DBStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.stats
+	v := db.acquireView()
+	defer db.releaseView()
+	return v.stats
 }
 
 // DiskStats aggregates per-shard size accounting.
@@ -260,11 +264,11 @@ func (d DiskStats) TotalBytes() int64 { return d.DataBytes + d.IndexBytes }
 // Disk reports the engine's encoded data volume. Volumes are exact
 // encoded sizes of the stored points, the quantity compared in Fig 13.
 func (db *DB) Disk() DiskStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v := db.acquireView()
+	defer db.releaseView()
 	var d DiskStats
-	d.Shards = len(db.shards)
-	for _, sh := range db.shards {
+	d.Shards = len(v.shards)
+	for _, sh := range v.shards {
 		d.Points += sh.points
 		d.DataBytes += sh.bytes
 		d.IndexBytes += int64(sh.keyBytes)
@@ -274,11 +278,11 @@ func (db *DB) Disk() DiskStats {
 
 // ShardStats lists per-shard statistics in time order.
 func (db *DB) ShardStats() []ShardStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]ShardStats, 0, len(db.shardStarts))
-	for _, s := range db.shardStarts {
-		out = append(out, db.shards[s].stats())
+	v := db.acquireView()
+	defer db.releaseView()
+	out := make([]ShardStats, 0, len(v.shardStarts))
+	for _, s := range v.shardStarts {
+		out = append(out, v.shards[s].stats())
 	}
 	return out
 }
@@ -286,26 +290,56 @@ func (db *DB) ShardStats() []ShardStats {
 // DropMeasurement removes a measurement: its index entries and all its
 // stored series data. It reports whether the measurement existed.
 func (db *DB) DropMeasurement(name string) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	mi, ok := db.index[name]
+	wait := db.lockWrite()
+	defer db.unlockWrite()
+	base := db.view.Load()
+	mi, ok := base.index[name]
 	if !ok {
 		return false
 	}
-	for key := range mi.series {
-		for _, start := range db.shardStarts {
-			sh := db.shards[start]
-			if sr, ok := sh.series[key]; ok {
-				sh.points -= int64(sr.points())
-				sh.bytes -= int64(sr.bytes)
-				sh.keyBytes -= len(key) + 8
-				delete(sh.series, key)
-			}
+	nv := *base
+	nv.index = make(map[string]*measurementIndex, len(base.index))
+	for k, v := range base.index {
+		if k != name {
+			nv.index[k] = v
 		}
 	}
-	delete(db.index, name)
-	db.stats.Measurements--
-	db.epoch++
+	// Clone only shards that actually hold series of this measurement.
+	cloned := make(map[int64]*shard)
+	for key := range mi.series {
+		for _, start := range nv.shardStarts {
+			sh := cloned[start]
+			if sh == nil {
+				sh = nv.shards[start]
+			}
+			sr, ok := sh.series[key]
+			if !ok {
+				continue
+			}
+			if cloned[start] == nil {
+				sh = sh.clone()
+				cloned[start] = sh
+			}
+			sh.points -= int64(sr.points())
+			sh.bytes -= int64(sr.bytes)
+			sh.keyBytes -= len(key) + 8
+			delete(sh.series, key)
+		}
+	}
+	if len(cloned) > 0 {
+		m := make(map[int64]*shard, len(nv.shards))
+		for k, v := range nv.shards {
+			m[k] = v
+		}
+		for k, v := range cloned {
+			m[k] = v
+		}
+		nv.shards = m
+	}
+	nv.stats.Measurements--
+	nv.stats.WriteWaitNs += wait.Nanoseconds()
+	nv.epoch++
+	db.publish(&nv)
 	return true
 }
 
@@ -314,21 +348,29 @@ func (db *DB) DropMeasurement(name string) bool {
 // Series index entries are retained (matching InfluxDB, where the
 // in-memory index survives shard drops until a restart).
 func (db *DB) DeleteBefore(t int64) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	wait := db.lockWrite()
+	defer db.unlockWrite()
+	base := db.view.Load()
 	dropped := 0
-	keep := db.shardStarts[:0]
-	for _, s := range db.shardStarts {
-		if db.shards[s].end <= t {
-			delete(db.shards, s)
+	for _, s := range base.shardStarts {
+		if base.shards[s].end <= t {
 			dropped++
-		} else {
-			keep = append(keep, s)
 		}
 	}
-	db.shardStarts = keep
-	if dropped > 0 {
-		db.epoch++
+	if dropped == 0 {
+		return 0
 	}
+	nv := *base
+	nv.shards = make(map[int64]*shard, len(base.shards)-dropped)
+	nv.shardStarts = make([]int64, 0, len(base.shardStarts)-dropped)
+	for _, s := range base.shardStarts {
+		if sh := base.shards[s]; sh.end > t {
+			nv.shards[s] = sh
+			nv.shardStarts = append(nv.shardStarts, s)
+		}
+	}
+	nv.stats.WriteWaitNs += wait.Nanoseconds()
+	nv.epoch++
+	db.publish(&nv)
 	return dropped
 }

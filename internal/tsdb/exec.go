@@ -3,8 +3,12 @@ package tsdb
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // QueryStats records the work a query performed — the quantities the
@@ -14,14 +18,39 @@ type QueryStats struct {
 	PointsScanned int64 // samples read from columns
 	BytesScanned  int64 // encoded bytes of the samples read
 	Rows          int   // rows emitted
+
+	// SnapshotEpoch is the mutation epoch of the snapshot the query ran
+	// against (the consistency token of the snapshot-isolated read path).
+	SnapshotEpoch int64
+	// LockWaitNs is time spent acquiring the read path before the
+	// snapshot was pinned. Zero in the default lock-free mode; nonzero
+	// under Options.GlobalLock when a write batch held the lock.
+	LockWaitNs int64
+	// Groups is the number of series groups the query produced
+	// (including groups that emitted no rows).
+	Groups int
+	// ParallelWorkers is the worker-pool width used to scan and
+	// aggregate the groups (1 = serial).
+	ParallelWorkers int
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. Counters sum; SnapshotEpoch and
+// ParallelWorkers — per-query properties, not work counters — take the
+// maximum, so a builder-level aggregate reports the newest snapshot
+// seen and the widest pool used.
 func (s *QueryStats) Add(o QueryStats) {
 	s.SeriesScanned += o.SeriesScanned
 	s.PointsScanned += o.PointsScanned
 	s.BytesScanned += o.BytesScanned
 	s.Rows += o.Rows
+	s.LockWaitNs += o.LockWaitNs
+	s.Groups += o.Groups
+	if o.SnapshotEpoch > s.SnapshotEpoch {
+		s.SnapshotEpoch = o.SnapshotEpoch
+	}
+	if o.ParallelWorkers > s.ParallelWorkers {
+		s.ParallelWorkers = o.ParallelWorkers
+	}
 }
 
 // Row is one output row: a timestamp and one value per projected
@@ -62,48 +91,100 @@ func (db *DB) Query(stmt string) (*Result, error) {
 	return db.Exec(q)
 }
 
-// Exec executes a parsed query.
+// minParallelGroups is the group count below which automatic worker
+// sizing stays serial — goroutine fan-out costs more than it saves on
+// a handful of groups.
+const minParallelGroups = 8
+
+// maxAutoExecWorkers caps the automatically sized pool; explicit
+// Options.ExecWorkers may exceed it.
+const maxAutoExecWorkers = 8
+
+// execWorkersFor sizes the worker pool for a query with the given
+// number of series groups.
+func (db *DB) execWorkersFor(groups int) int {
+	w := db.execWorkers
+	if w <= 0 {
+		if groups < minParallelGroups {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+		if w > maxAutoExecWorkers {
+			w = maxAutoExecWorkers
+		}
+	}
+	if w > groups {
+		w = groups
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Exec executes a parsed query against the current snapshot. The
+// snapshot is pinned with one atomic load, so Exec never blocks behind
+// a write batch and always observes whole batches; series groups are
+// scanned and aggregated by a bounded worker pool.
 func (db *DB) Exec(q *Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	t0 := time.Now()
+	v := db.acquireView()
+	defer db.releaseView()
 
-	keys := db.matchSeriesLocked(q)
 	res := &Result{}
+	res.Stats.LockWaitNs = time.Since(t0).Nanoseconds()
+	res.Stats.SnapshotEpoch = v.epoch
+	res.Stats.ParallelWorkers = 1
+
+	keys := v.matchSeries(q)
 	res.Stats.SeriesScanned = len(keys)
 	if len(keys) == 0 {
 		return res, nil
 	}
 
-	groups := groupSeries(q, keys, db.index[q.Measurement])
-	shards := db.shardsOverlappingLocked(q.Start, q.End)
+	groups := groupSeries(q, keys, v.index[q.Measurement])
+	shards := v.shardsOverlapping(q.Start, q.End)
+	res.Stats.Groups = len(groups)
 
 	columns := append([]string{"time"}, fieldLabels(q)...)
-	res.Series = make([]ResultSeries, 0, len(groups))
-	var scratch aggScratch
-	for _, g := range groups {
-		var rs ResultSeries
-		rs.Name = q.Measurement
-		rs.Tags = g.tags
-		rs.Columns = columns
-		if q.Aggregated() {
-			db.execAggLocked(q, g.keys, shards, &rs, &res.Stats, &scratch)
-		} else {
-			db.execRawLocked(q, g.keys, shards, &rs, &res.Stats)
+	out := make([]ResultSeries, len(groups))
+	if workers := db.execWorkersFor(len(groups)); workers <= 1 {
+		var scratch aggScratch
+		for i := range groups {
+			execGroup(q, &groups[i], shards, columns, &out[i], &res.Stats, &scratch)
 		}
-		if q.Descending {
-			for i, j := 0, len(rs.Rows)-1; i < j; i, j = i+1, j-1 {
-				rs.Rows[i], rs.Rows[j] = rs.Rows[j], rs.Rows[i]
-			}
+	} else {
+		res.Stats.ParallelWorkers = workers
+		workerStats := make([]QueryStats, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var scratch aggScratch
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(groups) {
+						return
+					}
+					execGroup(q, &groups[i], shards, columns, &out[i], &workerStats[w], &scratch)
+				}
+			}(w)
 		}
-		if q.Limit > 0 && len(rs.Rows) > q.Limit {
-			rs.Rows = rs.Rows[:q.Limit]
+		wg.Wait()
+		for w := range workerStats {
+			res.Stats.Add(workerStats[w])
 		}
-		res.Stats.Rows += len(rs.Rows)
-		if len(rs.Rows) > 0 {
-			res.Series = append(res.Series, rs)
+	}
+
+	res.Series = make([]ResultSeries, 0, len(out))
+	for i := range out {
+		if len(out[i].Rows) > 0 {
+			res.Series = append(res.Series, out[i])
 		}
 	}
 	if len(res.Series) == 0 {
@@ -115,6 +196,30 @@ func (db *DB) Exec(q *Query) (*Result, error) {
 	return res, nil
 }
 
+// execGroup scans and aggregates one series group into rs, charging the
+// work (including emitted rows) to stats. Group slots are disjoint, so
+// pool workers call this concurrently with per-worker stats and
+// scratch.
+func execGroup(q *Query, g *seriesGroup, shards []*shard, columns []string, rs *ResultSeries, stats *QueryStats, scratch *aggScratch) {
+	rs.Name = q.Measurement
+	rs.Tags = g.tags
+	rs.Columns = columns
+	if q.Aggregated() {
+		execAgg(q, g.keys, shards, rs, stats, scratch)
+	} else {
+		execRaw(q, g.keys, shards, rs, stats)
+	}
+	if q.Descending {
+		for i, j := 0, len(rs.Rows)-1; i < j; i, j = i+1, j-1 {
+			rs.Rows[i], rs.Rows[j] = rs.Rows[j], rs.Rows[i]
+		}
+	}
+	if q.Limit > 0 && len(rs.Rows) > q.Limit {
+		rs.Rows = rs.Rows[:q.Limit]
+	}
+	stats.Rows += len(rs.Rows)
+}
+
 func fieldLabels(q *Query) []string {
 	out := make([]string, len(q.Fields))
 	for i, f := range q.Fields {
@@ -123,12 +228,12 @@ func fieldLabels(q *Query) []string {
 	return out
 }
 
-// matchSeriesLocked finds series keys in the measurement that satisfy
-// every tag predicate, using the most selective tag's posting list.
-// Regex predicates are resolved against the tag-value index — each
-// pattern is matched once per distinct value, not once per series.
-func (db *DB) matchSeriesLocked(q *Query) []string {
-	mi, ok := db.index[q.Measurement]
+// matchSeries finds series keys in the measurement that satisfy every
+// tag predicate, using the most selective tag's posting list. Regex
+// predicates are resolved against the tag-value index — each pattern is
+// matched once per distinct value, not once per series.
+func (v *dbView) matchSeries(q *Query) []string {
+	mi, ok := v.index[q.Measurement]
 	if !ok {
 		return nil
 	}
@@ -142,8 +247,8 @@ func (db *DB) matchSeriesLocked(q *Query) []string {
 			return nil
 		}
 		var out []string
-		for v, list := range vals {
-			if c.Re.MatchString(v) {
+		for val, list := range vals {
+			if c.Re.MatchString(val) {
 				out = append(out, list...)
 			}
 		}
@@ -158,9 +263,9 @@ func (db *DB) matchSeriesLocked(q *Query) []string {
 			return nil
 		}
 		m := make(map[string]bool, len(vals))
-		for v := range vals {
-			if c.Re.MatchString(v) {
-				m[v] = true
+		for val := range vals {
+			if c.Re.MatchString(val) {
+				m[val] = true
 			}
 		}
 		if len(m) == 0 {
@@ -198,8 +303,8 @@ func (db *DB) matchSeriesLocked(q *Query) []string {
 			}
 		}
 		vals := mi.byTag[q.TagRegexps[best].Key]
-		for v := range reMatch[best] {
-			candidates = append(candidates, vals[v]...)
+		for val := range reMatch[best] {
+			candidates = append(candidates, vals[val]...)
 		}
 	default:
 		candidates = make([]string, 0, len(mi.series))
@@ -212,8 +317,8 @@ func (db *DB) matchSeriesLocked(q *Query) []string {
 		tags := mi.series[k]
 		ok := true
 		for _, c := range q.TagConds {
-			v, has := tags.Get(c.Key)
-			if !has || v != c.Value {
+			val, has := tags.Get(c.Key)
+			if !has || val != c.Value {
 				ok = false
 				break
 			}
@@ -222,8 +327,8 @@ func (db *DB) matchSeriesLocked(q *Query) []string {
 			if !ok {
 				break
 			}
-			v, has := tags.Get(c.Key)
-			if !has || !reMatch[i][v] {
+			val, has := tags.Get(c.Key)
+			if !has || !reMatch[i][val] {
 				ok = false
 			}
 		}
@@ -390,6 +495,8 @@ func collectChunks(keys []string, field string, shards []*shard, start, end int6
 }
 
 // collectChunksInto is collectChunks appending into a reusable buffer.
+// Published columns are invariantly time-sorted (see shard.go), so this
+// is a read-only walk safe for any number of concurrent readers.
 func collectChunksInto(chunks []colChunk, keys []string, field string, shards []*shard, start, end int64) (_ []colChunk, sorted bool, n int) {
 	sorted = true
 	var last int64
@@ -404,7 +511,6 @@ func collectChunksInto(chunks []colChunk, keys []string, field string, shards []
 			if !ok {
 				continue
 			}
-			col.ensureSorted()
 			lo, hi := col.rangeIndexes(start, end)
 			if lo >= hi {
 				continue
@@ -440,7 +546,7 @@ func materialize(chunks []colChunk, sorted bool, n int, stats *QueryStats) []sam
 
 // scanField collects, in time order, every sample of one field across
 // the group's series and the overlapping shards.
-func (db *DB) scanFieldLocked(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) []sample {
+func scanField(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) []sample {
 	chunks, sorted, n := collectChunks(keys, field, shards, start, end)
 	return materialize(chunks, sorted, n, stats)
 }
@@ -451,7 +557,7 @@ const maxFastBuckets = 1 << 16
 
 // aggScratch recycles the non-escaping per-group buffers of the
 // aggregation fast path across the (often hundreds of) output groups
-// of one statement. Bucket slabs are handed out zeroed.
+// one worker executes. Bucket slabs are handed out zeroed.
 type aggScratch struct {
 	chunksPerField [][]colChunk
 	f1, f2         []float64
@@ -506,9 +612,9 @@ func (s *aggScratch) bools(nb int) []bool {
 	return s.seen
 }
 
-// execAggLocked computes aggregate rows, optionally bucketed by
-// GROUP BY time. Buckets with no samples are omitted (InfluxDB's
-// fill(none) behaviour).
+// execAgg computes aggregate rows, optionally bucketed by GROUP BY
+// time. Buckets with no samples are omitted (InfluxDB's fill(none)
+// behaviour).
 //
 // The hot path aggregates directly off the storage columns: when every
 // chunk is already in global time order (the overwhelmingly common
@@ -516,7 +622,7 @@ func (s *aggScratch) bools(nb int) []bool {
 // to the aggregators in the exact order the slow path would after its
 // stable sort, so results are bit-identical while skipping the
 // per-sample materialization and the bucket hash map.
-func (db *DB) execAggLocked(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats, scratch *aggScratch) {
+func execAgg(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats, scratch *aggScratch) {
 	nf := len(q.Fields)
 	chunksPerField := scratch.chunkLists(nf)
 	allSorted := true
@@ -540,25 +646,25 @@ func (db *DB) execAggLocked(q *Query, keys []string, shards []*shard, rs *Result
 	}
 	if allSorted {
 		if q.GroupByTime <= 0 {
-			db.aggWholeRange(q, chunksPerField, rs, stats)
+			aggWholeRange(q, chunksPerField, rs, stats)
 			return
 		}
 		if minT <= maxT {
 			base := minT - mod(minT, q.GroupByTime)
 			if nb := (maxT-base)/q.GroupByTime + 1; nb > 0 && nb <= maxFastBuckets {
-				db.aggBucketedFast(q, chunksPerField, base, int(nb), rs, stats, scratch)
+				aggBucketedFast(q, chunksPerField, base, int(nb), rs, stats, scratch)
 				return
 			}
 		} else {
 			return // no samples at all
 		}
 	}
-	db.aggBucketedSlow(q, chunksPerField, allSorted, rs, stats)
+	aggBucketedSlow(q, chunksPerField, allSorted, rs, stats)
 }
 
 // aggWholeRange emits the single-row (no GROUP BY time) aggregate
 // straight from the chunk lists.
-func (db *DB) aggWholeRange(q *Query, chunksPerField [][]colChunk, rs *ResultSeries, stats *QueryStats) {
+func aggWholeRange(q *Query, chunksPerField [][]colChunk, rs *ResultSeries, stats *QueryStats) {
 	nf := len(q.Fields)
 	row := Row{Time: rangeStart(q), Values: make([]Value, nf), Present: make([]bool, nf)}
 	any := false
@@ -639,7 +745,7 @@ func kernelFor(fn string) int {
 // and are omitted from the output (fill(none)). Row value/present
 // storage is carved from two per-group slabs instead of being
 // allocated per row.
-func (db *DB) aggBucketedFast(q *Query, chunksPerField [][]colChunk, base int64, nb int, rs *ResultSeries, stats *QueryStats, scratch *aggScratch) {
+func aggBucketedFast(q *Query, chunksPerField [][]colChunk, base int64, nb int, rs *ResultSeries, stats *QueryStats, scratch *aggScratch) {
 	nf := len(q.Fields)
 	iv := q.GroupByTime
 	type denseField struct {
@@ -653,7 +759,7 @@ func (db *DB) aggBucketedFast(q *Query, chunksPerField [][]colChunk, base int64,
 	for i, f := range q.Fields {
 		df := &fields[i]
 		df.mode = kernelFor(f.Func)
-		// The first field borrows the statement-scoped scratch slabs
+		// The first field borrows the worker-scoped scratch slabs
 		// (the single-field shape dominates fan-out queries); extra
 		// fields fall back to fresh allocations.
 		switch first := i == 0; df.mode {
@@ -814,7 +920,7 @@ func (db *DB) aggBucketedFast(q *Query, chunksPerField [][]colChunk, base int64,
 // aggBucketedSlow is the general path: it materializes (and, when
 // needed, time-sorts) the samples, then buckets through a map. Handles
 // out-of-order chunk lists and pathologically wide bucket ranges.
-func (db *DB) aggBucketedSlow(q *Query, chunksPerField [][]colChunk, sorted bool, rs *ResultSeries, stats *QueryStats) {
+func aggBucketedSlow(q *Query, chunksPerField [][]colChunk, sorted bool, rs *ResultSeries, stats *QueryStats) {
 	nf := len(q.Fields)
 	samplesPerField := make([][]sample, nf)
 	for i, chunks := range chunksPerField {
@@ -896,17 +1002,17 @@ func rangeStart(q *Query) int64 {
 	return q.Start
 }
 
-// execRawLocked emits raw samples. Fields are merge-aligned on
-// identical timestamps *within* one series; rows from different series
-// in the group are concatenated and time-sorted, never merged (two
-// nodes sampled at the same instant stay two rows).
-func (db *DB) execRawLocked(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats) {
+// execRaw emits raw samples. Fields are merge-aligned on identical
+// timestamps *within* one series; rows from different series in the
+// group are concatenated and time-sorted, never merged (two nodes
+// sampled at the same instant stay two rows).
+func execRaw(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats) {
 	nf := len(q.Fields)
 	for _, key := range keys {
 		rowsByTime := make(map[int64]*Row)
 		var order []int64
 		for i, f := range q.Fields {
-			for _, s := range db.scanFieldLocked([]string{key}, f.Field, shards, q.Start, q.End, stats) {
+			for _, s := range scanField([]string{key}, f.Field, shards, q.Start, q.End, stats) {
 				r, ok := rowsByTime[s.t]
 				if !ok {
 					r = &Row{Time: s.t, Values: make([]Value, nf), Present: make([]bool, nf)}

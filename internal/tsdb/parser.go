@@ -1,44 +1,81 @@
 package tsdb
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"regexp"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 	"unicode"
 )
 
 // Compiled regex predicates are cached by pattern text: batched fan-out
 // queries reuse the same node-alternation patterns on every request,
-// and compiling them dominates the parse cost otherwise. The cache is
-// cleared wholesale if it ever grows past reCacheLimit distinct
-// patterns so adversarial workloads cannot pin unbounded memory.
-const reCacheLimit = 4096
+// and compiling them dominates the parse cost otherwise. The cache is a
+// small LRU so the steady-state fan-out patterns stay hot while
+// adversarial workloads sending endless distinct patterns evict only
+// the coldest entry instead of growing memory without limit.
+const reCacheLimit = 512
 
-var (
-	reCache     sync.Map // pattern string -> *regexp.Regexp
-	reCacheSize atomic.Int64
-)
+type regexCache struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recent; holds *reCacheEntry
+	items map[string]*list.Element
+}
+
+type reCacheEntry struct {
+	pattern string
+	re      *regexp.Regexp
+}
+
+var reCache = &regexCache{ll: list.New(), items: make(map[string]*list.Element)}
+
+func (c *regexCache) get(pattern string) (*regexp.Regexp, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[pattern]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*reCacheEntry).re, true
+}
+
+func (c *regexCache) put(pattern string, re *regexp.Regexp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[pattern]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[pattern] = c.ll.PushFront(&reCacheEntry{pattern, re})
+	for c.ll.Len() > reCacheLimit {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*reCacheEntry).pattern)
+	}
+}
+
+func (c *regexCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
 
 func compileCachedRegex(pattern string) (*regexp.Regexp, error) {
-	if v, ok := reCache.Load(pattern); ok {
-		return v.(*regexp.Regexp), nil
+	if re, ok := reCache.get(pattern); ok {
+		return re, nil
 	}
+	// Compile outside the lock: patterns can be pathologically slow to
+	// compile, and that must not serialize concurrent parses.
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return nil, err
 	}
-	if reCacheSize.Load() >= reCacheLimit {
-		reCache.Clear()
-		reCacheSize.Store(0)
-	}
-	if _, loaded := reCache.LoadOrStore(pattern, re); !loaded {
-		reCacheSize.Add(1)
-	}
+	reCache.put(pattern, re)
 	return re, nil
 }
 

@@ -170,23 +170,22 @@ func (r *Rollups) runOne(spec RollupSpec, now int64) (int, error) {
 
 // earliestTime reports the earliest stored timestamp of a measurement.
 func (db *DB) earliestTime(measurement string) (int64, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	mi, ok := db.index[measurement]
+	v := db.acquireView()
+	defer db.releaseView()
+	mi, ok := v.index[measurement]
 	if !ok {
 		return 0, false
 	}
 	best := int64(math.MaxInt64)
 	found := false
-	for _, s := range db.shardStarts {
-		sh := db.shards[s]
+	for _, s := range v.shardStarts {
+		sh := v.shards[s]
 		for key := range mi.series {
 			sr, ok := sh.series[key]
 			if !ok {
 				continue
 			}
 			for _, col := range sr.fields {
-				col.ensureSorted()
 				if len(col.times) > 0 && col.times[0] < best {
 					best = col.times[0]
 					found = true

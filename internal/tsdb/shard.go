@@ -5,29 +5,22 @@ import (
 )
 
 // column stores one field of one series as parallel time/value slices.
-// Appends usually arrive in time order; out-of-order writes set dirty
-// and the column is sorted lazily before reads.
+// Published columns (reachable from the DB's current view) are always
+// sorted by time: a write batch that appends out of order rebuilds the
+// column into fresh sorted arrays before the view is published (see
+// batch.finish in view.go), so readers never sort and never observe a
+// mid-sort column.
 type column struct {
 	times []int64
 	vals  []Value
-	dirty bool
 }
 
-func (c *column) append(t int64, v Value) {
-	if n := len(c.times); n > 0 && t < c.times[n-1] {
-		c.dirty = true
-	}
-	c.times = append(c.times, t)
-	c.vals = append(c.vals, v)
-}
-
-// ensureSorted sorts the column by time (stable, preserving write order
-// for equal timestamps). Later writes at the same timestamp win for
-// last-value semantics, which stable sort preserves.
-func (c *column) ensureSorted() {
-	if !c.dirty {
-		return
-	}
+// sortByTime rebuilds the column sorted by time into fresh arrays
+// (stable, preserving write order for equal timestamps so later writes
+// win under last-value semantics). Fresh arrays matter: the unsorted
+// cells may sit in capacity shared with a previously published view,
+// and those must never be rewritten in place.
+func (c *column) sortByTime() {
 	idx := make([]int, len(c.times))
 	for i := range idx {
 		idx[i] = i
@@ -40,11 +33,10 @@ func (c *column) ensureSorted() {
 		nv[i] = c.vals[j]
 	}
 	c.times, c.vals = nt, nv
-	c.dirty = false
 }
 
 // rangeIndexes returns the half-open index range [lo, hi) of samples
-// with start <= time < end. The column must be sorted.
+// with start <= time < end.
 func (c *column) rangeIndexes(start, end int64) (int, int) {
 	lo := sort.Search(len(c.times), func(i int) bool { return c.times[i] >= start })
 	hi := sort.Search(len(c.times), func(i int) bool { return c.times[i] >= end })
@@ -58,6 +50,17 @@ type series struct {
 	tags        Tags // sorted
 	fields      map[string]*column
 	bytes       int // encoded bytes of all points appended
+}
+
+// clone makes a shallow copy whose fields map is private; the columns
+// themselves stay shared until a write touches them.
+func (s *series) clone() *series {
+	c := &series{measurement: s.measurement, tags: s.tags, bytes: s.bytes}
+	c.fields = make(map[string]*column, len(s.fields))
+	for k, v := range s.fields {
+		c.fields[k] = v
+	}
+	return c
 }
 
 func (s *series) points() int {
@@ -83,29 +86,15 @@ func newShard(start, end int64) *shard {
 	return &shard{start: start, end: end, series: make(map[string]*series)}
 }
 
-func (sh *shard) write(p *Point, key string, sorted Tags) {
-	sr, ok := sh.series[key]
-	if !ok {
-		sr = &series{
-			measurement: p.Measurement,
-			tags:        sorted,
-			fields:      make(map[string]*column),
-		}
-		sh.series[key] = sr
-		sh.keyBytes += len(key) + 8 // key plus index entry overhead
+// clone makes a shallow copy whose series map is private; the series
+// themselves stay shared until a write touches them.
+func (sh *shard) clone() *shard {
+	c := &shard{start: sh.start, end: sh.end, keyBytes: sh.keyBytes, points: sh.points, bytes: sh.bytes}
+	c.series = make(map[string]*series, len(sh.series))
+	for k, v := range sh.series {
+		c.series[k] = v
 	}
-	for fk, fv := range p.Fields {
-		col, ok := sr.fields[fk]
-		if !ok {
-			col = &column{}
-			sr.fields[fk] = col
-		}
-		col.append(p.Time, fv)
-	}
-	sz := p.EncodedSize()
-	sr.bytes += sz
-	sh.points++
-	sh.bytes += int64(sz)
+	return c
 }
 
 // ShardStats summarizes one shard's contents.

@@ -134,10 +134,10 @@ func (db *DB) showSeries(p *parser) (*Result, error) {
 	if err := expectEnd(p); err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v := db.acquireView()
+	defer db.releaseView()
 	var keys []string
-	for m, mi := range db.index {
+	for m, mi := range v.index {
 		if from != "" && m != from {
 			continue
 		}
@@ -157,10 +157,10 @@ func (db *DB) showTagKeys(p *parser) (*Result, error) {
 	if err := expectEnd(p); err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v := db.acquireView()
+	defer db.releaseView()
 	set := map[string]bool{}
-	for m, mi := range db.index {
+	for m, mi := range v.index {
 		if from != "" && m != from {
 			continue
 		}
@@ -197,20 +197,20 @@ func (db *DB) showTagValues(p *parser) (*Result, error) {
 	if err := expectEnd(p); err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v := db.acquireView()
+	defer db.releaseView()
 	set := map[string]bool{}
-	for m, mi := range db.index {
+	for m, mi := range v.index {
 		if from != "" && m != from {
 			continue
 		}
-		for v := range mi.byTag[keyTok.text] {
-			set[v] = true
+		for tv := range mi.byTag[keyTok.text] {
+			set[tv] = true
 		}
 	}
 	vals := make([]string, 0, len(set))
-	for v := range set {
-		vals = append(vals, v)
+	for tv := range set {
+		vals = append(vals, tv)
 	}
 	sort.Strings(vals)
 	return stringListResult("tagValues", "value", vals), nil
@@ -224,11 +224,11 @@ func (db *DB) showFieldKeys(p *parser) (*Result, error) {
 	if err := expectEnd(p); err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v := db.acquireView()
+	defer db.releaseView()
 	res := &Result{}
 	var measurements []string
-	for m := range db.index {
+	for m := range v.index {
 		if from != "" && m != from {
 			continue
 		}
@@ -236,7 +236,7 @@ func (db *DB) showFieldKeys(p *parser) (*Result, error) {
 	}
 	sort.Strings(measurements)
 	for _, m := range measurements {
-		mi := db.index[m]
+		mi := v.index[m]
 		rs := ResultSeries{Name: m, Columns: []string{"fieldKey", "fieldType"}}
 		var fields []string
 		for f := range mi.fields {

@@ -21,20 +21,21 @@ import (
 const snapshotMagic = "MTSD"
 const snapshotVersion = 1
 
-// Snapshot serializes the whole database to w. It takes the read lock
-// for the duration, so concurrent queries proceed but writes block.
+// Snapshot serializes the whole database to w. It pins the current
+// immutable view, so both concurrent queries and concurrent writes
+// proceed unimpeded while the serialization runs.
 func (db *DB) Snapshot(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v := db.acquireView()
+	defer db.releaseView()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
 	}
 	writeU16(bw, snapshotVersion)
 	writeI64(bw, db.shardDuration)
-	writeU32(bw, uint32(len(db.shardStarts)))
-	for _, start := range db.shardStarts {
-		sh := db.shards[start]
+	writeU32(bw, uint32(len(v.shardStarts)))
+	for _, start := range v.shardStarts {
+		sh := v.shards[start]
 		writeI64(bw, sh.start)
 		keys := make([]string, 0, len(sh.series))
 		for k := range sh.series {
@@ -59,7 +60,6 @@ func (db *DB) Snapshot(w io.Writer) error {
 			writeU32(bw, uint32(len(fields)))
 			for _, f := range fields {
 				col := sr.fields[f]
-				col.ensureSorted()
 				writeStr(bw, f)
 				writeU32(bw, uint32(len(col.times)))
 				for i := range col.times {

@@ -1,0 +1,295 @@
+package tsdb
+
+import (
+	"sort"
+)
+
+// ---- snapshot views ----
+//
+// The DB publishes its entire contents as an immutable dbView behind an
+// atomic pointer (see DB in db.go). A write batch derives the next view
+// from the current one with copy-on-write at every level it touches:
+//
+//	view        fresh struct every batch (cheap value copy)
+//	shards map  cloned only when a shard pointer changes
+//	shard       cloned once per batch when first written
+//	series      cloned once per batch when first written
+//	column      struct cloned once per batch; in-order appends land in
+//	            spare capacity beyond every published length, so older
+//	            views never observe them; out-of-order appends rebuild
+//	            the slices into fresh arrays before publication
+//	index       maps cloned only when a new measurement, series, field,
+//	            or tag value appears (none do in steady-state ingest)
+//
+// Readers therefore see a frozen, fully consistent database: a batch is
+// visible in its entirety or not at all, and no query, metadata read,
+// or snapshot serialization ever blocks behind a write. Mutators are
+// serialized by DB.writeMu, which keeps view history linear — the
+// invariant that makes extending shared slice capacity safe (only the
+// newest view's columns are ever appended to).
+type dbView struct {
+	// epoch counts mutations (write batches, drops, retention). Caches
+	// layered above the DB — the Metrics Builder's LRU response cache —
+	// compare epochs to invalidate without inspecting data.
+	epoch       int64
+	stats       DBStats
+	shards      map[int64]*shard // keyed by start time
+	shardStarts []int64          // sorted
+	// index: measurement -> tag key -> tag value -> set of series keys
+	index map[string]*measurementIndex
+}
+
+// shardsOverlapping returns shards intersecting [start, end), in time
+// order.
+func (v *dbView) shardsOverlapping(start, end int64) []*shard {
+	var out []*shard
+	for _, s := range v.shardStarts {
+		sh := v.shards[s]
+		if sh.end <= start || sh.start >= end {
+			continue
+		}
+		out = append(out, sh)
+	}
+	return out
+}
+
+// batch derives one new view from a base view. All clone-tracking sets
+// hold the *copies* made for this batch: anything present is owned by
+// the batch and may be mutated freely until publication.
+type batch struct {
+	shardDuration int64
+	v             *dbView
+
+	clonedShardMap bool
+	clonedStarts   bool
+	clonedIndexMap bool
+	freshShards    map[*shard]bool
+	freshSeries    map[*series]bool
+	freshCols      map[*column]bool
+	freshMI        map[*measurementIndex]bool
+	freshTagVals   map[*measurementIndex]map[string]bool
+	dirtyCols      map[*column]bool // got an out-of-order append
+}
+
+func newBatch(base *dbView, shardDuration int64) *batch {
+	nv := *base // maps and slices stay shared until cloned
+	return &batch{
+		shardDuration: shardDuration,
+		v:             &nv,
+		freshShards:   make(map[*shard]bool),
+		freshSeries:   make(map[*series]bool),
+		freshCols:     make(map[*column]bool),
+		freshMI:       make(map[*measurementIndex]bool),
+		freshTagVals:  make(map[*measurementIndex]map[string]bool),
+		dirtyCols:     make(map[*column]bool),
+	}
+}
+
+// finish sorts any columns that received out-of-order appends and seals
+// the view. mutated reports whether stored data changed (an empty batch
+// still counts as a batch but must not advance the epoch).
+func (b *batch) finish(mutated bool) *dbView {
+	for col := range b.dirtyCols {
+		col.sortByTime()
+	}
+	b.v.stats.BatchesWritten++
+	if mutated {
+		b.v.epoch++
+	}
+	return b.v
+}
+
+func (b *batch) cloneShardMap() {
+	if b.clonedShardMap {
+		return
+	}
+	m := make(map[int64]*shard, len(b.v.shards)+1)
+	for k, v := range b.v.shards {
+		m[k] = v
+	}
+	b.v.shards = m
+	b.clonedShardMap = true
+}
+
+func (b *batch) cloneIndexMap() {
+	if b.clonedIndexMap {
+		return
+	}
+	m := make(map[string]*measurementIndex, len(b.v.index)+1)
+	for k, v := range b.v.index {
+		m[k] = v
+	}
+	b.v.index = m
+	b.clonedIndexMap = true
+}
+
+// insertShardStart inserts start into the sorted shardStarts slice at
+// its position — no full re-sort per new shard.
+func (b *batch) insertShardStart(start int64) {
+	if !b.clonedStarts {
+		b.v.shardStarts = append([]int64(nil), b.v.shardStarts...)
+		b.clonedStarts = true
+	}
+	s := b.v.shardStarts
+	i := sort.Search(len(s), func(j int) bool { return s[j] >= start })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = start
+	b.v.shardStarts = s
+}
+
+// shardFor returns a batch-owned (mutable) shard covering ts.
+func (b *batch) shardFor(ts int64) *shard {
+	start := ts - mod(ts, b.shardDuration)
+	if sh, ok := b.v.shards[start]; ok {
+		return b.mutableShard(start, sh)
+	}
+	sh := newShard(start, start+b.shardDuration)
+	b.cloneShardMap()
+	b.v.shards[start] = sh
+	b.freshShards[sh] = true
+	b.insertShardStart(start)
+	return sh
+}
+
+func (b *batch) mutableShard(start int64, sh *shard) *shard {
+	if b.freshShards[sh] {
+		return sh
+	}
+	c := sh.clone()
+	b.cloneShardMap()
+	b.v.shards[start] = c
+	b.freshShards[c] = true
+	return c
+}
+
+// mutableMI returns a batch-owned clone of a measurement index. Inner
+// byTag value maps stay shared until mutableTagVals touches them.
+func (b *batch) mutableMI(name string, mi *measurementIndex) *measurementIndex {
+	if b.freshMI[mi] {
+		return mi
+	}
+	c := &measurementIndex{
+		byTag:  make(map[string]map[string][]string, len(mi.byTag)),
+		series: make(map[string]Tags, len(mi.series)+1),
+		fields: make(map[string]ValueKind, len(mi.fields)+1),
+	}
+	for k, v := range mi.byTag {
+		c.byTag[k] = v
+	}
+	for k, v := range mi.series {
+		c.series[k] = v
+	}
+	for k, v := range mi.fields {
+		c.fields[k] = v
+	}
+	b.cloneIndexMap()
+	b.v.index[name] = c
+	b.freshMI[c] = true
+	return c
+}
+
+// mutableTagVals returns a batch-owned tag-value posting map of mi
+// (which must already be batch-owned).
+func (b *batch) mutableTagVals(mi *measurementIndex, key string) map[string][]string {
+	set := b.freshTagVals[mi]
+	if set == nil {
+		set = make(map[string]bool)
+		b.freshTagVals[mi] = set
+	}
+	vals := mi.byTag[key]
+	if vals == nil {
+		vals = make(map[string][]string)
+		mi.byTag[key] = vals
+		set[key] = true
+		return vals
+	}
+	if set[key] {
+		return vals
+	}
+	c := make(map[string][]string, len(vals)+1)
+	for k, v := range vals {
+		c[k] = v
+	}
+	mi.byTag[key] = c
+	set[key] = true
+	return c
+}
+
+// indexSeries records a point's measurement, series, and field metadata
+// in the view's index, cloning only what it changes.
+func (b *batch) indexSeries(p *Point, key string, sorted Tags) {
+	mi := b.v.index[p.Measurement]
+	if mi == nil {
+		mi = &measurementIndex{
+			byTag:  make(map[string]map[string][]string),
+			series: make(map[string]Tags),
+			fields: make(map[string]ValueKind),
+		}
+		b.cloneIndexMap()
+		b.v.index[p.Measurement] = mi
+		b.freshMI[mi] = true
+		b.v.stats.Measurements++
+	}
+	for fk, fv := range p.Fields {
+		if _, seen := mi.fields[fk]; !seen {
+			mi = b.mutableMI(p.Measurement, mi)
+			mi.fields[fk] = fv.Kind
+		}
+	}
+	if _, ok := mi.series[key]; ok {
+		return
+	}
+	mi = b.mutableMI(p.Measurement, mi)
+	mi.series[key] = sorted
+	b.v.stats.SeriesCreated++
+	for _, t := range sorted {
+		vals := b.mutableTagVals(mi, t.Key)
+		// Appending may write into spare capacity shared with the
+		// previous view's slice — safe, because that view's header
+		// bounds its readers below the appended cell.
+		vals[t.Value] = append(vals[t.Value], key)
+	}
+}
+
+// writePoint appends one point's samples into batch-owned storage.
+func (b *batch) writePoint(p *Point, key string, sorted Tags) {
+	sh := b.shardFor(p.Time)
+	sr, ok := sh.series[key]
+	switch {
+	case !ok:
+		sr = &series{measurement: p.Measurement, tags: sorted, fields: make(map[string]*column)}
+		sh.series[key] = sr
+		sh.keyBytes += len(key) + 8 // key plus index entry overhead
+		b.freshSeries[sr] = true
+	case !b.freshSeries[sr]:
+		c := sr.clone()
+		sh.series[key] = c
+		b.freshSeries[c] = true
+		sr = c
+	}
+	for fk, fv := range p.Fields {
+		col := sr.fields[fk]
+		switch {
+		case col == nil:
+			col = &column{}
+			sr.fields[fk] = col
+			b.freshCols[col] = true
+		case !b.freshCols[col]:
+			c := &column{times: col.times, vals: col.vals}
+			sr.fields[fk] = c
+			b.freshCols[c] = true
+			col = c
+		}
+		if n := len(col.times); n > 0 && p.Time < col.times[n-1] {
+			b.dirtyCols[col] = true
+		}
+		col.times = append(col.times, p.Time)
+		col.vals = append(col.vals, fv)
+	}
+	sz := p.EncodedSize()
+	sr.bytes += sz
+	sh.points++
+	sh.bytes += int64(sz)
+	b.v.stats.PointsWritten++
+}
