@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench lint lint-selftest fuzz-smoke
 
-# check is the pre-PR gate: formatting, static analysis, a full build,
-# the whole test suite, and the race detector over the packages with
-# real concurrency (the builder fan-out and the storage engine).
-check: fmt vet build test race
+# check is the pre-PR gate: formatting, static analysis (go vet plus
+# the project's own monsterlint suite), a full build, the whole test
+# suite, and the race detector over every package.
+check: fmt vet lint build test race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -16,6 +16,31 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project's own analyzer suite (see internal/lint) over
+# every package, then staticcheck when the host happens to have it —
+# the build stays self-contained either way.
+lint:
+	$(GO) run ./cmd/monsterlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+# lint-selftest proves the gate has teeth: monsterlint must exit 3 on
+# a fixture directory seeded with violations. A built binary is used
+# because go run collapses the child's exit status to 1.
+lint-selftest:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/monsterlint ./cmd/monsterlint; \
+	$$tmp/monsterlint ./internal/lint/testdata/src/errdrop; \
+	code=$$?; \
+	rm -rf $$tmp; \
+	if [ $$code -ne 3 ]; then \
+		echo "lint-selftest: expected exit 3 on seeded fixture, got $$code"; exit 1; \
+	fi; \
+	echo "lint-selftest: seeded violations detected (exit 3) as expected"
+
 build:
 	$(GO) build ./...
 
@@ -23,7 +48,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/builder ./internal/tsdb ./internal/collector ./internal/core
+	$(GO) test -race ./...
+
+# fuzz-smoke gives each fuzz target a short budget — enough to catch
+# shallow panics on every push without stalling the pipeline.
+FUZZTIME ?= 15s
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzParseQuery$$' -run '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+	$(GO) test -fuzz '^FuzzMergeSeries$$' -run '^FuzzMergeSeries$$' -fuzztime $(FUZZTIME) ./internal/builder
 
 # bench runs the Metrics Builder ladder benchmarks (Figs 10-19):
 # naive-sequential vs batched-concurrent vs cached.

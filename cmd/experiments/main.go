@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"monster"
+	"monster/internal/clock"
 )
 
 func main() {
@@ -38,9 +39,10 @@ func main() {
 	if *run == "all" {
 		ids = monster.ExperimentIDs()
 	}
+	clk := clock.NewReal()
 	failed := 0
 	for _, id := range ids {
-		start := time.Now()
+		start := clk.Now()
 		tbl, err := monster.RunExperiment(id, *quick)
 		if err != nil {
 			log.Printf("experiments: %s failed: %v", id, err)
@@ -48,7 +50,7 @@ func main() {
 			continue
 		}
 		fmt.Print(tbl.Format())
-		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", id, clk.Now().Sub(start).Round(time.Millisecond))
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -74,7 +74,9 @@ func main() {
 			log.Printf("monsterd: replaying %d traced jobs", trace.Len())
 			cfg.Trace = trace
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			log.Fatalf("monsterd: %v", err)
+		}
 	}
 	sys := monster.New(cfg)
 
@@ -108,8 +110,9 @@ func main() {
 		}()
 	}
 
-	go progress(ctx, sys)
-	err := sys.RunLive(ctx, clock.NewReal(), *scale, time.Second)
+	clk := clock.NewReal()
+	go progress(ctx, clk, sys)
+	err := sys.RunLive(ctx, clk, *scale, time.Second)
 	if err == context.Canceled || err == context.DeadlineExceeded {
 		final := sys.Collector.Stats()
 		fmt.Printf("monsterd: stopped at sim time %v after %d cycles, %d points written, %d BMC requests (%d failed)\n",
@@ -127,15 +130,13 @@ func main() {
 	}
 }
 
-func progress(ctx context.Context, sys *monster.System) {
-	t := time.NewTicker(10 * time.Second)
-	defer t.Stop()
+func progress(ctx context.Context, clk clock.Clock, sys *monster.System) {
 	seenAlerts := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-clk.After(10 * time.Second):
 			st := sys.Collector.Stats()
 			d := sys.DB.Disk()
 			log.Printf("monsterd: sim=%v cycles=%d points=%d volume=%.1f MB jobs-running=%d",

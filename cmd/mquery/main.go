@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"monster"
+	"monster/internal/clock"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func main() {
 		return
 	}
 
-	end := time.Now().UTC()
+	end := clock.NewReal().Now().UTC()
 	if *endS != "" {
 		t, err := time.Parse(time.RFC3339, *endS)
 		if err != nil {

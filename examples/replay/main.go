@@ -28,7 +28,9 @@ func main() {
 	if err := trace.SaveTrace(traceFile); err != nil {
 		log.Fatal(err)
 	}
-	traceFile.Close()
+	if err := traceFile.Close(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("froze %d submissions to workload.json\n", trace.Len())
 
 	// 2. Replay it twice through independent deployments.

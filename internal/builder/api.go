@@ -8,7 +8,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"monster/internal/clock"
 )
 
 // StatsHeader carries the builder's Stats for one response as a JSON
@@ -28,13 +31,19 @@ const StatsHeader = "X-Monster-Stats"
 // the paper's transport optimization. zlevel=1..9 overrides the
 // compression level. Validation failures are 400s with {"error": ...}.
 type API struct {
-	b   *Builder
-	mux *http.ServeMux
+	b     *Builder
+	mux   *http.ServeMux
+	clock clock.Clock
+
+	// writeErrs counts response bodies we failed to deliver (consumer
+	// hung up mid-write, broken pipe). Surfaced as write_errors in
+	// /v1/stats so failed deliveries are counted, never silent.
+	writeErrs atomic.Int64
 }
 
 // NewAPI builds the HTTP surface over a Builder.
 func NewAPI(b *Builder) *API {
-	a := &API{b: b, mux: http.NewServeMux()}
+	a := &API{b: b, mux: http.NewServeMux(), clock: b.clock}
 	a.mux.HandleFunc("/v1/metrics", a.handleMetrics)
 	a.mux.HandleFunc("/v1/stats", a.handleStats)
 	return a
@@ -43,10 +52,15 @@ func NewAPI(b *Builder) *API {
 // ServeHTTP implements http.Handler.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// WriteErrors reports how many response writes have failed since start.
+func (a *API) WriteErrors() int64 { return a.writeErrs.Load() }
+
+func (a *API) httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
+		a.writeErrs.Add(1)
+	}
 }
 
 // parseTimeParam accepts epoch seconds or RFC3339.
@@ -83,12 +97,12 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}{{"start", &req.Start}, {"end", &req.End}} {
 		v := q.Get(p.name)
 		if v == "" {
-			httpError(w, http.StatusBadRequest, "missing %s parameter", p.name)
+			a.httpError(w, http.StatusBadRequest, "missing %s parameter", p.name)
 			return
 		}
 		t, err := parseTimeParam(v)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad %s: %v", p.name, err)
+			a.httpError(w, http.StatusBadRequest, "bad %s: %v", p.name, err)
 			return
 		}
 		*p.dst = t
@@ -96,11 +110,11 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("interval"); v != "" {
 		iv, err := parseIntervalParam(v)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad interval: %v", err)
+			a.httpError(w, http.StatusBadRequest, "bad interval: %v", err)
 			return
 		}
 		if iv <= 0 {
-			httpError(w, http.StatusBadRequest, "interval must be positive, got %q", v)
+			a.httpError(w, http.StatusBadRequest, "interval must be positive, got %q", v)
 			return
 		}
 		req.Interval = iv
@@ -113,7 +127,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, name := range strings.Split(v, ",") {
 			m, err := ParseMetric(name)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "bad metrics: %v", err)
+				a.httpError(w, http.StatusBadRequest, "bad metrics: %v", err)
 				return
 			}
 			req.Metrics = append(req.Metrics, m)
@@ -122,7 +136,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("jobs"); v != "" {
 		jobs, err := strconv.ParseBool(v)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad jobs: %v", err)
+			a.httpError(w, http.StatusBadRequest, "bad jobs: %v", err)
 			return
 		}
 		req.IncludeJobs = jobs
@@ -131,7 +145,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("zlevel"); v != "" {
 		zl, err := strconv.Atoi(v)
 		if err != nil || zl < 0 || zl > 9 {
-			httpError(w, http.StatusBadRequest, "bad zlevel: want 0..9, got %q", v)
+			a.httpError(w, http.StatusBadRequest, "bad zlevel: want 0..9, got %q", v)
 			return
 		}
 		zlevel = zl
@@ -142,35 +156,35 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		var reqErr *RequestError
 		switch {
 		case errors.As(err, &reqErr):
-			httpError(w, http.StatusBadRequest, "%s", reqErr.Reason)
+			a.httpError(w, http.StatusBadRequest, "%s", reqErr.Reason)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			// The consumer went away mid-fan-out; nothing to answer.
-			httpError(w, 499, "request canceled")
+			a.httpError(w, 499, "request canceled")
 		default:
-			httpError(w, http.StatusInternalServerError, "%v", err)
+			a.httpError(w, http.StatusInternalServerError, "%v", err)
 		}
 		return
 	}
 
-	te := time.Now()
+	te := a.clock.Now()
 	body, err := Encode(resp)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		a.httpError(w, http.StatusInternalServerError, "encode: %v", err)
 		return
 	}
-	st.EncodeTime = time.Since(te)
+	st.EncodeTime = a.clock.Now().Sub(te)
 	st.BytesRaw = int64(len(body))
 
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Vary", "Accept-Encoding")
 	if acceptsDeflate(r.Header.Get("Accept-Encoding")) {
-		tc := time.Now()
+		tc := a.clock.Now()
 		comp, err := Compress(body, zlevel)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, "compress: %v", err)
+			a.httpError(w, http.StatusInternalServerError, "compress: %v", err)
 			return
 		}
-		st.CompressTime = time.Since(tc)
+		st.CompressTime = a.clock.Now().Sub(tc)
 		st.BytesCompressed = int64(len(comp))
 		body = comp
 		w.Header().Set("Content-Encoding", "deflate")
@@ -180,7 +194,9 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(StatsHeader, string(hdr))
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
-	w.Write(body)
+	if _, err := w.Write(body); err != nil {
+		a.writeErrs.Add(1)
+	}
 }
 
 // acceptsDeflate reports whether an Accept-Encoding header admits
@@ -219,6 +235,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		Epoch        int64         `json:"epoch"`
 		Batches      int64         `json:"batches_written"`
 		WriteWaitNs  int64         `json:"write_wait_ns"`
+		WriteErrors  int64         `json:"write_errors"`
 		Measurements []measurement `json:"measurements"`
 	}{
 		Points:      disk.Points,
@@ -228,10 +245,13 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		Epoch:       db.Epoch(),
 		Batches:     dbStats.BatchesWritten,
 		WriteWaitNs: dbStats.WriteWaitNs,
+		WriteErrors: a.writeErrs.Load(),
 	}
 	for _, name := range db.Measurements() {
 		out.Measurements = append(out.Measurements, measurement{Name: name, Series: db.SeriesCardinality(name)})
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		a.writeErrs.Add(1)
+	}
 }

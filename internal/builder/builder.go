@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"monster/internal/clock"
 	"monster/internal/tsdb"
 )
 
@@ -26,6 +27,10 @@ type Options struct {
 	// ChunkNodes is how many nodes one batched query covers. Zero
 	// means 16.
 	ChunkNodes int
+	// Clock supplies time for the per-stage Stats breakdown. Nil
+	// selects the wall clock; the DES experiments inject a virtual
+	// clock so replayed runs stay deterministic.
+	Clock clock.Clock
 }
 
 func (o *Options) workers() int {
@@ -68,13 +73,18 @@ type Stats struct {
 // Builder generates, executes, and merges the storage queries that
 // answer one consumer Request.
 type Builder struct {
-	db   *tsdb.DB
-	opts Options
+	db    *tsdb.DB
+	opts  Options
+	clock clock.Clock
 }
 
 // New builds a Metrics Builder over a storage engine.
 func New(db *tsdb.DB, opts Options) *Builder {
-	return &Builder{db: db, opts: opts}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Builder{db: db, opts: opts, clock: clk}
 }
 
 // DB exposes the underlying storage engine (the HTTP API's /v1/stats
@@ -90,7 +100,7 @@ type task struct {
 // or on the worker pool), and merge the results into a Response.
 func (b *Builder) Fetch(ctx context.Context, req Request) (*Response, Stats, error) {
 	var st Stats
-	t0 := time.Now()
+	t0 := b.clock.Now()
 	if err := req.Validate(); err != nil {
 		return nil, st, err
 	}
@@ -104,10 +114,10 @@ func (b *Builder) Fetch(ctx context.Context, req Request) (*Response, Stats, err
 		tasks = b.planNaive(&req, nodes)
 	}
 	st.Nodes = len(nodes)
-	st.PlanTime = time.Since(t0)
+	st.PlanTime = b.clock.Now().Sub(t0)
 
 	// Query: execute the plan.
-	tq := time.Now()
+	tq := b.clock.Now()
 	results := make([]*tsdb.Result, len(tasks))
 	var err error
 	if b.opts.Concurrent {
@@ -119,10 +129,10 @@ func (b *Builder) Fetch(ctx context.Context, req Request) (*Response, Stats, err
 		return nil, st, err
 	}
 	st.Queries = len(tasks)
-	st.QueryTime = time.Since(tq)
+	st.QueryTime = b.clock.Now().Sub(tq)
 
 	// Merge: fold every result into the single response document.
-	tm := time.Now()
+	tm := b.clock.Now()
 	resp, idx := newResponse(&req, nodes)
 	for _, res := range results {
 		if res == nil {
@@ -138,8 +148,9 @@ func (b *Builder) Fetch(ctx context.Context, req Request) (*Response, Stats, err
 			return nil, st, err
 		}
 	}
-	st.MergeTime = time.Since(tm)
-	st.Total = time.Since(t0)
+	now := b.clock.Now()
+	st.MergeTime = now.Sub(tm)
+	st.Total = now.Sub(t0)
 	return resp, st, nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"monster/internal/clock"
 )
 
 // Client fetches from a remote Metrics Builder API — the consumer side
@@ -25,6 +27,16 @@ type Client struct {
 	Level int
 	// HTTPClient overrides http.DefaultClient.
 	HTTPClient *http.Client
+	// Clock supplies time for TransferTime measurement. Nil selects
+	// the wall clock.
+	Clock clock.Clock
+}
+
+func (c *Client) clk() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.NewReal()
 }
 
 // FetchResult is one fetched response plus the transport accounting
@@ -91,7 +103,8 @@ func (c *Client) Fetch(ctx context.Context, req Request) (*FetchResult, error) {
 		hreq.Header.Set("Accept-Encoding", "identity")
 	}
 
-	t0 := time.Now()
+	clk := c.clk()
+	t0 := clk.Now()
 	hresp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("builder: client: %w", err)
@@ -101,7 +114,7 @@ func (c *Client) Fetch(ctx context.Context, req Request) (*FetchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("builder: client: read body: %w", err)
 	}
-	transfer := time.Since(t0)
+	transfer := clk.Now().Sub(t0)
 
 	if hresp.StatusCode != http.StatusOK {
 		var e struct {

@@ -1,0 +1,126 @@
+package builder
+
+import (
+	"testing"
+	"time"
+
+	"monster/internal/tsdb"
+)
+
+// fuzzRows decodes the fuzzer's byte stream into result rows: each
+// byte contributes one row whose time, value kind, and presence bit
+// all derive from it. The point is shape diversity — sparse Present
+// bitmaps, non-float kinds, empty Values — not realistic data.
+func fuzzRows(data []byte, width int) []tsdb.Row {
+	rows := make([]tsdb.Row, 0, len(data))
+	for i, b := range data {
+		row := tsdb.Row{Time: int64(i) * int64(b%7), Values: make([]tsdb.Value, 0, width), Present: make([]bool, 0, width)}
+		for c := 0; c < width; c++ {
+			switch (int(b) + c) % 4 {
+			case 0:
+				row.Values = append(row.Values, tsdb.Float(float64(b)))
+			case 1:
+				row.Values = append(row.Values, tsdb.Int(int64(b)))
+			case 2:
+				row.Values = append(row.Values, tsdb.Str(string(data[:i])))
+			case 3:
+				row.Values = append(row.Values, tsdb.Bool(b%2 == 0))
+			}
+			row.Present = append(row.Present, (int(b)+c)%3 != 0)
+		}
+		if b%5 == 0 {
+			// Ragged rows: fewer values than columns, or none at all.
+			row.Values = row.Values[:len(row.Values)/2]
+			row.Present = row.Present[:len(row.Present)/2]
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FuzzMergeSeries drives the builder's merge layer — newResponse,
+// mergeResult, mergeJobs, mergeNodeJobs, and parseJobList — with
+// adversarial series shapes: unknown nodes, empty labels, ragged
+// Present bitmaps, non-float values where floats are expected, and
+// malformed job-list encodings. Nothing here may panic, and the
+// series/point accounting must agree with what landed in the response.
+func FuzzMergeSeries(f *testing.F) {
+	f.Add("10.101.1.1", "NodePower", "['123-a', '456-b']", []byte{1, 2, 3, 250, 0})
+	f.Add("", "", "", []byte{})
+	f.Add("node-2", "CPU1Temp", "[]", []byte{5, 5, 5})
+	f.Add("ghost", "Lab", "[''] ,", []byte{9})
+	f.Add("10.101.1.1", "x", "['solo']", []byte{0, 255, 17, 128})
+
+	f.Fuzz(func(t *testing.T, node, label, jobList string, data []byte) {
+		req := &Request{
+			Start:    time.Unix(0, 0),
+			End:      time.Unix(3600, 0),
+			Interval: 5 * time.Minute,
+			Nodes:    []string{node, "10.101.1.1"},
+		}
+		resp, idx := newResponse(req, req.Nodes)
+
+		metricRes := &tsdb.Result{Series: []tsdb.ResultSeries{
+			{
+				Name:    "Power",
+				Tags:    tsdb.NewTags(map[string]string{"NodeId": node, "Label": label}),
+				Columns: []string{"Reading"},
+				Rows:    fuzzRows(data, 1),
+			},
+			{
+				// A series for a node outside the request must be dropped.
+				Name:    "Power",
+				Tags:    tsdb.NewTags(map[string]string{"NodeId": "not-requested", "Label": label}),
+				Columns: []string{"Reading"},
+				Rows:    fuzzRows(data, 1),
+			},
+		}}
+		series, points := mergeResult(resp, idx, metricRes)
+		got := 0
+		for _, n := range resp.Nodes {
+			got += len(n.Metrics)
+			for _, sd := range n.Metrics {
+				if len(sd.Times) != len(sd.Values) {
+					t.Fatalf("series with %d times but %d values", len(sd.Times), len(sd.Values))
+				}
+				points -= len(sd.Times)
+			}
+		}
+		if series != got {
+			t.Fatalf("mergeResult reported %d series, response holds %d", series, got)
+		}
+		if points != 0 {
+			t.Fatalf("mergeResult point count disagrees with response by %d", points)
+		}
+
+		jobsRes := &tsdb.Result{Series: []tsdb.ResultSeries{
+			{
+				Name:    "JobsInfo",
+				Tags:    tsdb.NewTags(map[string]string{"JobId": label}),
+				Columns: []string{"User", "JobName", "Queue", "SubmitTime", "StartTime", "FinishTime", "Estimated", "Slots", "NodeCount"},
+				Rows:    fuzzRows(data, 11), // wider than the column list on purpose
+			},
+		}}
+		mergeJobs(resp, jobsRes)
+
+		nodeJobsRes := &tsdb.Result{Series: []tsdb.ResultSeries{
+			{
+				Name:    "NodeJobs",
+				Tags:    tsdb.NewTags(map[string]string{"NodeId": node}),
+				Columns: []string{"JobList"},
+				Rows: []tsdb.Row{
+					{Time: 1, Values: []tsdb.Value{tsdb.Str(jobList)}, Present: []bool{true}},
+					{Time: 2, Values: []tsdb.Value{tsdb.Str(jobList)}},
+				},
+			},
+		}}
+		mergeNodeJobs(resp, nodeJobsRes)
+		for _, nj := range resp.NodeJobs {
+			for _, j := range nj.Jobs {
+				if j == "" {
+					t.Fatal("parseJobList let an empty job id through")
+				}
+			}
+		}
+	})
+}

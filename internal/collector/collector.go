@@ -539,7 +539,7 @@ func (c *Collector) writeBatched(points []tsdb.Point) error {
 		size = 1
 	}
 	waitBefore := c.db.Stats().WriteWaitNs
-	start := time.Now()
+	start := c.opts.Clock.Now()
 	batches := int64(0)
 	for off := 0; off < len(points); off += size {
 		end := off + size
@@ -551,7 +551,7 @@ func (c *Collector) writeBatched(points []tsdb.Point) error {
 		}
 		batches++
 	}
-	elapsed := time.Since(start)
+	elapsed := c.opts.Clock.Now().Sub(start)
 	wait := time.Duration(c.db.Stats().WriteWaitNs - waitBefore)
 	c.mu.Lock()
 	c.stats.Batches += batches

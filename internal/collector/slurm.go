@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"monster/internal/clock"
 	"monster/internal/scheduler"
 )
 
@@ -23,6 +24,9 @@ import (
 type SlurmSchedulerSource struct {
 	BaseURL string
 	Client  *http.Client
+	// Clock stamps the job-cache freshness window. Nil selects the
+	// wall clock.
+	Clock clock.Clock
 
 	mu       sync.Mutex
 	lastJobs []scheduler.SlurmJob
@@ -37,6 +41,13 @@ func NewSlurmSchedulerSource(baseURL string, client *http.Client) *SlurmSchedule
 		client = http.DefaultClient
 	}
 	return &SlurmSchedulerSource{BaseURL: baseURL, Client: client}
+}
+
+func (s *SlurmSchedulerSource) clk() clock.Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	return clock.NewReal()
 }
 
 func (s *SlurmSchedulerSource) get(ctx context.Context, path string, out interface{}) error {
@@ -69,7 +80,7 @@ func (s *SlurmSchedulerSource) fetchJobs(ctx context.Context) ([]scheduler.Slurm
 	}
 	s.mu.Lock()
 	s.lastJobs = resp.Jobs
-	s.jobsAt = time.Now()
+	s.jobsAt = s.clk().Now()
 	s.mu.Unlock()
 	return resp.Jobs, nil
 }
@@ -140,9 +151,10 @@ func slurmJobKey(j scheduler.SlurmJob) string {
 // Jobs implements SchedulerSource by translating Slurm job records into
 // the collector's UGE-shaped entries.
 func (s *SlurmSchedulerSource) Jobs(ctx context.Context) ([]scheduler.JobEntry, error) {
+	now := s.clk().Now()
 	s.mu.Lock()
 	jobs := s.lastJobs
-	fresh := time.Since(s.jobsAt) < 5*time.Second
+	fresh := now.Sub(s.jobsAt) < 5*time.Second
 	s.mu.Unlock()
 	if !fresh {
 		var err error

@@ -1,0 +1,180 @@
+// Package lint is monsterlint's analysis framework plus the project's
+// analyzers. It is a deliberately small, dependency-free re-creation of
+// the golang.org/x/tools/go/analysis surface (Analyzer, Pass, Report)
+// on top of the standard library's go/ast and go/types: the build
+// environment vendors no third-party modules, and the half-dozen
+// project invariants the suite enforces need nothing more.
+//
+// The invariants themselves are documented per-analyzer (see
+// clockdiscipline.go, viewmutate.go, errdrop.go, lockcopy.go,
+// atomicfield.go, ctxpropagate.go) and in DESIGN.md. Deliberate
+// exceptions are suppressed in the source with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] reason
+//
+// placed on the offending line or the line directly above it, or with
+//
+//	//lint:file-ignore <analyzer> reason
+//
+// anywhere in a file to silence one analyzer for that whole file.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //lint:ignore
+	// suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass hands one analyzer one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename reports the file a node position belongs to.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(filepath.Base(p.Filename(f.Pos())), "_test.go")
+}
+
+// A Diagnostic is one raw finding, positioned by token.Pos.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Finding is a diagnostic resolved to a file position, the unit the
+// driver prints and the tests assert on.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// All returns the full monsterlint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ClockDiscipline,
+		ViewMutate,
+		ErrDrop,
+		LockCopy,
+		AtomicField,
+		CtxPropagate,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" or "all" selects
+// the whole suite).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// errorType is the universe error interface, used by analyzers to
+// recognize error-returning calls.
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether any result of the call is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// deref unwraps pointer types.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedType reports the named type behind t (after pointer deref), or
+// nil when t is unnamed.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := deref(t).(*types.Named)
+	return n
+}
+
+// isPkgQualified reports whether expr is a selector pkg.Name for the
+// given import path, e.g. time.Now or atomic.AddInt64.
+func isPkgQualified(info *types.Info, expr ast.Expr, pkgPath string) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

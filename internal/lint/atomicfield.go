@@ -1,0 +1,90 @@
+package lint
+
+// atomicfield closes the second half of the lockcopy story: a struct
+// field that is accessed through sync/atomic anywhere in a package
+// (atomic.AddInt64(&s.n, 1)) must be accessed through sync/atomic
+// everywhere in that package. A plain `s.n` read racing an atomic
+// writer is undefined behaviour the race detector reports only when a
+// test happens to interleave the two; statically, the mixed access is
+// visible immediately.
+//
+// The analyzer runs two package-wide passes: first it collects every
+// field whose address is passed to a sync/atomic function, then it
+// flags plain selector reads/writes of those same field objects. The
+// composite-literal zero initialization and the &s.n argument inside
+// the atomic call itself are exempt.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField flags non-atomic access to fields used atomically
+// elsewhere in the package.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags plain reads/writes of struct fields that are accessed via sync/atomic elsewhere in the package (mixed access is a data race)",
+	Run:  runAtomicField,
+}
+
+// isAtomicOpName matches the sync/atomic package-level operations that
+// take an address.
+func isAtomicOpName(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicField(p *Pass) error {
+	// Pass 1: fields whose address feeds sync/atomic, and the selector
+	// nodes doing so (exempt in pass 2).
+	atomicFields := make(map[types.Object]bool)
+	exempt := make(map[*ast.SelectorExpr]bool)
+	inspectFiles(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := isPkgQualified(p.TypesInfo, call.Fun, "sync/atomic")
+		if !ok || !isAtomicOpName(name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if s, ok := p.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				atomicFields[s.Obj()] = true
+				exempt[sel] = true
+			}
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses of those fields.
+	inspectFiles(p, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || exempt[sel] {
+			return true
+		}
+		s, ok := p.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal || !atomicFields[s.Obj()] {
+			return true
+		}
+		p.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; this plain access races it — use sync/atomic here too", sel.Sel.Name)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,61 @@
+package lint
+
+// clockdiscipline enforces the repository's virtual-time rule: no
+// component outside internal/clock may read or wait on the wall clock
+// directly. Every "now", sleep, or timer must go through a
+// clock.Clock, so the same code runs against real time in the live
+// pipeline and against simulated time in the discrete-event
+// experiments that reproduce the paper's figures. A single stray
+// time.Now() makes a DES run non-reproducible in a way no test can
+// reliably catch — which is exactly what a vet pass is for.
+//
+// Constructors and conversions (time.Unix, time.Parse, time.Duration
+// arithmetic) are fine: they manipulate time values without observing
+// the clock. Test files are exempt.
+
+import (
+	"go/ast"
+)
+
+// forbiddenTimeFuncs are the package-time functions that observe or
+// wait on the wall clock.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "Clock.Now",
+	"Since":     "Clock.Now().Sub",
+	"Until":     "Clock.Now-based arithmetic",
+	"Sleep":     "Clock.Sleep",
+	"After":     "Clock.After",
+	"Tick":      "Clock.After in a loop",
+	"NewTicker": "Clock.After in a loop",
+	"NewTimer":  "Clock.After",
+	"AfterFunc": "Clock.After",
+}
+
+// ClockDiscipline flags wall-clock reads and timers outside
+// internal/clock.
+var ClockDiscipline = &Analyzer{
+	Name: "clockdiscipline",
+	Doc:  "forbids time.Now/Since/Sleep/After and timers outside internal/clock; thread a clock.Clock instead (keeps DES runs deterministic)",
+	Run:  runClockDiscipline,
+}
+
+func runClockDiscipline(p *Pass) error {
+	if p.Pkg.Name() == "clock" {
+		return nil // the one package allowed to touch the wall clock
+	}
+	inspectFiles(p, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name, ok := isPkgQualified(p.TypesInfo, sel, "time")
+		if !ok {
+			return true
+		}
+		if repl, bad := forbiddenTimeFuncs[name]; bad {
+			p.Reportf(sel.Pos(), "wall-clock time.%s outside internal/clock breaks virtual-time determinism; use clock.%s", name, repl)
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,70 @@
+package lint
+
+// errdrop flags silently discarded errors from the I/O methods that
+// matter on the pipeline's hot paths: Write*, Flush, Close, and Sync.
+// The collector's 60 s batch path and the builder's HTTP responses
+// must never lose a storage or transport error on the floor — the
+// paper's robustness claims rest on failed cycles being *counted*,
+// not invisible.
+//
+// Deliberate escapes stay visible: assigning to _ is allowed (it is an
+// explicit, reviewable act), `defer x.Close()` on read paths is
+// conventional and exempt, and never-failing writers (strings.Builder,
+// bytes.Buffer) are recognized and skipped. Everything else needs a
+// check or a //lint:ignore with a reason.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrDrop flags expression statements that discard an error from
+// Write*/Flush/Close/Sync calls.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded errors from Write*/Flush/Close/Sync calls (collector/builder hot paths must count failures, not swallow them)",
+	Run:  runErrDrop,
+}
+
+// neverFailingWriters are receiver types whose Write methods are
+// documented to always return a nil error.
+var neverFailingWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func isDropProneName(name string) bool {
+	return strings.HasPrefix(name, "Write") || name == "Flush" || name == "Close" || name == "Sync"
+}
+
+func runErrDrop(p *Pass) error {
+	inspectFiles(p, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if !isDropProneName(name) || !returnsError(p.TypesInfo, call) {
+			return true
+		}
+		// Method calls on never-failing writers are fine; package-level
+		// functions (binary.Write, io.Copy-style helpers) have no
+		// receiver and always count.
+		if recv := namedType(p.TypesInfo.TypeOf(sel.X)); recv != nil {
+			if obj := recv.Obj(); obj.Pkg() != nil && neverFailingWriters[obj.Pkg().Path()+"."+obj.Name()] {
+				return true
+			}
+		}
+		p.Reportf(stmt.Pos(), "discarded error from %s; check it, count it in stats, or assign to _ deliberately", name)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,167 @@
+package lint
+
+// lockcopy flags copying, by value, any struct that (transitively)
+// contains a sync lock or a sync/atomic value type. A copied
+// sync.Mutex is a distinct, unlocked mutex — two goroutines each
+// "holding" their own copy is exactly the storage-engine bug class the
+// snapshot refactor removed the big RWMutex to avoid. A copied
+// atomic.Pointer silently forks the published view. go vet's
+// copylocks catches some of these; this analyzer extends the net to
+// the atomic value types and keeps the check in the project's own
+// gate so the suite stays self-contained.
+//
+// Flagged shapes: assigning or initializing from an existing
+// lock-bearing value (x := *db, a = b), passing one by value as a call
+// argument, declaring a by-value parameter or receiver of a
+// lock-bearing type, and ranging over a slice/array of lock-bearing
+// elements with a value variable. Constructing a fresh value (composite
+// literal, new) is fine.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags by-value copies of lock-bearing structs.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "flags copying structs containing sync.Mutex/atomic values by value (a copied lock is a different lock; a copied atomic forks published state)",
+	Run:  runLockCopy,
+}
+
+// syncValueTypes are the sync and sync/atomic types that must never be
+// copied after first use.
+var syncValueTypes = map[string]bool{
+	"sync.Mutex":          true,
+	"sync.RWMutex":        true,
+	"sync.WaitGroup":      true,
+	"sync.Once":           true,
+	"sync.Cond":           true,
+	"sync.Map":            true,
+	"sync.Pool":           true,
+	"sync/atomic.Bool":    true,
+	"sync/atomic.Int32":   true,
+	"sync/atomic.Int64":   true,
+	"sync/atomic.Uint32":  true,
+	"sync/atomic.Uint64":  true,
+	"sync/atomic.Uintptr": true,
+	"sync/atomic.Value":   true,
+	"sync/atomic.Pointer": true,
+}
+
+type lockCache map[types.Type]bool
+
+// containsLock reports whether t (not behind a pointer) transitively
+// holds a sync value type.
+func (c lockCache) containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := c[t]; ok {
+		return v // includes in-progress cycle guard (false)
+	}
+	c[t] = false
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil {
+			if syncValueTypes[obj.Pkg().Path()+"."+obj.Name()] {
+				result = true
+				break
+			}
+		}
+		result = c.containsLock(u.Underlying())
+	case *types.Alias:
+		result = c.containsLock(types.Unalias(t))
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.containsLock(u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = c.containsLock(u.Elem())
+	}
+	c[t] = result
+	return result
+}
+
+// copiesValue reports whether evaluating e yields a copy of an
+// existing value (rather than a freshly constructed one).
+func copiesValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(x.X)
+	default:
+		return false
+	}
+}
+
+func runLockCopy(p *Pass) error {
+	cache := make(lockCache)
+	lockName := func(t types.Type) (string, bool) {
+		if t == nil || !cache.containsLock(t) {
+			return "", false
+		}
+		return types.TypeString(t, types.RelativeTo(p.Pkg)), true
+	}
+	inspectFiles(p, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !copiesValue(rhs) {
+					continue
+				}
+				if i < len(st.Lhs) {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				if name, bad := lockName(p.TypesInfo.TypeOf(rhs)); bad {
+					p.Reportf(rhs.Pos(), "assignment copies %s by value; it contains a lock or atomic — use a pointer", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if st.Value == nil {
+				return true
+			}
+			if name, bad := lockName(p.TypesInfo.TypeOf(st.Value)); bad {
+				p.Reportf(st.Value.Pos(), "range value copies %s per iteration; it contains a lock or atomic — range by index", name)
+			}
+		case *ast.CallExpr:
+			for _, arg := range st.Args {
+				if !copiesValue(arg) {
+					continue
+				}
+				// Skip type arguments: new(T) and conversions name the
+				// type, they do not copy a value of it.
+				if tv, ok := p.TypesInfo.Types[arg]; ok && !tv.IsValue() {
+					continue
+				}
+				if name, bad := lockName(p.TypesInfo.TypeOf(arg)); bad {
+					p.Reportf(arg.Pos(), "call passes %s by value; it contains a lock or atomic — pass a pointer", name)
+				}
+			}
+		case *ast.FuncDecl:
+			check := func(fl *ast.FieldList) {
+				if fl == nil {
+					return
+				}
+				for _, field := range fl.List {
+					if name, bad := lockName(p.TypesInfo.TypeOf(field.Type)); bad {
+						p.Reportf(field.Type.Pos(), "by-value parameter or receiver of %s; it contains a lock or atomic — use a pointer", name)
+					}
+				}
+			}
+			check(st.Recv)
+			check(st.Type.Params)
+		}
+		return true
+	})
+	return nil
+}

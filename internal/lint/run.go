@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+)
+
+// RunPackage runs analyzers over one loaded package and returns the
+// findings that survive suppression, sorted by position. Malformed
+// suppression directives (missing reason) are reported as findings of
+// the pseudo-analyzer "suppression".
+func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      l.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+
+	supp := make(map[string]*suppressions) // filename -> directives
+	var findings []Finding
+	for _, f := range pkg.Files {
+		name := l.Fset.Position(f.Pos()).Filename
+		s := collectSuppressions(l.Fset, f)
+		supp[name] = s
+		for _, pos := range s.malformed {
+			findings = append(findings, Finding{
+				Position: l.Fset.Position(pos),
+				Analyzer: "suppression",
+				Message:  "lint:ignore directive needs an analyzer list and a reason",
+			})
+		}
+	}
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		if s := supp[pos.Filename]; s != nil && s.suppresses(d.Analyzer, pos.Line) {
+			continue
+		}
+		findings = append(findings, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// Run loads the given patterns and runs analyzers over every package.
+func Run(dir string, patterns []string, analyzers []*Analyzer, includeTests bool) ([]Finding, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.IncludeTests = includeTests
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(l, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Position, fs[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
+}
+
+// inspectFiles walks every non-test file of the pass (test files are
+// exempt from all invariants — they may use wall clocks, drop errors,
+// and spawn free goroutines).
+func inspectFiles(p *Pass, fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives, staticcheck-style:
+//
+//	//lint:ignore analyzer1[,analyzer2...] reason
+//
+// suppresses the named analyzers (or "*" for all) on the directive's
+// own line and on the line immediately below it — so the comment works
+// both trailing the offending statement and on its own line above it.
+//
+//	//lint:file-ignore analyzer reason
+//
+// suppresses the named analyzers for the whole file. A reason is
+// mandatory: a suppression without one is itself reported as a
+// finding, so deliberate exceptions stay documented.
+
+// suppressions indexes the directives of one file.
+type suppressions struct {
+	fileWide  map[string]bool  // analyzer name (or "*") -> suppressed
+	byLine    map[int][]string // line -> analyzer names
+	malformed []token.Pos      // directives missing a reason
+}
+
+// collectSuppressions scans a file's comments.
+func collectSuppressions(fset *token.FileSet, f *ast.File) *suppressions {
+	s := &suppressions{
+		fileWide: make(map[string]bool),
+		byLine:   make(map[int][]string),
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			var fileWide bool
+			var rest string
+			switch {
+			case strings.HasPrefix(text, "lint:ignore "), text == "lint:ignore":
+				rest = strings.TrimPrefix(text, "lint:ignore")
+			case strings.HasPrefix(text, "lint:file-ignore "), text == "lint:file-ignore":
+				rest = strings.TrimPrefix(text, "lint:file-ignore")
+				fileWide = true
+			default:
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 { // analyzer list plus at least one reason word
+				s.malformed = append(s.malformed, c.Pos())
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			if fileWide {
+				for _, n := range names {
+					s.fileWide[n] = true
+				}
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			s.byLine[line] = append(s.byLine[line], names...)
+			s.byLine[line+1] = append(s.byLine[line+1], names...)
+		}
+	}
+	return s
+}
+
+// suppresses reports whether a finding by analyzer at line is silenced.
+func (s *suppressions) suppresses(analyzer string, line int) bool {
+	if s.fileWide["*"] || s.fileWide[analyzer] {
+		return true
+	}
+	for _, n := range s.byLine[line] {
+		if n == "*" || n == analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,33 @@
+// Package atomicfield is an atomicfield fixture: a field whose address
+// feeds sync/atomic anywhere in the package must be accessed through
+// sync/atomic everywhere in the package.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64 // accessed atomically below
+	other int64 // never accessed atomically — plain access is fine
+}
+
+func (c *counter) record(n int64) {
+	atomic.AddInt64(&c.hits, n) // the atomic site itself is exempt
+	c.other += n
+}
+
+func (c *counter) badSnapshot() (int64, int64) {
+	return c.hits, c.other // want "field hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) badReset() {
+	c.hits = 0 // want "field hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) goodSnapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) suppressed() int64 {
+	//lint:ignore atomicfield fixture demonstrates a documented escape
+	return c.hits
+}

@@ -1,0 +1,28 @@
+// Package clocks is a clockdiscipline fixture: wall-clock calls are
+// flagged everywhere outside internal/clock, with //lint:ignore as the
+// deliberate escape.
+package clocks
+
+import "time"
+
+func bad() time.Duration {
+	t0 := time.Now()          // want "wall-clock time.Now outside internal/clock"
+	time.Sleep(time.Second)   // want "wall-clock time.Sleep outside internal/clock"
+	<-time.After(time.Second) // want "wall-clock time.After outside internal/clock"
+	d := time.Since(t0)       // want "wall-clock time.Since outside internal/clock"
+	_ = time.NewTicker(d)     // want "wall-clock time.NewTicker outside internal/clock"
+	return d
+}
+
+func allowed() time.Time {
+	// Durations, formatting, and parsing are pure — only clock reads
+	// and timers are flagged.
+	d := 5 * time.Minute
+	t, _ := time.Parse(time.RFC3339, "2020-04-20T12:00:00Z")
+	return t.Add(d)
+}
+
+func suppressed() time.Time {
+	//lint:ignore clockdiscipline fixture demonstrates a documented escape
+	return time.Now()
+}

@@ -1,0 +1,48 @@
+// Package builder is a ctxpropagate fixture (the analyzer scopes to
+// the pipeline packages by name): inside a function that takes a
+// context, goroutines and condition-less loops must consult it.
+package builder
+
+import "context"
+
+func badSpawn(ctx context.Context, work func()) {
+	go work() // want "goroutine ignores the in-scope context.Context"
+	for {     // want "condition-less loop ignores the in-scope context.Context"
+		work()
+	}
+}
+
+func goodSpawn(ctx context.Context, work func(context.Context)) {
+	go work(ctx)
+	go func() {
+		<-ctx.Done()
+	}()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work(ctx)
+	}
+}
+
+func noContext(work func()) {
+	// Without a context in scope there is nothing to propagate.
+	go work()
+	for {
+		work()
+	}
+}
+
+func nestedOwnScope(ctx context.Context, handler func(context.Context)) {
+	// A nested function that declares its own ctx parameter starts a
+	// fresh scope; its body is judged when it runs.
+	_ = func(inner context.Context) {
+		go handler(inner)
+	}
+	go handler(ctx)
+}
+
+func suppressed(ctx context.Context, work func()) {
+	//lint:ignore ctxpropagate fixture demonstrates a documented escape
+	go work()
+}

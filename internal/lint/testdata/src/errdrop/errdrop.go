@@ -1,0 +1,33 @@
+// Package errdrop is an errdrop fixture: discarded errors from
+// Write*/Flush/Close/Sync calls are flagged; explicit discards,
+// never-failing writers, and deferred closes are not.
+package errdrop
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"strings"
+)
+
+func bad(f *os.File, bw *bufio.Writer) {
+	f.Write([]byte("x")) // want "discarded error from Write"
+	f.WriteString("x")   // want "discarded error from WriteString"
+	bw.Flush()           // want "discarded error from Flush"
+	f.Close()            // want "discarded error from Close"
+	f.Sync()             // want "discarded error from Sync"
+}
+
+func allowed(f *os.File, sb *strings.Builder, bb *bytes.Buffer) error {
+	defer f.Close() // deferred close on a read path is conventional
+	sb.WriteString("never fails")
+	bb.WriteString("never fails")
+	_, _ = f.Write([]byte("explicit discard is a reviewable act"))
+	_, err := f.Write([]byte("checked"))
+	return err
+}
+
+func suppressed(f *os.File) {
+	//lint:ignore errdrop fixture demonstrates a documented escape
+	f.Close()
+}

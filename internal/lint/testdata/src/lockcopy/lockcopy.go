@@ -1,0 +1,48 @@
+// Package lockcopy is a lockcopy fixture: by-value copies of structs
+// that (transitively) hold a sync lock or sync/atomic value are
+// flagged; pointers and fresh composite literals are fine.
+package lockcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type store struct {
+	mu   sync.Mutex
+	n    int
+	view atomic.Pointer[int]
+}
+
+type wrapper struct {
+	inner store // lock-bearing transitively
+}
+
+func bad(s store, w wrapper) { // want "by-value parameter or receiver of store" "by-value parameter or receiver of wrapper"
+	c := s        // want "assignment copies store by value"
+	c2 := w.inner // want "assignment copies store by value"
+	use(w.inner)  // want "call passes store by value"
+	_ = c.n + c2.n
+	list := []store{{}, {}}
+	for _, item := range list { // want "range value copies store per iteration"
+		_ = item.n
+	}
+}
+
+func (s store) badReceiver() {} // want "by-value parameter or receiver of store"
+
+func use(s store) {} // want "by-value parameter or receiver of store"
+
+func allowed() *store {
+	fresh := store{}   // composite literal constructs, not copies
+	p := &fresh        // pointers are fine
+	q := new(store)    // so is new
+	_ = []*store{p, q} // pointer slices don't copy
+	return p
+}
+
+func suppressed(s *store) {
+	//lint:ignore lockcopy fixture demonstrates a documented escape
+	c := *s
+	_ = c.n
+}

@@ -1,0 +1,20 @@
+// Package suppression is a fixture for the directive layer itself
+// (asserted explicitly by TestSuppressionDirectives, not via want
+// comments): a lint:ignore without a reason is a finding and
+// suppresses nothing; a list suppresses several analyzers at once.
+package suppression
+
+import (
+	"os"
+	"time"
+)
+
+//lint:ignore errdrop
+func missingReason(f *os.File) {
+	f.Close() // the malformed directive above does NOT suppress this
+}
+
+func listed(f *os.File) {
+	//lint:ignore errdrop,clockdiscipline one directive may cover several analyzers
+	f.WriteString(time.Now().String())
+}

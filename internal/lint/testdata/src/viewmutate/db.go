@@ -1,0 +1,31 @@
+package tsdb
+
+type db struct {
+	view *dbView
+}
+
+func (d *db) badMutations(v *dbView) {
+	v.epoch++                 // want "write through a dbView outside view.go"
+	v.index["cpu"] = 1        // want "write through a dbView outside view.go"
+	delete(v.index, "cpu")    // want "write through a dbView outside view.go"
+	d.view.epoch = 7          // want "write through a dbView outside view.go"
+	v.shards[0] = &shard{}    // want "write through a dbView outside view.go"
+	v.shards[0].points = 1    // want "write through a dbView outside view.go"
+	(*v).epoch = 9            // want "write through a dbView outside view.go"
+	d.view.shards[1].points-- // want "write through a dbView outside view.go"
+}
+
+func (d *db) allowed(v *dbView) int64 {
+	// Reads are fine, as are writes to locals and batch-owned clones
+	// whose chain does not pass through a view.
+	sh := v.shards[0]
+	sh.points = 42
+	n := v.epoch
+	n++
+	return n + sh.points
+}
+
+func (d *db) suppressed(v *dbView) {
+	//lint:ignore viewmutate fixture demonstrates a documented escape
+	v.epoch++
+}

@@ -1,0 +1,26 @@
+// Package tsdb is a viewmutate fixture shaped like the real storage
+// engine: view.go owns the copy-on-write constructors and may mutate
+// views freely; every other file must treat views as immutable.
+package tsdb
+
+type shard struct {
+	points int64
+}
+
+type dbView struct {
+	epoch  int64
+	shards map[int64]*shard
+	index  map[string]int
+}
+
+// deriveView is the legitimate copy-on-write layer: writes through a
+// view inside view.go are the constructors doing their job.
+func deriveView(base *dbView) *dbView {
+	nv := *base
+	nv.epoch++
+	nv.index = make(map[string]int, len(base.index))
+	for k, v := range base.index {
+		nv.index[k] = v
+	}
+	return &nv
+}

@@ -97,7 +97,7 @@ func (b *BMC) telemetryService() TelemetryService {
 // metricReport renders the full sensor batch from live node state.
 func (b *BMC) metricReport() MetricReport {
 	rd := b.node.Readings()
-	now := time.Now().UTC().Format(time.RFC3339)
+	now := b.opts.Clock.Now().UTC().Format(time.RFC3339)
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
 	mvs := []MetricValue{
 		{MetricID: MetricCPU1Temp, MetricValue: f(rd.CPUTempC[0]), Timestamp: now, MetricProperty: "/redfish/v1/Chassis/System.Embedded.1/Thermal#/Temperatures/0"},

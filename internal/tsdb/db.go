@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"monster/internal/clock"
 )
 
 // DefaultShardDuration is the time width of one shard in seconds (one
@@ -30,6 +32,12 @@ type Options struct {
 	// stalls every concurrent query. Used by BenchmarkMixedReadWrite
 	// and the ext-contention experiment as the baseline.
 	GlobalLock bool
+
+	// Clock supplies time for contention accounting (write-wait and
+	// query lock-wait measurements). Nil selects the wall clock; the
+	// DES experiments inject a virtual clock so replayed runs stay
+	// deterministic.
+	Clock clock.Clock
 }
 
 // DB is an in-process time-series database: a set of measurements, each
@@ -46,6 +54,7 @@ type DB struct {
 	shardDuration int64
 	execWorkers   int
 	globalLock    bool
+	clock         clock.Clock
 
 	writeMu sync.Mutex
 	view    atomic.Pointer[dbView]
@@ -79,10 +88,15 @@ func Open(opts Options) *DB {
 	if sd <= 0 {
 		sd = DefaultShardDuration
 	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
 	db := &DB{
 		shardDuration: sd,
 		execWorkers:   opts.ExecWorkers,
 		globalLock:    opts.GlobalLock,
+		clock:         clk,
 	}
 	db.view.Store(&dbView{
 		shards: make(map[int64]*shard),
@@ -110,12 +124,12 @@ func (db *DB) releaseView() {
 
 // lockWrite serializes a mutator and reports how long it waited.
 func (db *DB) lockWrite() time.Duration {
-	t0 := time.Now()
+	t0 := db.clock.Now()
 	if db.globalLock {
 		db.legacyMu.Lock()
 	}
 	db.writeMu.Lock()
-	return time.Since(t0)
+	return db.clock.Now().Sub(t0)
 }
 
 func (db *DB) unlockWrite() {
@@ -148,9 +162,7 @@ func (db *DB) WritePoints(points []Point) error {
 		b.indexSeries(p, key, sorted)
 		b.writePoint(p, key, sorted)
 	}
-	nv := b.finish(len(points) > 0)
-	nv.stats.WriteWaitNs += wait.Nanoseconds()
-	db.publish(nv)
+	db.publish(b.finish(len(points) > 0, wait.Nanoseconds()))
 	return nil
 }
 
@@ -292,54 +304,11 @@ func (db *DB) ShardStats() []ShardStats {
 func (db *DB) DropMeasurement(name string) bool {
 	wait := db.lockWrite()
 	defer db.unlockWrite()
-	base := db.view.Load()
-	mi, ok := base.index[name]
-	if !ok {
+	nv := dropMeasurementView(db.view.Load(), name, wait.Nanoseconds())
+	if nv == nil {
 		return false
 	}
-	nv := *base
-	nv.index = make(map[string]*measurementIndex, len(base.index))
-	for k, v := range base.index {
-		if k != name {
-			nv.index[k] = v
-		}
-	}
-	// Clone only shards that actually hold series of this measurement.
-	cloned := make(map[int64]*shard)
-	for key := range mi.series {
-		for _, start := range nv.shardStarts {
-			sh := cloned[start]
-			if sh == nil {
-				sh = nv.shards[start]
-			}
-			sr, ok := sh.series[key]
-			if !ok {
-				continue
-			}
-			if cloned[start] == nil {
-				sh = sh.clone()
-				cloned[start] = sh
-			}
-			sh.points -= int64(sr.points())
-			sh.bytes -= int64(sr.bytes)
-			sh.keyBytes -= len(key) + 8
-			delete(sh.series, key)
-		}
-	}
-	if len(cloned) > 0 {
-		m := make(map[int64]*shard, len(nv.shards))
-		for k, v := range nv.shards {
-			m[k] = v
-		}
-		for k, v := range cloned {
-			m[k] = v
-		}
-		nv.shards = m
-	}
-	nv.stats.Measurements--
-	nv.stats.WriteWaitNs += wait.Nanoseconds()
-	nv.epoch++
-	db.publish(&nv)
+	db.publish(nv)
 	return true
 }
 
@@ -350,27 +319,9 @@ func (db *DB) DropMeasurement(name string) bool {
 func (db *DB) DeleteBefore(t int64) int {
 	wait := db.lockWrite()
 	defer db.unlockWrite()
-	base := db.view.Load()
-	dropped := 0
-	for _, s := range base.shardStarts {
-		if base.shards[s].end <= t {
-			dropped++
-		}
+	nv, dropped := deleteBeforeView(db.view.Load(), t, wait.Nanoseconds())
+	if nv != nil {
+		db.publish(nv)
 	}
-	if dropped == 0 {
-		return 0
-	}
-	nv := *base
-	nv.shards = make(map[int64]*shard, len(base.shards)-dropped)
-	nv.shardStarts = make([]int64, 0, len(base.shardStarts)-dropped)
-	for _, s := range base.shardStarts {
-		if sh := base.shards[s]; sh.end > t {
-			nv.shards[s] = sh
-			nv.shardStarts = append(nv.shardStarts, s)
-		}
-	}
-	nv.stats.WriteWaitNs += wait.Nanoseconds()
-	nv.epoch++
-	db.publish(&nv)
 	return dropped
 }

@@ -8,7 +8,6 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // QueryStats records the work a query performed — the quantities the
@@ -130,12 +129,12 @@ func (db *DB) Exec(q *Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
+	t0 := db.clock.Now()
 	v := db.acquireView()
 	defer db.releaseView()
 
 	res := &Result{}
-	res.Stats.LockWaitNs = time.Since(t0).Nanoseconds()
+	res.Stats.LockWaitNs = db.clock.Now().Sub(t0).Nanoseconds()
 	res.Stats.SnapshotEpoch = v.epoch
 	res.Stats.ParallelWorkers = 1
 

@@ -17,11 +17,11 @@ func (db *DB) SaveFile(path string) error {
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after successful rename
 	if err := db.Snapshot(tmp); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the snapshot error is the one worth reporting
 		return fmt.Errorf("tsdb: save %s: %w", path, err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the sync error is the one worth reporting
 		return fmt.Errorf("tsdb: save %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {

@@ -1,0 +1,79 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseQuery feeds arbitrary statements through the full query
+// front door — Parse for SELECTs, plus the Query dispatcher so the
+// SHOW/DROP parsers and the executor are covered too. The invariant is
+// simple: no input may panic, and Parse's (query, error) results must
+// be mutually exclusive. Seeds come from the parser test corpus, both
+// the statements that must parse and the ones that must not.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		// Valid statements, including the paper's Section III-D shape.
+		`SELECT max("Reading") FROM "Power" WHERE "NodeId"='10.101.1.1' AND "Label"='NodePower' AND time >= '2020-04-20T12:00:00Z' AND time < '2020-04-21T12:00:00Z' GROUP BY time(5m)`,
+		`SELECT mean(Reading) FROM Thermal WHERE Label='CPU1Temp' GROUP BY time(30s), NodeId LIMIT 10`,
+		`SELECT "Reading" FROM "Power"`,
+		`SELECT count(f), spread(f), stddev(f), median(f) FROM m GROUP BY time(1h)`,
+		`SELECT last(f) FROM m WHERE NodeId =~ /^10\.101\./ GROUP BY time(10m), NodeId`,
+		`SELECT f FROM m WHERE time >= 100 AND time < 200`,
+		// Metadata and admin statements (handled by Query, not Parse).
+		`SHOW MEASUREMENTS`,
+		`SHOW SERIES FROM "Power"`,
+		`SHOW TAG KEYS FROM m`,
+		`SHOW TAG VALUES FROM m WITH KEY = NodeId`,
+		`SHOW FIELD KEYS`,
+		`DROP MEASUREMENT "Power"`,
+		// Statements that must fail to parse.
+		``,
+		`FROM m`,
+		`SELECT FROM m`,
+		`SELECT max(f FROM m`,
+		`SELECT nosuchagg(f) FROM m`,
+		`SELECT f FROM m WHERE k='v`,
+		`SELECT f FROM m WHERE time ~ 5`,
+		`SELECT f FROM m WHERE time >= 'bogus'`,
+		`SELECT mean(f) FROM m GROUP BY time(5q)`,
+		`SELECT f FROM m GROUP BY time(5m)`,
+		`SELECT f, max(f) FROM m`,
+		`SELECT f FROM m WHERE NodeId =~ /[unclosed/`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	db := Open(Options{})
+	if err := db.WritePoints([]Point{
+		{Measurement: "Power", Tags: NewTags(map[string]string{"NodeId": "10.101.1.1", "Label": "NodePower"}),
+			Fields: map[string]Value{"Reading": Float(314)}, Time: time.Unix(150, 0).Unix()},
+		{Measurement: "m", Tags: NewTags(map[string]string{"NodeId": "n1"}),
+			Fields: map[string]Value{"f": Int(7)}, Time: time.Unix(150, 0).Unix()},
+	}); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, stmt string) {
+		q, err := Parse(stmt)
+		if err == nil && q == nil {
+			t.Fatalf("Parse(%q) returned nil query and nil error", stmt)
+		}
+		if err != nil && q != nil {
+			t.Fatalf("Parse(%q) returned both a query and an error: %v", stmt, err)
+		}
+		// The dispatcher also covers SHOW/DROP parsing and execution.
+		// DROP against the shared db is fine: views are immutable and
+		// the two seed measurements are re-created per process, so the
+		// only invariant that matters here is "no panic, no result
+		// alongside an error".
+		res, qerr := db.Query(stmt)
+		if qerr == nil && res == nil {
+			t.Fatalf("Query(%q) returned nil result and nil error", stmt)
+		}
+		if qerr != nil && res != nil {
+			t.Fatalf("Query(%q) returned both a result and an error: %v", stmt, qerr)
+		}
+	})
+}

@@ -204,19 +204,27 @@ func (db *DB) restoreSeries(br *bufio.Reader) error {
 	return db.WritePoints(pts)
 }
 
-func writeU16(w io.Writer, v uint16) { binary.Write(w, binary.LittleEndian, v) }
-func writeU32(w io.Writer, v uint32) { binary.Write(w, binary.LittleEndian, v) }
-func writeI64(w io.Writer, v int64)  { binary.Write(w, binary.LittleEndian, v) }
-func writeF64(w io.Writer, v float64) {
+// writeBin encodes v little-endian into the snapshot's bufio.Writer,
+// whose error is sticky: the first failure poisons every later write
+// and Snapshot surfaces it through the single Flush check at the end.
+func writeBin(w io.Writer, v any) {
+	//lint:ignore errdrop bufio errors are sticky; Snapshot checks Flush once at the end
 	binary.Write(w, binary.LittleEndian, v)
 }
 
+func writeU16(w io.Writer, v uint16)  { writeBin(w, v) }
+func writeU32(w io.Writer, v uint32)  { writeBin(w, v) }
+func writeI64(w io.Writer, v int64)   { writeBin(w, v) }
+func writeF64(w io.Writer, v float64) { writeBin(w, v) }
+
 func writeStr(w *bufio.Writer, s string) {
 	writeU32(w, uint32(len(s)))
+	//lint:ignore errdrop bufio errors are sticky; Snapshot checks Flush once at the end
 	w.WriteString(s)
 }
 
 func writeValue(w *bufio.Writer, v Value) {
+	//lint:ignore errdrop bufio errors are sticky; Snapshot checks Flush once at the end
 	w.WriteByte(byte(v.Kind))
 	switch v.Kind {
 	case KindFloat:
@@ -226,11 +234,12 @@ func writeValue(w *bufio.Writer, v Value) {
 	case KindString:
 		writeStr(w, v.S)
 	case KindBool:
+		b := byte(0)
 		if v.B {
-			w.WriteByte(1)
-		} else {
-			w.WriteByte(0)
+			b = 1
 		}
+		//lint:ignore errdrop bufio errors are sticky; Snapshot checks Flush once at the end
+		w.WriteByte(b)
 	}
 }
 

@@ -87,12 +87,14 @@ func newBatch(base *dbView, shardDuration int64) *batch {
 
 // finish sorts any columns that received out-of-order appends and seals
 // the view. mutated reports whether stored data changed (an empty batch
-// still counts as a batch but must not advance the epoch).
-func (b *batch) finish(mutated bool) *dbView {
+// still counts as a batch but must not advance the epoch). waitNs is
+// the write-lock wait the batch accrued, folded into the view's stats.
+func (b *batch) finish(mutated bool, waitNs int64) *dbView {
 	for col := range b.dirtyCols {
 		col.sortByTime()
 	}
 	b.v.stats.BatchesWritten++
+	b.v.stats.WriteWaitNs += waitNs
 	if mutated {
 		b.v.epoch++
 	}
@@ -292,4 +294,85 @@ func (b *batch) writePoint(p *Point, key string, sorted Tags) {
 	sh.points++
 	sh.bytes += int64(sz)
 	b.v.stats.PointsWritten++
+}
+
+// dropMeasurementView derives, copy-on-write, a view with measurement
+// name and all its stored series removed. It returns nil if the
+// measurement does not exist in base. waitNs is the caller's write-lock
+// wait, folded into the new view's stats.
+func dropMeasurementView(base *dbView, name string, waitNs int64) *dbView {
+	mi, ok := base.index[name]
+	if !ok {
+		return nil
+	}
+	nv := *base
+	nv.index = make(map[string]*measurementIndex, len(base.index))
+	for k, v := range base.index {
+		if k != name {
+			nv.index[k] = v
+		}
+	}
+	// Clone only shards that actually hold series of this measurement.
+	cloned := make(map[int64]*shard)
+	for key := range mi.series {
+		for _, start := range nv.shardStarts {
+			sh := cloned[start]
+			if sh == nil {
+				sh = nv.shards[start]
+			}
+			sr, ok := sh.series[key]
+			if !ok {
+				continue
+			}
+			if cloned[start] == nil {
+				sh = sh.clone()
+				cloned[start] = sh
+			}
+			sh.points -= int64(sr.points())
+			sh.bytes -= int64(sr.bytes)
+			sh.keyBytes -= len(key) + 8
+			delete(sh.series, key)
+		}
+	}
+	if len(cloned) > 0 {
+		m := make(map[int64]*shard, len(nv.shards))
+		for k, v := range nv.shards {
+			m[k] = v
+		}
+		for k, v := range cloned {
+			m[k] = v
+		}
+		nv.shards = m
+	}
+	nv.stats.Measurements--
+	nv.stats.WriteWaitNs += waitNs
+	nv.epoch++
+	return &nv
+}
+
+// deleteBeforeView derives, copy-on-write, a view with every shard
+// whose window ends at or before t removed, reporting how many were
+// dropped. It returns (nil, 0) when no shard qualifies.
+func deleteBeforeView(base *dbView, t int64, waitNs int64) (*dbView, int) {
+	dropped := 0
+	for _, s := range base.shardStarts {
+		if base.shards[s].end <= t {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return nil, 0
+	}
+	nv := *base
+	nv.shards = make(map[int64]*shard, len(base.shards)-dropped)
+	nv.shardStarts = make([]int64, 0, len(base.shardStarts)-dropped)
+	for _, s := range base.shardStarts {
+		if sh := base.shards[s]; sh.end > t {
+			nv.shards[s] = sh
+			nv.shardStarts = append(nv.shardStarts, s)
+		}
+	}
+	nv.stats.WriteWaitNs += waitNs
+	nv.epoch++
+	return &nv, dropped
 }
