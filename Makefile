@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench lint lint-selftest fuzz-smoke
+.PHONY: check fmt vet build test race bench lint lint-selftest fuzz-smoke crash-recovery
 
 # check is the pre-PR gate: formatting, static analysis (go vet plus
 # the project's own monsterlint suite), a full build, the whole test
-# suite, and the race detector over every package.
-check: fmt vet lint build test race
+# suite, the crash-recovery matrix, and the race detector over every
+# package.
+check: fmt vet lint build test crash-recovery race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -50,12 +51,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# crash-recovery re-runs the WAL durability suite on its own: the
+# kill-point matrix (log truncated at every byte offset), torn-frame
+# repair, the checkpoint crash windows, and concurrent
+# writes-vs-checkpoints under the race detector.
+crash-recovery:
+	$(GO) test -run 'TestWAL' -count=1 ./internal/tsdb
+	$(GO) test -race -run 'TestWALConcurrentWritesAndCheckpoints' -count=1 ./internal/tsdb
+
 # fuzz-smoke gives each fuzz target a short budget — enough to catch
 # shallow panics on every push without stalling the pipeline.
 FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test -fuzz '^FuzzParseQuery$$' -run '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -fuzz '^FuzzMergeSeries$$' -run '^FuzzMergeSeries$$' -fuzztime $(FUZZTIME) ./internal/builder
+	$(GO) test -fuzz '^FuzzWALReplay$$' -run '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 
 # bench runs the Metrics Builder ladder benchmarks (Figs 10-19):
 # naive-sequential vs batched-concurrent vs cached.

@@ -38,6 +38,11 @@ func main() {
 		retention = flag.Duration("retention", 0, "drop data older than this (0 = keep everything)")
 		snapshot  = flag.String("snapshot", "", "write a database snapshot to this file on shutdown")
 		workload  = flag.String("workload", "", "replay a workload trace (.json from SaveTrace, or .swf from the Parallel Workloads Archive)")
+
+		walDir        = flag.String("wal-dir", "", "enable crash-safe storage: write-ahead log + checkpoint snapshots in this directory; restarts recover automatically")
+		fsync         = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
+		fsyncInterval = flag.Duration("fsync-interval", time.Second, "fsync cadence under -fsync interval (bounds power-loss exposure)")
+		snapInterval  = flag.Duration("snapshot-interval", 5*time.Minute, "background checkpoint (snapshot + WAL truncation) cadence when -wal-dir is set")
 	)
 	flag.Parse()
 
@@ -45,6 +50,16 @@ func main() {
 		Nodes: *nodes, Seed: *seed, ConcurrentQueries: true,
 		Retention:  *retention,
 		AlertRules: monster.DefaultAlertRules(),
+	}
+	if *walDir != "" {
+		policy, err := monster.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("monsterd: %v", err)
+		}
+		cfg.WALDir = *walDir
+		cfg.FsyncPolicy = policy
+		cfg.FsyncInterval = *fsyncInterval
+		cfg.SnapshotInterval = *snapInterval
 	}
 	switch *schema {
 	case "optimized":
@@ -78,7 +93,15 @@ func main() {
 			log.Fatalf("monsterd: %v", err)
 		}
 	}
-	sys := monster.New(cfg)
+	sys, err := monster.NewSystem(cfg)
+	if err != nil {
+		log.Fatalf("monsterd: %v", err)
+	}
+	if *walDir != "" {
+		rec := sys.Recovery
+		log.Printf("monsterd: storage recovery: snapshot=%t (%d points), wal records=%d points=%d torn_frames=%d",
+			rec.SnapshotLoaded, rec.SnapshotPoints, rec.Records, rec.Points, rec.TornFrames)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -112,7 +135,14 @@ func main() {
 
 	clk := clock.NewReal()
 	go progress(ctx, clk, sys)
-	err := sys.RunLive(ctx, clk, *scale, time.Second)
+	if *walDir != "" {
+		go func() {
+			if err := sys.RunCheckpoints(ctx, clk); err != nil && ctx.Err() == nil {
+				log.Fatalf("monsterd: checkpoint loop: %v", err)
+			}
+		}()
+	}
+	err = sys.RunLive(ctx, clk, *scale, time.Second)
 	if err == context.Canceled || err == context.DeadlineExceeded {
 		final := sys.Collector.Stats()
 		fmt.Printf("monsterd: stopped at sim time %v after %d cycles, %d points written, %d BMC requests (%d failed)\n",
@@ -122,6 +152,14 @@ func main() {
 				log.Fatalf("monsterd: snapshot: %v", err)
 			}
 			log.Printf("monsterd: snapshot written to %s", *snapshot)
+		}
+		if *walDir != "" {
+			// A clean shutdown checkpoints so the next start replays an
+			// empty log; a kill -9 skips this and replays the WAL.
+			if err := sys.Checkpoint(); err != nil {
+				log.Fatalf("monsterd: final checkpoint: %v", err)
+			}
+			log.Printf("monsterd: checkpointed %s", *walDir)
 		}
 		return
 	}

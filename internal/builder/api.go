@@ -227,6 +227,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		Series int    `json:"series"`
 	}
 	dbStats := db.Stats()
+	walStats := db.WALStats()
 	out := struct {
 		Points       int64         `json:"points"`
 		DataBytes    int64         `json:"data_bytes"`
@@ -236,6 +237,10 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batches      int64         `json:"batches_written"`
 		WriteWaitNs  int64         `json:"write_wait_ns"`
 		WriteErrors  int64         `json:"write_errors"`
+		WALSegments  int           `json:"wal_segments"`
+		WALBytes     int64         `json:"wal_bytes"`
+		WALReplayed  int64         `json:"wal_replayed"`
+		WALTorn      int64         `json:"wal_torn_frames"`
 		Measurements []measurement `json:"measurements"`
 	}{
 		Points:      disk.Points,
@@ -246,6 +251,10 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batches:     dbStats.BatchesWritten,
 		WriteWaitNs: dbStats.WriteWaitNs,
 		WriteErrors: a.writeErrs.Load(),
+		WALSegments: walStats.Segments,
+		WALBytes:    walStats.Bytes,
+		WALReplayed: walStats.Replayed,
+		WALTorn:     walStats.TornFrames,
 	}
 	for _, name := range db.Measurements() {
 		out.Measurements = append(out.Measurements, measurement{Name: name, Series: db.SeriesCardinality(name)})

@@ -30,6 +30,12 @@ type Cache struct {
 	items map[string]*list.Element
 	epoch int64
 	stats CacheStats
+
+	// afterFill, when non-nil, runs between the builder fill returning
+	// and the cache re-locking to insert. Test-only: it widens the
+	// miss-to-insert window so the fill-time staleness race can be
+	// exercised deterministically.
+	afterFill func()
 }
 
 type cacheEntry struct {
@@ -88,17 +94,25 @@ func (c *Cache) Fetch(ctx context.Context, req Request) (*Response, Stats, error
 		return ent.resp, st, nil
 	}
 	c.stats.Misses++
+	// Capture the epoch this miss was answered against. Comparing the
+	// insert-time DB epoch against c.epoch instead would race: another
+	// Fetch can observe a post-fill write, flush, and advance c.epoch
+	// to match the DB again, making a stale fill look current.
+	missEpoch := c.epoch
 	c.mu.Unlock()
 
 	resp, st, err := c.b.Fetch(ctx, req)
 	if err != nil {
 		return nil, st, err
 	}
+	if c.afterFill != nil {
+		c.afterFill()
+	}
 
 	c.mu.Lock()
 	// A write may have landed during the fill; only cache the answer if
 	// it is still current.
-	if c.b.db.Epoch() == c.epoch {
+	if c.b.db.Epoch() == missEpoch {
 		if _, ok := c.items[key]; !ok {
 			if c.ll.Len() >= c.cap {
 				oldest := c.ll.Back()

@@ -117,6 +117,88 @@ func TestCachePropagatesErrors(t *testing.T) {
 	}
 }
 
+// TestCacheFillRace is the regression test for the fill-time staleness
+// race: goroutine A misses at epoch E and starts its fill; a write
+// lands (epoch E+1) and a concurrent Fetch of a different key flushes
+// the cache, advancing the cache's epoch to E+1; A then finishes.
+// Comparing the insert-time DB epoch against the cache epoch would now
+// pass — both are E+1 — and A's stale epoch-E response would be cached
+// and served until the next write. The fix compares against the epoch
+// captured at miss time, so A's fill must not be cached.
+func TestCacheFillRace(t *testing.T) {
+	db := seedDB(t, 2, 10)
+	c := NewCache(New(db, Options{}), 0)
+	ctx := context.Background()
+	req := stdRequest(10)
+	other := stdRequest(5)
+
+	newPoint := tsdb.Point{
+		Measurement: "Power",
+		Tags:        tsdb.Tags{{Key: "NodeId", Value: "10.101.1.1"}, {Key: "Label", Value: "NodePower"}},
+		Fields:      map[string]tsdb.Value{"Reading": tsdb.Float(99999)},
+		Time:        testStart.Unix() + 120,
+	}
+	fired := false
+	c.afterFill = func() {
+		if fired {
+			return // only interleave with the first (goroutine-A) fill
+		}
+		fired = true
+		// The write lands while A's fill is in flight...
+		if err := db.WritePoint(newPoint); err != nil {
+			t.Error(err)
+			return
+		}
+		// ...and a second consumer fetches a different key, which
+		// flushes the cache and re-synchronizes its epoch with the DB.
+		done := make(chan error, 1)
+		go func() {
+			_, _, err := c.Fetch(ctx, other)
+			done <- err
+		}()
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Goroutine A's fill: computed against pre-write data.
+	if _, st, err := c.Fetch(ctx, req); err != nil || st.CacheHit {
+		t.Fatalf("priming fetch: hit=%t err=%v", st.CacheHit, err)
+	}
+
+	// The next ask for the same key must MISS (the stale fill was not
+	// cached) and must see the in-flight write.
+	resp, st, err := c.Fetch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("stale fill was cached and served after a concurrent write")
+	}
+	fresh, _, err := New(db, Options{}).Fetch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawWrite := func(r *Response) bool {
+		for _, n := range r.Nodes {
+			for _, s := range n.Metrics {
+				for _, v := range s.Values {
+					if v == 99999 {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	if !sawWrite(fresh) {
+		t.Fatal("test bug: fresh fetch does not see the new point")
+	}
+	if !sawWrite(resp) {
+		t.Fatal("cache served a response missing the concurrent write")
+	}
+}
+
 func TestCacheConcurrentAccess(t *testing.T) {
 	db := seedDB(t, 4, 20)
 	c := NewCache(New(db, Options{Concurrent: true}), 8)

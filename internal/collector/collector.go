@@ -541,13 +541,19 @@ func (c *Collector) writeBatched(points []tsdb.Point) error {
 	waitBefore := c.db.Stats().WriteWaitNs
 	start := c.opts.Clock.Now()
 	batches := int64(0)
+	var werr error
 	for off := 0; off < len(points); off += size {
 		end := off + size
 		if end > len(points) {
 			end = len(points)
 		}
 		if err := c.db.WritePoints(points[off:end]); err != nil {
-			return err
+			// Record the batches that DID land before surfacing the
+			// error: returning mid-loop would leave Batches/WriteTime
+			// blind to the partial write, and operators debugging a
+			// failure need the stats to reflect what actually happened.
+			werr = err
+			break
 		}
 		batches++
 	}
@@ -559,7 +565,7 @@ func (c *Collector) writeBatched(points []tsdb.Point) error {
 	c.stats.WriteWait += wait
 	c.stats.LastWrite = elapsed
 	c.mu.Unlock()
-	return nil
+	return werr
 }
 
 func healthFromString(s string) simnode.Health {

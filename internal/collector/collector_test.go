@@ -456,3 +456,42 @@ func fleetAddrs(fleet *simnode.Fleet) []string {
 	}
 	return addrs
 }
+
+// TestWriteBatchedRecordsPartialProgress pins the accounting contract
+// of writeBatched: when a mid-loop batch fails, the batches that DID
+// land (and the time spent) must still be recorded before the error
+// surfaces. The old code returned from inside the loop, leaving
+// Batches/WriteTime blind to partial writes.
+func TestWriteBatchedRecordsPartialProgress(t *testing.T) {
+	f := newFixture(t, 1, Options{BatchSize: 1, Clock: clock.NewReal()})
+	valid := tsdb.Point{
+		Measurement: "Power",
+		Tags:        tsdb.Tags{{Key: "NodeId", Value: "10.101.1.1"}},
+		Fields:      map[string]tsdb.Value{"Reading": tsdb.Float(200)},
+		Time:        t0.Unix(),
+	}
+	invalid := tsdb.Point{Measurement: "", Time: t0.Unix()} // fails Validate
+
+	err := f.col.writeBatched([]tsdb.Point{valid, invalid})
+	if err == nil {
+		t.Fatal("invalid point accepted")
+	}
+	st := f.col.Stats()
+	if st.Batches != 1 {
+		t.Fatalf("Batches = %d after partial failure, want 1 (the batch that landed)", st.Batches)
+	}
+	if st.WriteTime <= 0 {
+		t.Fatalf("WriteTime = %v after partial failure, want > 0", st.WriteTime)
+	}
+	if got := f.db.Disk().Points; got != 1 {
+		t.Fatalf("db has %d points, want the 1 that was acknowledged", got)
+	}
+
+	// A fully successful write keeps counting from there.
+	if err := f.col.writeBatched([]tsdb.Point{valid}); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.col.Stats(); st.Batches != 2 {
+		t.Fatalf("Batches = %d, want 2", st.Batches)
+	}
+}

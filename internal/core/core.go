@@ -65,6 +65,21 @@ type Config struct {
 	// RWMutex serialization — the A/B baseline for the contention
 	// experiment, never useful in production.
 	StorageGlobalLock bool
+	// WALDir enables crash-safe storage: every mutation is write-ahead
+	// logged under this directory, and startup recovers the last
+	// checkpoint snapshot plus the log's longest valid prefix. Empty
+	// keeps the engine memory-only (the pre-durability behaviour).
+	WALDir string
+	// FsyncPolicy selects WAL sync behaviour when WALDir is set:
+	// tsdb.FsyncInterval (default), FsyncAlways, or FsyncNever.
+	FsyncPolicy tsdb.FsyncPolicy
+	// FsyncInterval is the sync cadence under FsyncInterval policy
+	// (0 = tsdb.DefaultSyncInterval).
+	FsyncInterval time.Duration
+	// SnapshotInterval is the cadence of the background checkpoint
+	// (snapshot + WAL truncation) loop run by RunCheckpoints. Zero
+	// selects 5 minutes when WALDir is set.
+	SnapshotInterval time.Duration
 	// Retention drops storage shards older than this (0 keeps
 	// everything). Enforced once per collection interval.
 	Retention time.Duration
@@ -106,6 +121,9 @@ func (c *Config) applyDefaults() {
 	if c.Workload == nil {
 		c.Workload = scheduler.DefaultUserMix()
 	}
+	if c.WALDir != "" && c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 5 * time.Minute
+	}
 }
 
 // System is a fully wired MonSTer deployment over a simulated cluster.
@@ -123,13 +141,27 @@ type System struct {
 	Rollups    *tsdb.Rollups    // non-nil when Config.Rollups is set
 	Alerts     *alerting.Engine // non-nil when Config.AlertRules is set
 	Workload   *scheduler.Workload
+	// Recovery reports what startup reconstructed from the WAL
+	// directory (zero value when Config.WALDir is empty).
+	Recovery tsdb.RecoveryInfo
 
 	now         time.Time
 	nextCollect time.Time
 }
 
-// New builds a System.
+// New builds a System; it panics on a bad configuration or a failed
+// WAL recovery. NewSystem is the error-returning form daemons use.
 func New(cfg Config) *System {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return sys
+}
+
+// NewSystem builds a System, reporting configuration and storage
+// recovery failures instead of panicking.
+func NewSystem(cfg Config) (*System, error) {
 	cfg.applyDefaults()
 	nodes := simnode.NewFleet(cfg.Nodes, cfg.Seed)
 	bmcs := redfish.NewFleet(nodes, redfish.BMCOptions{
@@ -140,11 +172,28 @@ func New(cfg Config) *System {
 	})
 	qm := scheduler.NewQMaster(nodes.Nodes(), cfg.Start, scheduler.Options{})
 	api := scheduler.NewAPI(qm)
-	db := tsdb.Open(tsdb.Options{
+	storageOpts := tsdb.Options{
 		ShardDuration: cfg.ShardDuration,
 		ExecWorkers:   cfg.QueryWorkers,
 		GlobalLock:    cfg.StorageGlobalLock,
-	})
+	}
+	var (
+		db       *tsdb.DB
+		recovery tsdb.RecoveryInfo
+	)
+	if cfg.WALDir != "" {
+		var err error
+		db, recovery, err = tsdb.OpenDurable(storageOpts, tsdb.WALOptions{
+			Dir:          cfg.WALDir,
+			Policy:       cfg.FsyncPolicy,
+			SyncInterval: cfg.FsyncInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("storage recovery: %w", err)
+		}
+	} else {
+		db = tsdb.Open(storageOpts)
+	}
 
 	rf := redfish.NewClient(redfish.ClientOptions{
 		HTTPClient:     bmcs.Client(),
@@ -178,7 +227,7 @@ func New(cfg Config) *System {
 		rollups = tsdb.NewRollups(db)
 		for _, spec := range cfg.Rollups {
 			if err := rollups.Add(spec); err != nil {
-				panic(fmt.Sprintf("core: bad rollup spec: %v", err))
+				return nil, fmt.Errorf("bad rollup spec: %w", err)
 			}
 		}
 	}
@@ -186,7 +235,7 @@ func New(cfg Config) *System {
 	if len(cfg.AlertRules) > 0 {
 		var err error
 		if alerts, err = alerting.New(db, cfg.AlertRules); err != nil {
-			panic(fmt.Sprintf("core: bad alert rules: %v", err))
+			return nil, fmt.Errorf("bad alert rules: %w", err)
 		}
 	}
 
@@ -209,9 +258,10 @@ func New(cfg Config) *System {
 		Rollups:     rollups,
 		Alerts:      alerts,
 		Workload:    workload,
+		Recovery:    recovery,
 		now:         cfg.Start,
 		nextCollect: cfg.Start.Add(cfg.CollectInterval),
-	}
+	}, nil
 }
 
 // Now reports the simulation time.
@@ -253,7 +303,9 @@ func (s *System) advance(d, step time.Duration, collect bool, ctx context.Contex
 				}
 			}
 			if s.Config.Retention > 0 {
-				s.DB.DeleteBefore(s.now.Add(-s.Config.Retention).Unix())
+				if _, err := s.DB.DeleteBefore(s.now.Add(-s.Config.Retention).Unix()); err != nil {
+					return fmt.Errorf("core: retention at %v: %w", s.now, err)
+				}
 			}
 			if s.Alerts != nil {
 				if _, err := s.Alerts.Evaluate(s.now, 3*s.Config.CollectInterval); err != nil {
@@ -269,6 +321,33 @@ func (s *System) advance(d, step time.Duration, collect bool, ctx context.Contex
 // is running — convenient before demos and experiments.
 func (s *System) Warmup(ctx context.Context, d time.Duration) error {
 	return s.AdvanceCollecting(ctx, d)
+}
+
+// Durable reports whether the storage layer is backed by a WAL.
+func (s *System) Durable() bool { return s.Config.WALDir != "" }
+
+// Checkpoint snapshots the database into the WAL directory and
+// truncates the log. It is an error on a non-durable system.
+func (s *System) Checkpoint() error { return s.DB.Checkpoint() }
+
+// RunCheckpoints checkpoints on Config.SnapshotInterval until ctx is
+// done — the background snapshot+truncate loop monsterd runs so the
+// WAL stays short and restarts replay little. It returns ctx's error
+// on cancellation, or the first checkpoint failure.
+func (s *System) RunCheckpoints(ctx context.Context, clk clock.Clock) error {
+	if !s.Durable() {
+		return fmt.Errorf("core: checkpoints need Config.WALDir")
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-clk.After(s.Config.SnapshotInterval):
+		}
+		if err := s.Checkpoint(); err != nil {
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+	}
 }
 
 // RunLive drives the simulation in real time, scaled by timeScale

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sync"
@@ -11,6 +12,15 @@ import (
 
 	"monster/internal/clock"
 )
+
+// NoRetries disables retries entirely (one attempt per GET). The
+// Retries field treats zero as "use the default", so "no retries" needs
+// an explicit sentinel.
+const NoRetries = -1
+
+// NoRetryBackoff disables the inter-attempt delay. Like NoRetries, it
+// exists because zero on RetryBackoff selects the default.
+const NoRetryBackoff time.Duration = -1
 
 // ClientOptions configures the collector-side Redfish client. The
 // defaults mirror the mechanisms Section III-B1 describes: connection
@@ -21,9 +31,15 @@ type ClientOptions struct {
 	// 30 s.
 	RequestTimeout time.Duration
 	// Retries is how many additional attempts follow a failed one. Zero
-	// means 2.
+	// means the default of 2; use NoRetries (or any negative value) for
+	// a single attempt — a plain 0 cannot mean "none" because the zero
+	// value must select the default.
 	Retries int
-	// RetryBackoff separates attempts. Zero means 500 ms.
+	// RetryBackoff is the base delay before the first retry; later
+	// retries back off exponentially (base, 2×base, 4×base, ...) with
+	// deterministic jitter, capped at MaxRetryBackoff. Zero means the
+	// default of 500 ms; use NoRetryBackoff (or any negative value) to
+	// retry immediately.
 	RetryBackoff time.Duration
 	// Clock supplies sleep for backoff; nil means the real clock.
 	Clock clock.Clock
@@ -32,14 +48,24 @@ type ClientOptions struct {
 	HTTPClient *http.Client
 }
 
+// MaxRetryBackoff caps the exponential backoff between attempts so a
+// long retry budget cannot stall a collection cycle indefinitely.
+const MaxRetryBackoff = 30 * time.Second
+
 func (o *ClientOptions) applyDefaults() {
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
-	if o.Retries == 0 {
+	switch {
+	case o.Retries < 0: // NoRetries: explicitly none
+		o.Retries = 0
+	case o.Retries == 0:
 		o.Retries = 2
 	}
-	if o.RetryBackoff == 0 {
+	switch {
+	case o.RetryBackoff < 0: // NoRetryBackoff: explicitly none
+		o.RetryBackoff = 0
+	case o.RetryBackoff == 0:
 		o.RetryBackoff = 500 * time.Millisecond
 	}
 	if o.Clock == nil {
@@ -79,8 +105,37 @@ func (c *Client) Stats() ClientStats {
 	return c.stats
 }
 
+// backoff computes the delay before retry attempt (1-based) against
+// url: exponential growth from the configured base, capped at
+// MaxRetryBackoff, with deterministic equal jitter. The jittered half
+// is derived from an FNV-1a hash of (url, attempt), so a rack of BMCs
+// that failed together does not hammer the network in lockstep on
+// retry, yet every schedule is a pure function of its inputs —
+// reproducible under the simulated clock and safe to call
+// concurrently.
+func (c *Client) backoff(url string, attempt int) time.Duration {
+	base := c.opts.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < MaxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > MaxRetryBackoff {
+		d = MaxRetryBackoff
+	}
+	half := d / 2
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(url)) // hash.Hash Write never fails
+	_, _ = h.Write([]byte{byte(attempt), byte(attempt >> 8)})
+	frac := float64(h.Sum64()%1024) / 1024
+	return half + time.Duration(float64(half)*frac)
+}
+
 // GetJSON fetches url and decodes the JSON body into out. It retries
-// transport errors, timeouts, and 5xx responses.
+// transport errors, timeouts, and 5xx responses, backing off
+// exponentially between attempts (see backoff).
 func (c *Client) GetJSON(ctx context.Context, url string, out interface{}) error {
 	c.mu.Lock()
 	c.stats.Requests++
@@ -92,12 +147,17 @@ func (c *Client) GetJSON(ctx context.Context, url string, out interface{}) error
 			c.mu.Lock()
 			c.stats.Retries++
 			c.mu.Unlock()
-			select {
-			case <-ctx.Done():
-				lastErr = ctx.Err()
-			case <-c.opts.Clock.After(c.opts.RetryBackoff):
+			if d := c.backoff(url, attempt); d > 0 {
+				select {
+				case <-ctx.Done():
+					lastErr = ctx.Err()
+				case <-c.opts.Clock.After(d):
+				}
 			}
 			if ctx.Err() != nil {
+				if lastErr == nil {
+					lastErr = ctx.Err()
+				}
 				break
 			}
 		}

@@ -352,3 +352,71 @@ func TestClientMetricReport(t *testing.T) {
 		t.Fatalf("metric values = %d", len(report.MetricValues))
 	}
 }
+
+// TestClientNoRetriesSentinel pins the zero-vs-unset contract: a zero
+// Retries selects the default of 2 (three attempts), while the
+// explicit NoRetries sentinel really means one attempt. Before the
+// sentinel existed, "no retries" was silently impossible to configure.
+func TestClientNoRetriesSentinel(t *testing.T) {
+	attempts := func(opts ClientOptions) int64 {
+		_, fleet := NewTestFleet(1, clock.NewReal())
+		bmc, _ := fleet.BMC("10.101.1.1")
+		bmc.SetUnreachable(true)
+		opts.HTTPClient = fleet.Client()
+		opts.RequestTimeout = time.Second
+		client := NewClient(opts)
+		if _, err := client.Power(context.Background(), "10.101.1.1"); err == nil {
+			t.Fatal("unreachable BMC answered")
+		}
+		return client.Stats().Attempts
+	}
+	if got := attempts(ClientOptions{RetryBackoff: NoRetryBackoff}); got != 3 {
+		t.Fatalf("default Retries made %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	if got := attempts(ClientOptions{Retries: NoRetries}); got != 1 {
+		t.Fatalf("NoRetries made %d attempts, want exactly 1", got)
+	}
+	if got := attempts(ClientOptions{Retries: -7}); got != 1 {
+		t.Fatalf("negative Retries made %d attempts, want exactly 1", got)
+	}
+}
+
+// TestClientBackoffSchedule pins the retry delay schedule: exponential
+// from the base, jitter within [d/2, d), capped at MaxRetryBackoff,
+// and a pure function of (url, attempt) so concurrent collectors are
+// reproducible.
+func TestClientBackoffSchedule(t *testing.T) {
+	c := NewClient(ClientOptions{RetryBackoff: 100 * time.Millisecond})
+	const url = "https://10.101.1.1/redfish/v1/Chassis/System.Embedded.1/Power"
+
+	var prev time.Duration
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := c.backoff(url, attempt)
+		nominal := 100 * time.Millisecond << (attempt - 1)
+		if nominal > MaxRetryBackoff || nominal <= 0 {
+			nominal = MaxRetryBackoff
+		}
+		if d < nominal/2 || d >= nominal {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, nominal/2, nominal)
+		}
+		if d2 := c.backoff(url, attempt); d2 != d {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, d, d2)
+		}
+		if attempt > 1 && d < prev/2 {
+			t.Fatalf("attempt %d: backoff %v collapsed below half of previous %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	if d := c.backoff(url, 1000); d >= MaxRetryBackoff {
+		t.Fatalf("huge attempt: backoff %v not capped below %v", d, MaxRetryBackoff)
+	}
+	if a, b := c.backoff(url, 3), c.backoff(url+"x", 3); a == b {
+		t.Fatalf("distinct URLs produced identical jitter %v — fleet retries in lockstep", a)
+	}
+
+	// Explicitly-disabled backoff retries immediately.
+	none := NewClient(ClientOptions{RetryBackoff: NoRetryBackoff})
+	if d := none.backoff(url, 1); d != 0 {
+		t.Fatalf("NoRetryBackoff produced delay %v", d)
+	}
+}

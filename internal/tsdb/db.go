@@ -59,6 +59,11 @@ type DB struct {
 	writeMu sync.Mutex
 	view    atomic.Pointer[dbView]
 
+	// wal, when non-nil, receives every mutation before it applies —
+	// the durability layer OpenDurable attaches (see wal.go). It is set
+	// once before the DB is shared and never changes.
+	wal *WAL
+
 	// legacyMu reproduces the old global-RWMutex serialization when
 	// Options.GlobalLock is set; otherwise it is never touched.
 	legacyMu sync.RWMutex
@@ -146,14 +151,27 @@ func (db *DB) publish(v *dbView) { db.view.Store(v) }
 // on error nothing is written. Tag sets are canonicalized (sorted) on
 // ingest. Concurrent queries keep running against the previous snapshot
 // and switch to the new one atomically when the batch publishes.
+//
+// On a durable DB (OpenDurable) the batch is appended to the
+// write-ahead log before it applies; a log failure rejects the write
+// so an acknowledged batch is always recoverable.
 func (db *DB) WritePoints(points []Point) error {
 	for i := range points {
 		if err := points[i].Validate(); err != nil {
 			return fmt.Errorf("point %d: %w", i, err)
 		}
 	}
+	var logRec []byte
+	if db.wal != nil && len(points) > 0 {
+		logRec = encodeWriteRecord(points)
+	}
 	wait := db.lockWrite()
 	defer db.unlockWrite()
+	if logRec != nil {
+		if err := db.wal.append(logRec); err != nil {
+			return err
+		}
+	}
 	b := newBatch(db.view.Load(), db.shardDuration)
 	for i := range points {
 		p := &points[i]
@@ -300,28 +318,42 @@ func (db *DB) ShardStats() []ShardStats {
 }
 
 // DropMeasurement removes a measurement: its index entries and all its
-// stored series data. It reports whether the measurement existed.
-func (db *DB) DropMeasurement(name string) bool {
+// stored series data. It reports whether the measurement existed. On a
+// durable DB the drop is write-ahead logged before it applies; a log
+// failure leaves the measurement in place.
+func (db *DB) DropMeasurement(name string) (bool, error) {
 	wait := db.lockWrite()
 	defer db.unlockWrite()
 	nv := dropMeasurementView(db.view.Load(), name, wait.Nanoseconds())
 	if nv == nil {
-		return false
+		return false, nil
+	}
+	if db.wal != nil {
+		if err := db.wal.append(encodeDropRecord(name)); err != nil {
+			return false, err
+		}
 	}
 	db.publish(nv)
-	return true
+	return true, nil
 }
 
 // DeleteBefore drops whole shards whose window ends at or before t
 // (retention enforcement). It reports the number of shards dropped.
 // Series index entries are retained (matching InfluxDB, where the
-// in-memory index survives shard drops until a restart).
-func (db *DB) DeleteBefore(t int64) int {
+// in-memory index survives shard drops until a restart). On a durable
+// DB the sweep is write-ahead logged before it applies.
+func (db *DB) DeleteBefore(t int64) (int, error) {
 	wait := db.lockWrite()
 	defer db.unlockWrite()
 	nv, dropped := deleteBeforeView(db.view.Load(), t, wait.Nanoseconds())
-	if nv != nil {
-		db.publish(nv)
+	if nv == nil {
+		return 0, nil
 	}
-	return dropped
+	if db.wal != nil {
+		if err := db.wal.append(encodeDeleteBeforeRecord(t)); err != nil {
+			return 0, err
+		}
+	}
+	db.publish(nv)
+	return dropped, nil
 }

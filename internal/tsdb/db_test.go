@@ -149,7 +149,7 @@ func TestDeleteBefore(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if dropped := db.DeleteBefore(500); dropped != 5 {
+	if dropped, _ := db.DeleteBefore(500); dropped != 5 {
 		t.Fatalf("dropped %d shards, want 5", dropped)
 	}
 	res, err := db.Query(`SELECT count("f") FROM "m"`)

@@ -9,6 +9,15 @@ import (
 // SaveFile writes a snapshot of the database to path atomically (via a
 // temp file + rename in the same directory).
 func (db *DB) SaveFile(path string) error {
+	v := db.acquireView()
+	defer db.releaseView()
+	return saveViewFile(v, db.shardDuration, path)
+}
+
+// saveViewFile serializes one pinned view to path atomically: temp
+// file in the same directory, fsync, then rename. Checkpoint uses it
+// with the view it cut the WAL boundary against.
+func saveViewFile(v *dbView, shardDuration int64, path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".monster-snapshot-*")
 	if err != nil {
@@ -16,7 +25,7 @@ func (db *DB) SaveFile(path string) error {
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after successful rename
-	if err := db.Snapshot(tmp); err != nil {
+	if err := snapshotView(v, shardDuration, tmp); err != nil {
 		_ = tmp.Close() // the snapshot error is the one worth reporting
 		return fmt.Errorf("tsdb: save %s: %w", path, err)
 	}
@@ -34,13 +43,17 @@ func (db *DB) SaveFile(path string) error {
 }
 
 // LoadFile restores a database from a snapshot file.
-func LoadFile(path string) (*DB, error) {
+func LoadFile(path string) (*DB, error) { return loadFileOptions(path, Options{}) }
+
+// loadFileOptions restores a snapshot file into a DB configured by
+// opts (see RestoreOptions).
+func loadFileOptions(path string, opts Options) (*DB, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: load %s: %w", path, err)
 	}
 	defer f.Close()
-	db, err := Restore(f)
+	db, err := RestoreOptions(f, opts)
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: load %s: %w", path, err)
 	}

@@ -1,0 +1,300 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// snapshotPath names a checkpoint snapshot inside a WAL directory. The
+// embedded number is the checkpoint's cut boundary: every record in
+// segments numbered below it is folded into the snapshot, and recovery
+// replays only segments at or above it. Carrying the boundary in the
+// file name makes "snapshot + covered prefix" a single atomic rename —
+// the store appends duplicate timestamps rather than overwriting, so a
+// crash between snapshot and log truncation must not replay covered
+// records a second time.
+func snapshotPath(dir string, boundary uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%08d.mtsd", boundary))
+}
+
+// walSnapshot describes one on-disk checkpoint snapshot.
+type walSnapshot struct {
+	boundary uint64
+	path     string
+}
+
+// listSnapshots returns the directory's checkpoint snapshots in
+// boundary order.
+func listSnapshots(dir string) ([]walSnapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []walSnapshot
+	for _, e := range entries {
+		var boundary uint64
+		if n, err := fmt.Sscanf(e.Name(), "snapshot-%08d.mtsd", &boundary); n != 1 || err != nil {
+			continue
+		}
+		snaps = append(snaps, walSnapshot{boundary: boundary, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].boundary < snaps[j].boundary })
+	return snaps, nil
+}
+
+// RecoveryInfo summarizes what OpenDurable reconstructed.
+type RecoveryInfo struct {
+	// SnapshotLoaded reports whether a checkpoint snapshot existed and
+	// was restored before replay.
+	SnapshotLoaded bool
+	// SnapshotPoints is the point count restored from the snapshot.
+	SnapshotPoints int64
+	// Segments is how many WAL segment files were scanned.
+	Segments int
+	// Records and Points count the WAL entries re-applied on top of the
+	// snapshot.
+	Records int64
+	Points  int64
+	// TornFrames counts bad frames (short, CRC-mismatched, or
+	// undecodable) found at the tail; the log was truncated at the
+	// first one and TruncatedBytes were discarded.
+	TornFrames     int64
+	TruncatedBytes int64
+}
+
+// OpenDurable opens a crash-safe DB rooted at wopts.Dir: it restores
+// the checkpoint snapshot if one exists, replays the write-ahead log
+// on top (recovering the longest valid prefix and truncating a torn
+// tail in place), then attaches a fresh log segment so every
+// subsequent mutation is logged before it applies. The returned
+// RecoveryInfo is also visible through DB.WALStats.
+func OpenDurable(opts Options, wopts WALOptions) (*DB, RecoveryInfo, error) {
+	var info RecoveryInfo
+	if wopts.Dir == "" {
+		return nil, info, fmt.Errorf("tsdb: open durable: WAL directory required")
+	}
+	if err := os.MkdirAll(wopts.Dir, 0o755); err != nil {
+		return nil, info, fmt.Errorf("tsdb: open durable: %w", err)
+	}
+	wopts.applyDefaults()
+
+	// The newest snapshot wins; older snapshots and the segments its
+	// boundary covers are leftovers from a checkpoint that crashed
+	// between its atomic rename and its truncation pass. Replaying a
+	// covered segment would apply its records a second time, so stale
+	// files are deleted, never replayed.
+	snaps, err := listSnapshots(wopts.Dir)
+	if err != nil {
+		return nil, info, fmt.Errorf("tsdb: open durable: %w", err)
+	}
+	var boundary uint64
+	var db *DB
+	if len(snaps) > 0 {
+		newest := snaps[len(snaps)-1]
+		db, err = loadFileOptions(newest.path, opts)
+		if err != nil {
+			return nil, info, fmt.Errorf("tsdb: open durable: %w", err)
+		}
+		boundary = newest.boundary
+		info.SnapshotLoaded = true
+		info.SnapshotPoints = db.Stats().PointsWritten
+		for _, stale := range snaps[:len(snaps)-1] {
+			if err := os.Remove(stale.path); err != nil {
+				return nil, info, fmt.Errorf("tsdb: open durable: drop stale snapshot: %w", err)
+			}
+		}
+	} else {
+		db = Open(opts)
+	}
+
+	segs, err := listWALSegments(wopts.Dir)
+	if err != nil {
+		return nil, info, fmt.Errorf("tsdb: open durable: %w", err)
+	}
+	live := segs[:0]
+	for _, seg := range segs {
+		if seg.seq < boundary {
+			if err := os.Remove(seg.path); err != nil {
+				return nil, info, fmt.Errorf("tsdb: open durable: drop covered segment: %w", err)
+			}
+			continue
+		}
+		live = append(live, seg)
+	}
+	surviving, err := replayWAL(db, live, &info)
+	if err != nil {
+		return nil, info, err
+	}
+
+	w, err := openWAL(wopts, surviving)
+	if err != nil {
+		return nil, info, err
+	}
+	w.mu.Lock()
+	w.stats.Replayed = info.Records
+	w.stats.ReplayedPoints = info.Points
+	w.stats.TornFrames = info.TornFrames
+	w.stats.TruncatedBytes = info.TruncatedBytes
+	w.mu.Unlock()
+	db.wal = w
+	return db, info, nil
+}
+
+// replayWAL applies every decodable record in segment order. At the
+// first bad frame it truncates that segment at the frame boundary,
+// deletes any later segments (records after a tear have no reliable
+// ordering), and stops — the recovered state is the longest valid
+// prefix of the log. It returns the segments that remain on disk.
+func replayWAL(db *DB, segs []walSegment, info *RecoveryInfo) ([]walSegment, error) {
+	info.Segments = len(segs)
+	for i, seg := range segs {
+		tornAt, err := replaySegment(db, seg, info)
+		if err != nil {
+			return nil, err
+		}
+		if tornAt < 0 {
+			continue // segment fully replayed
+		}
+		info.TornFrames++
+		info.TruncatedBytes += seg.size - tornAt
+		surviving := append([]walSegment(nil), segs[:i]...)
+		if tornAt <= walHeaderSize {
+			// Nothing valid remains in this segment (torn or foreign
+			// header, or an empty record area): drop the file so later
+			// recoveries don't re-count it.
+			if err := os.Remove(seg.path); err != nil {
+				return nil, fmt.Errorf("tsdb: wal: drop torn segment: %w", err)
+			}
+		} else {
+			if err := os.Truncate(seg.path, tornAt); err != nil {
+				return nil, fmt.Errorf("tsdb: wal: truncate torn tail: %w", err)
+			}
+			seg.size = tornAt
+			surviving = append(surviving, seg)
+		}
+		for _, later := range segs[i+1:] {
+			info.TruncatedBytes += later.size
+			if err := os.Remove(later.path); err != nil {
+				return nil, fmt.Errorf("tsdb: wal: drop post-tear segment: %w", err)
+			}
+		}
+		return surviving, nil
+	}
+	return segs, nil
+}
+
+// replaySegment applies one segment's records to db. It returns -1
+// when the whole segment replayed cleanly, or the byte offset of the
+// first bad frame (never a mid-frame offset).
+func replaySegment(db *DB, seg walSegment, info *RecoveryInfo) (int64, error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return 0, fmt.Errorf("tsdb: wal: read segment: %w", err)
+	}
+	if len(data) < walHeaderSize || string(data[:4]) != walMagic ||
+		binary.LittleEndian.Uint16(data[4:6]) != walVersion {
+		// The segment header itself is torn or foreign; nothing in this
+		// file is trustworthy.
+		return 0, nil
+	}
+	off := int64(walHeaderSize)
+	size := int64(len(data))
+	for off < size {
+		if size-off < walFrameHeader {
+			return off, nil // torn mid-header
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > maxWALRecord || length > size-off-walFrameHeader {
+			return off, nil // torn mid-payload (or corrupt length)
+		}
+		payload := data[off+walFrameHeader : off+walFrameHeader+length]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return off, nil
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return off, nil // CRC-valid but undecodable: corrupt frame
+		}
+		if err := applyWALRecord(db, rec); err != nil {
+			// A record that validated at log time but fails to apply is
+			// corruption of a subtler kind; stop at the same boundary.
+			return off, nil
+		}
+		info.Records++
+		info.Points += int64(len(rec.points))
+		off += walFrameHeader + length
+	}
+	return -1, nil
+}
+
+// applyWALRecord re-applies one mutation. The DB has no WAL attached
+// during replay, so nothing is re-logged.
+func applyWALRecord(db *DB, rec walRecord) error {
+	switch rec.op {
+	case walOpWrite:
+		return db.WritePoints(rec.points)
+	case walOpDrop:
+		_, err := db.DropMeasurement(rec.name)
+		return err
+	case walOpDeleteBefore:
+		_, err := db.DeleteBefore(rec.before)
+		return err
+	default:
+		return fmt.Errorf("tsdb: wal: bad op %d", rec.op)
+	}
+}
+
+// Checkpoint makes the WAL directory's snapshot current and truncates
+// the log: it cuts a segment boundary under the write lock (so the
+// pinned view contains exactly the records in the sealed segments),
+// serializes that view to a boundary-stamped snapshot file, and
+// deletes the sealed prefix plus any older snapshot. Concurrent writes
+// proceed after the cut and stay logged in the new segment. A crash
+// anywhere in the protocol recovers consistently: before the
+// snapshot's atomic rename the previous snapshot + full log apply;
+// after it, recovery loads the new snapshot and skips (deletes) the
+// covered segments, so no record is ever applied twice. It is an error
+// on a DB without a WAL.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return fmt.Errorf("tsdb: checkpoint: no WAL attached (use OpenDurable)")
+	}
+	_ = db.lockWrite()
+	boundary, err := db.wal.cut()
+	v := db.view.Load()
+	db.unlockWrite()
+	if err != nil {
+		return fmt.Errorf("tsdb: checkpoint: %w", err)
+	}
+	if err := saveViewFile(v, db.shardDuration, snapshotPath(db.wal.dir, boundary)); err != nil {
+		return fmt.Errorf("tsdb: checkpoint: %w", err)
+	}
+	if err := db.wal.truncateBefore(boundary); err != nil {
+		return fmt.Errorf("tsdb: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// WALStats reports write-ahead-log counters; the zero value when the
+// DB has no WAL (it was opened with Open, not OpenDurable).
+func (db *DB) WALStats() WALStats {
+	if db.wal == nil {
+		return WALStats{}
+	}
+	return db.wal.Stats()
+}
+
+// CloseWAL syncs and closes the write-ahead log, if any. The DB
+// remains readable and writable in memory, but mutations after close
+// fail (the durability contract would be silently broken otherwise).
+func (db *DB) CloseWAL() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Close()
+}

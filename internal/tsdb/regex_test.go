@@ -165,7 +165,7 @@ func TestEpochAdvancesOnMutation(t *testing.T) {
 	if db.Epoch() != e0+1 {
 		t.Fatalf("epoch after write = %d, want %d", db.Epoch(), e0+1)
 	}
-	if !db.DropMeasurement("m") {
+	if ok, err := db.DropMeasurement("m"); !ok || err != nil {
 		t.Fatal("drop failed")
 	}
 	if db.Epoch() != e0+2 {
@@ -173,13 +173,13 @@ func TestEpochAdvancesOnMutation(t *testing.T) {
 	}
 	// DeleteBefore that drops nothing keeps the epoch stable.
 	before := db.Epoch()
-	if n := db.DeleteBefore(-1 << 40); n != 0 {
+	if n, _ := db.DeleteBefore(-1 << 40); n != 0 {
 		t.Fatalf("deleted %d shards", n)
 	}
 	if db.Epoch() != before {
 		t.Fatal("no-op retention advanced epoch")
 	}
-	if n := db.DeleteBefore(1 << 40); n == 0 {
+	if n, _ := db.DeleteBefore(1 << 40); n == 0 {
 		t.Fatal("retention dropped nothing")
 	}
 	if db.Epoch() != before+1 {

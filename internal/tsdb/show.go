@@ -46,7 +46,10 @@ func (db *DB) execDrop(stmt string) (*Result, error) {
 	if err := expectEnd(p); err != nil {
 		return nil, err
 	}
-	dropped := db.DropMeasurement(tok.text)
+	dropped, err := db.DropMeasurement(tok.text)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	if dropped {
 		res.Stats.Rows = 1

@@ -27,12 +27,19 @@ const snapshotVersion = 1
 func (db *DB) Snapshot(w io.Writer) error {
 	v := db.acquireView()
 	defer db.releaseView()
+	return snapshotView(v, db.shardDuration, w)
+}
+
+// snapshotView serializes one pinned view — the same body Snapshot
+// uses, shared with Checkpoint, which must serialize the exact view it
+// cut the WAL boundary against.
+func snapshotView(v *dbView, shardDuration int64, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
 	}
 	writeU16(bw, snapshotVersion)
-	writeI64(bw, db.shardDuration)
+	writeI64(bw, shardDuration)
 	writeU32(bw, uint32(len(v.shardStarts)))
 	for _, start := range v.shardStarts {
 		sh := v.shards[start]
@@ -73,7 +80,12 @@ func (db *DB) Snapshot(w io.Writer) error {
 }
 
 // Restore loads a snapshot written by Snapshot into a fresh DB.
-func Restore(r io.Reader) (*DB, error) {
+func Restore(r io.Reader) (*DB, error) { return RestoreOptions(r, Options{}) }
+
+// RestoreOptions loads a snapshot into a fresh DB configured by opts
+// (worker pool, clock, lock mode). The shard duration always comes
+// from the snapshot — the stored data was laid out under it.
+func RestoreOptions(r io.Reader, opts Options) (*DB, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -93,7 +105,8 @@ func Restore(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := Open(Options{ShardDuration: sd})
+	opts.ShardDuration = sd
+	db := Open(opts)
 	nShards, err := readU32(br)
 	if err != nil {
 		return nil, err

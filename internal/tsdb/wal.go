@@ -1,0 +1,676 @@
+package tsdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"monster/internal/clock"
+)
+
+// Write-ahead log: the durability layer under the in-memory engine.
+//
+// Every mutation (write batch, measurement drop, retention sweep) is
+// appended to an on-disk segment *before* it is applied to the
+// published view, so a crashed process recovers by loading the last
+// snapshot and replaying the log (see recover.go). The format follows
+// the snapshot's conventions — little-endian, length-prefixed strings,
+// versioned magic — with per-record CRC framing so a torn tail is
+// detected and truncated rather than misread:
+//
+//	segment file wal-<seq>.seg:
+//	  magic "MWAL" | version u16
+//	  frame*: length u32 | crc32 u32 (IEEE, of payload) | payload
+//	payload: op u8 | op body
+//	  opWrite:        nPoints u32, then per point:
+//	                  measurement str | nTags u32 | (k,v str)* |
+//	                  nFields u32 | (name str, value)* | time i64
+//	  opDrop:         measurement str
+//	  opDeleteBefore: t i64
+//
+// Strings are u32 length + bytes; values are the snapshot's kind-byte
+// encoding. Segments rotate by size; a checkpoint (snapshot + log
+// truncation) cuts a segment boundary under the write lock so the
+// deleted prefix is exactly what the snapshot covers.
+
+const (
+	walMagic   = "MWAL"
+	walVersion = 1
+	// walHeaderSize is the segment header: 4-byte magic + u16 version.
+	walHeaderSize = 6
+	// walFrameHeader prefixes every record: u32 length + u32 crc.
+	walFrameHeader = 8
+
+	// DefaultWALSegmentSize rotates segments at 4 MiB — small enough
+	// that checkpoint truncation reclaims space promptly at the paper's
+	// ~10 k points/minute ingest, large enough to keep the directory
+	// tidy.
+	DefaultWALSegmentSize = 4 << 20
+	// DefaultSyncInterval batches fsyncs under FsyncInterval: at most
+	// one second of acknowledged points is exposed to a power loss.
+	DefaultSyncInterval = time.Second
+	// maxWALRecord bounds a single record frame (a paper-scale write
+	// batch is ~1 MiB; anything near this limit is corruption).
+	maxWALRecord = 1 << 28
+)
+
+// FsyncPolicy selects when the WAL fsyncs its active segment.
+type FsyncPolicy int
+
+// Fsync policies. FsyncInterval is the zero value (the production
+// default): appends fsync when SyncInterval has elapsed since the last
+// sync, bounding power-loss exposure to one interval. FsyncAlways
+// syncs every append (maximum durability, one fsync per write batch);
+// FsyncNever leaves flushing to the OS (process crashes lose nothing —
+// the page cache survives — but a machine crash may lose the unsynced
+// tail).
+const (
+	FsyncInterval FsyncPolicy = iota
+	FsyncAlways
+	FsyncNever
+)
+
+// String renders the policy the way ParseFsyncPolicy accepts it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParseFsyncPolicy parses "always", "interval", or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return FsyncInterval, fmt.Errorf("tsdb: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// WALOptions configures the write-ahead log under a durable DB.
+type WALOptions struct {
+	// Dir is the directory holding the segments and the checkpoint
+	// snapshot. Required.
+	Dir string
+	// Policy selects fsync behaviour (FsyncInterval by default).
+	Policy FsyncPolicy
+	// SyncInterval is the fsync cadence under FsyncInterval. Zero
+	// selects DefaultSyncInterval.
+	SyncInterval time.Duration
+	// SegmentSize rotates the active segment once it exceeds this many
+	// bytes. Zero selects DefaultWALSegmentSize.
+	SegmentSize int64
+	// Clock drives the interval-sync timing; nil means the wall clock.
+	// Simulated runs inject clock.Sim so sync points stay deterministic.
+	Clock clock.Clock
+}
+
+func (o *WALOptions) applyDefaults() {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = DefaultSyncInterval
+	}
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = DefaultWALSegmentSize
+	}
+	if o.Clock == nil {
+		o.Clock = clock.NewReal()
+	}
+}
+
+// WALStats counts log activity since open, plus what recovery found.
+type WALStats struct {
+	Segments       int   // live segment files, including the active one
+	Bytes          int64 // bytes across live segments
+	Appends        int64 // records appended since open
+	Syncs          int64 // fsyncs issued
+	Rotations      int64 // segment rotations (including checkpoint cuts)
+	Checkpoints    int64 // snapshot+truncate cycles completed
+	Replayed       int64 // records replayed during recovery
+	ReplayedPoints int64 // points re-applied from those records
+	TornFrames     int64 // bad frames found (and truncated) at recovery
+	TruncatedBytes int64 // bytes discarded with the torn tail
+}
+
+// WAL is an append-only, CRC-framed, segmented log. It is safe for
+// concurrent use, though the DB already serializes appends under its
+// write lock.
+type WAL struct {
+	dir     string
+	policy  FsyncPolicy
+	syncIvl time.Duration
+	segSize int64
+	clk     clock.Clock
+
+	mu        sync.Mutex
+	f         *os.File
+	seq       uint64   // active segment sequence number
+	segBytes  int64    // bytes in the active segment
+	liveSeqs  []uint64 // non-active live segments, ascending
+	liveBytes int64    // bytes across liveSeqs
+	lastSync  time.Time
+	stats     WALStats
+}
+
+type walOp byte
+
+const (
+	walOpWrite        walOp = 1
+	walOpDrop         walOp = 2
+	walOpDeleteBefore walOp = 3
+)
+
+// walSegment describes one on-disk segment file.
+type walSegment struct {
+	seq  uint64
+	path string
+	size int64
+}
+
+func walSegmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.seg", seq))
+}
+
+// listWALSegments returns the directory's segments in sequence order.
+func listWALSegments(dir string) ([]walSegment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []walSegment
+	for _, e := range entries {
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &seq); n != 1 || err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, walSegment{seq: seq, path: filepath.Join(dir, e.Name()), size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// openWAL opens the log for appending into a fresh segment numbered
+// after every surviving segment, which recovery has already replayed
+// and (if needed) truncated.
+func openWAL(opts WALOptions, surviving []walSegment) (*WAL, error) {
+	opts.applyDefaults()
+	w := &WAL{
+		dir:      opts.Dir,
+		policy:   opts.Policy,
+		syncIvl:  opts.SyncInterval,
+		segSize:  opts.SegmentSize,
+		clk:      opts.Clock,
+		lastSync: opts.Clock.Now(),
+	}
+	var next uint64 = 1
+	for _, s := range surviving {
+		w.liveSeqs = append(w.liveSeqs, s.seq)
+		w.liveBytes += s.size
+		if s.seq >= next {
+			next = s.seq + 1
+		}
+	}
+	if err := w.newSegmentLocked(next); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// newSegmentLocked creates and headers segment seq, making it active.
+// Callers hold mu (or have exclusive access during open).
+func (w *WAL) newSegmentLocked(seq uint64) error {
+	f, err := os.OpenFile(walSegmentPath(w.dir, seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("tsdb: wal: create segment: %w", err)
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:4], walMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], walVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		closeErr := f.Close()
+		_ = closeErr // the write error is the one worth reporting
+		return fmt.Errorf("tsdb: wal: segment header: %w", err)
+	}
+	w.f = f
+	w.seq = seq
+	w.segBytes = walHeaderSize
+	return nil
+}
+
+// rotateLocked seals the active segment (sync + close) and opens the
+// next one. Callers hold mu.
+func (w *WAL) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("tsdb: wal: sync on rotate: %w", err)
+	}
+	w.stats.Syncs++
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("tsdb: wal: close on rotate: %w", err)
+	}
+	w.liveSeqs = append(w.liveSeqs, w.seq)
+	w.liveBytes += w.segBytes
+	w.stats.Rotations++
+	return w.newSegmentLocked(w.seq + 1)
+}
+
+// append frames payload and writes it to the active segment, rotating
+// and syncing per policy.
+func (w *WAL) append(payload []byte) error {
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("tsdb: wal: record of %d bytes exceeds limit", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("tsdb: wal: closed")
+	}
+	if w.segBytes >= w.segSize {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	frame := make([]byte, walFrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[walFrameHeader:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("tsdb: wal: append: %w", err)
+	}
+	w.segBytes += int64(len(frame))
+	w.stats.Appends++
+	switch w.policy {
+	case FsyncAlways:
+		return w.syncLocked()
+	case FsyncInterval:
+		if now := w.clk.Now(); now.Sub(w.lastSync) >= w.syncIvl {
+			return w.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("tsdb: wal: fsync: %w", err)
+	}
+	w.stats.Syncs++
+	w.lastSync = w.clk.Now()
+	return nil
+}
+
+// cut rotates to a fresh segment and returns its sequence number: all
+// records appended before the cut live in segments numbered strictly
+// below the boundary. The DB calls this under its write lock so the
+// boundary lines up exactly with a pinned view.
+func (w *WAL) cut() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("tsdb: wal: closed")
+	}
+	if err := w.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return w.seq, nil
+}
+
+// truncateBefore deletes every sealed segment numbered below boundary —
+// the records a just-written snapshot now covers — plus any snapshot
+// the boundary-stamped one supersedes.
+func (w *WAL) truncateBefore(boundary uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.liveSeqs[:0]
+	for _, seq := range w.liveSeqs {
+		if seq >= boundary {
+			kept = append(kept, seq)
+			continue
+		}
+		path := walSegmentPath(w.dir, seq)
+		info, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("tsdb: wal: truncate: %w", err)
+		}
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("tsdb: wal: truncate: %w", err)
+		}
+		w.liveBytes -= info.Size()
+	}
+	w.liveSeqs = append([]uint64(nil), kept...)
+	snaps, err := listSnapshots(w.dir)
+	if err != nil {
+		return fmt.Errorf("tsdb: wal: truncate: %w", err)
+	}
+	for _, s := range snaps {
+		if s.boundary >= boundary {
+			continue
+		}
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("tsdb: wal: truncate: %w", err)
+		}
+	}
+	w.stats.Checkpoints++
+	return nil
+}
+
+// Close syncs and closes the active segment. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		closeErr := w.f.Close()
+		_ = closeErr // the sync error is the one worth reporting
+		w.f = nil
+		return fmt.Errorf("tsdb: wal: close: %w", err)
+	}
+	w.stats.Syncs++
+	err := w.f.Close()
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("tsdb: wal: close: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the log counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.stats
+	st.Segments = len(w.liveSeqs)
+	st.Bytes = w.liveBytes
+	if w.f != nil {
+		st.Segments++
+		st.Bytes += w.segBytes
+	}
+	return st
+}
+
+// ---- record encoding ----
+
+func walPutU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func walPutI64(b *bytes.Buffer, v int64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+	b.Write(tmp[:])
+}
+
+func walPutF64(b *bytes.Buffer, v float64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	b.Write(tmp[:])
+}
+
+func walPutStr(b *bytes.Buffer, s string) {
+	walPutU32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+func walPutValue(b *bytes.Buffer, v Value) {
+	b.WriteByte(byte(v.Kind))
+	switch v.Kind {
+	case KindFloat:
+		walPutF64(b, v.F)
+	case KindInt:
+		walPutI64(b, v.I)
+	case KindString:
+		walPutStr(b, v.S)
+	case KindBool:
+		if v.B {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+	}
+}
+
+// encodeWriteRecord serializes a validated point batch. Field maps are
+// emitted in sorted key order so identical batches encode identically —
+// the property the kill-point tests lean on.
+func encodeWriteRecord(points []Point) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(walOpWrite))
+	walPutU32(&b, uint32(len(points)))
+	for i := range points {
+		p := &points[i]
+		walPutStr(&b, p.Measurement)
+		walPutU32(&b, uint32(len(p.Tags)))
+		for _, t := range p.Tags {
+			walPutStr(&b, t.Key)
+			walPutStr(&b, t.Value)
+		}
+		names := make([]string, 0, len(p.Fields))
+		for name := range p.Fields {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		walPutU32(&b, uint32(len(names)))
+		for _, name := range names {
+			walPutStr(&b, name)
+			walPutValue(&b, p.Fields[name])
+		}
+		walPutI64(&b, p.Time)
+	}
+	return b.Bytes()
+}
+
+func encodeDropRecord(name string) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(walOpDrop))
+	walPutStr(&b, name)
+	return b.Bytes()
+}
+
+func encodeDeleteBeforeRecord(t int64) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(walOpDeleteBefore))
+	walPutI64(&b, t)
+	return b.Bytes()
+}
+
+// ---- record decoding ----
+//
+// walDecoder reads a payload slice with explicit bounds checks: every
+// claimed length is validated against the bytes that remain, so a
+// corrupt (but CRC-valid) record can never drive an oversized
+// allocation — the property FuzzWALReplay exercises.
+
+type walDecoder struct {
+	b   []byte
+	off int
+}
+
+func (d *walDecoder) remaining() int { return len(d.b) - d.off }
+
+func (d *walDecoder) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("tsdb: wal: short record")
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *walDecoder) u32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, fmt.Errorf("tsdb: wal: short record")
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *walDecoder) i64() (int64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("tsdb: wal: short record")
+	}
+	v := int64(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *walDecoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if int64(n) > int64(d.remaining()) {
+		return "", fmt.Errorf("tsdb: wal: string length %d exceeds record", n)
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *walDecoder) value() (Value, error) {
+	kind, err := d.byte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch ValueKind(kind) {
+	case KindFloat:
+		v, err := d.i64()
+		return Value{Kind: KindFloat, F: math.Float64frombits(uint64(v))}, err
+	case KindInt:
+		v, err := d.i64()
+		return Int(v), err
+	case KindString:
+		s, err := d.str()
+		return Str(s), err
+	case KindBool:
+		b, err := d.byte()
+		return Bool(b != 0), err
+	default:
+		return Value{}, fmt.Errorf("tsdb: wal: bad value kind %d", kind)
+	}
+}
+
+// walRecord is one decoded log entry.
+type walRecord struct {
+	op     walOp
+	points []Point
+	name   string // opDrop
+	before int64  // opDeleteBefore
+}
+
+// decodeWALRecord parses a payload. Every length is bounds-checked and
+// trailing bytes are rejected, so any mutation of a valid record is
+// detected as corruption.
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	d := &walDecoder{b: payload}
+	op, err := d.byte()
+	if err != nil {
+		return walRecord{}, err
+	}
+	rec := walRecord{op: walOp(op)}
+	switch rec.op {
+	case walOpWrite:
+		n, err := d.u32()
+		if err != nil {
+			return walRecord{}, err
+		}
+		// Each point needs at least measurement len + tag count + field
+		// count + time = 20 bytes; reject inflated counts before
+		// allocating.
+		if int64(n) > int64(d.remaining()/20)+1 {
+			return walRecord{}, fmt.Errorf("tsdb: wal: point count %d exceeds record", n)
+		}
+		rec.points = make([]Point, 0, n)
+		for i := uint32(0); i < n; i++ {
+			p, err := decodeWALPoint(d)
+			if err != nil {
+				return walRecord{}, err
+			}
+			rec.points = append(rec.points, p)
+		}
+	case walOpDrop:
+		if rec.name, err = d.str(); err != nil {
+			return walRecord{}, err
+		}
+	case walOpDeleteBefore:
+		if rec.before, err = d.i64(); err != nil {
+			return walRecord{}, err
+		}
+	default:
+		return walRecord{}, fmt.Errorf("tsdb: wal: bad op %d", op)
+	}
+	if d.remaining() != 0 {
+		return walRecord{}, fmt.Errorf("tsdb: wal: %d trailing bytes in record", d.remaining())
+	}
+	return rec, nil
+}
+
+func decodeWALPoint(d *walDecoder) (Point, error) {
+	var p Point
+	var err error
+	if p.Measurement, err = d.str(); err != nil {
+		return p, err
+	}
+	nTags, err := d.u32()
+	if err != nil {
+		return p, err
+	}
+	if int64(nTags) > int64(d.remaining()/8)+1 {
+		return p, fmt.Errorf("tsdb: wal: tag count %d exceeds record", nTags)
+	}
+	p.Tags = make(Tags, 0, nTags)
+	for i := uint32(0); i < nTags; i++ {
+		k, err := d.str()
+		if err != nil {
+			return p, err
+		}
+		v, err := d.str()
+		if err != nil {
+			return p, err
+		}
+		p.Tags = append(p.Tags, Tag{Key: k, Value: v})
+	}
+	nFields, err := d.u32()
+	if err != nil {
+		return p, err
+	}
+	if int64(nFields) > int64(d.remaining()/5)+1 {
+		return p, fmt.Errorf("tsdb: wal: field count %d exceeds record", nFields)
+	}
+	p.Fields = make(map[string]Value, nFields)
+	for i := uint32(0); i < nFields; i++ {
+		name, err := d.str()
+		if err != nil {
+			return p, err
+		}
+		v, err := d.value()
+		if err != nil {
+			return p, err
+		}
+		p.Fields[name] = v
+	}
+	p.Time, err = d.i64()
+	return p, err
+}

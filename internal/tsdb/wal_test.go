@@ -1,0 +1,463 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"monster/internal/clock"
+)
+
+func walPoint(node string, ts int64, v float64) Point {
+	return Point{
+		Measurement: "Power",
+		Tags:        Tags{{Key: "Label", Value: "NodePower"}, {Key: "NodeId", Value: node}},
+		Fields:      map[string]Value{"Reading": Float(v)},
+		Time:        ts,
+	}
+}
+
+// crashOpen opens a durable DB without ever closing it — the tests
+// simulate kill -9 by simply abandoning the handle, which is exactly
+// what a SIGKILLed process does.
+func crashOpen(t *testing.T, dir string, wopts WALOptions) (*DB, RecoveryInfo) {
+	t.Helper()
+	wopts.Dir = dir
+	db, info, err := OpenDurable(Options{ShardDuration: 3600}, wopts)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	return db, info
+}
+
+func TestWALRecoverAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	db, info := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	if info.SnapshotLoaded || info.Records != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", info)
+	}
+
+	for i := 0; i < 20; i++ {
+		if err := db.WritePoints([]Point{
+			walPoint("n1", int64(60*i), float64(i)),
+			walPoint("n2", int64(60*i), float64(2*i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.WritePoint(Point{Measurement: "scratch", Fields: map[string]Value{"f": Int(1)}, Time: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := db.DropMeasurement("scratch"); !ok || err != nil {
+		t.Fatalf("drop: ok=%t err=%v", ok, err)
+	}
+	wantPoints := db.Disk().Points
+	wantEpochedSeries := db.SeriesCardinality("")
+
+	// Crash (no close, no checkpoint) and recover.
+	db2, info2 := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	if info2.SnapshotLoaded {
+		t.Fatal("no checkpoint was taken, yet a snapshot loaded")
+	}
+	if info2.Records != 22 || info2.TornFrames != 0 {
+		t.Fatalf("recovery = %+v, want 22 clean records", info2)
+	}
+	if got := db2.Disk().Points; got != wantPoints {
+		t.Fatalf("recovered %d points, want %d", got, wantPoints)
+	}
+	if got := db2.SeriesCardinality(""); got != wantEpochedSeries {
+		t.Fatalf("recovered %d series, want %d", got, wantEpochedSeries)
+	}
+	if ms := db2.Measurements(); len(ms) != 1 || ms[0] != "Power" {
+		t.Fatalf("recovered measurements %v (the drop was not replayed)", ms)
+	}
+	st := db2.WALStats()
+	if st.Replayed != 22 || st.TornFrames != 0 {
+		t.Fatalf("WALStats = %+v", st)
+	}
+
+	// The recovered database answers queries identically.
+	r1, err := db.Query(`SELECT max("Reading") FROM "Power" GROUP BY "NodeId"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Query(`SELECT max("Reading") FROM "Power" GROUP BY "NodeId"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Series) != len(r2.Series) {
+		t.Fatalf("series %d vs %d after recovery", len(r1.Series), len(r2.Series))
+	}
+}
+
+func TestWALRecoverDeleteBefore(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	for ts := int64(0); ts < 10*3600; ts += 3600 {
+		if err := db.WritePoint(walPoint("n1", ts, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := db.DeleteBefore(5 * 3600); n != 5 || err != nil {
+		t.Fatalf("DeleteBefore = %d, %v", n, err)
+	}
+	want := db.Disk().Points
+
+	db2, info := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	if got := db2.Disk().Points; got != want {
+		t.Fatalf("recovered %d points, want %d (retention sweep not replayed; info %+v)", got, want, info)
+	}
+}
+
+// TestWALKillPoints is the kill-point matrix: truncate the log at
+// every byte offset and assert recovery yields exactly the longest
+// valid prefix of acknowledged batches, never more, never a crash.
+func TestWALKillPoints(t *testing.T) {
+	master := t.TempDir()
+	db, _ := crashOpen(t, master, WALOptions{Policy: FsyncNever})
+
+	// Frame boundaries after each batch: boundaries[i] = segment size
+	// once batch i is durable, so a truncation at offset off recovers
+	// count(boundaries <= off) batches.
+	const batches = 12
+	var boundaries []int64
+	for i := 0; i < batches; i++ {
+		if err := db.WritePoint(walPoint("n1", int64(60*i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		db.wal.mu.Lock()
+		boundaries = append(boundaries, db.wal.segBytes)
+		db.wal.mu.Unlock()
+	}
+	segPath := walSegmentPath(master, 1)
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != boundaries[batches-1] {
+		t.Fatalf("segment size %d, want %d", len(data), boundaries[batches-1])
+	}
+
+	for off := int64(0); off <= int64(len(data)); off++ {
+		wantBatches := 0
+		for _, b := range boundaries {
+			if b <= off {
+				wantBatches++
+			}
+		}
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("kill-%d", off))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(walSegmentPath(dir, 1), data[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, info, err := OpenDurable(Options{ShardDuration: 3600}, WALOptions{Dir: dir, Policy: FsyncNever})
+		if err != nil {
+			t.Fatalf("offset %d: OpenDurable: %v", off, err)
+		}
+		if got := rec.Disk().Points; got != int64(wantBatches) {
+			t.Fatalf("offset %d: recovered %d points, want %d (info %+v)", off, got, wantBatches, info)
+		}
+		atBoundary := off == walHeaderSize
+		for _, b := range boundaries {
+			if b == off {
+				atBoundary = true
+			}
+		}
+		if atBoundary && info.TornFrames != 0 {
+			t.Fatalf("offset %d is a frame boundary yet counted torn: %+v", off, info)
+		}
+		if !atBoundary && off > walHeaderSize && info.TornFrames != 1 {
+			t.Fatalf("offset %d tore a frame but stats say %+v", off, info)
+		}
+		// Recovery after recovery is stable: the truncated tail is gone.
+		rec2, info2, err := OpenDurable(Options{ShardDuration: 3600}, WALOptions{Dir: dir, Policy: FsyncNever})
+		if err != nil {
+			t.Fatalf("offset %d: second recovery: %v", off, err)
+		}
+		if rec2.Disk().Points != rec.Disk().Points || info2.TornFrames != 0 {
+			t.Fatalf("offset %d: second recovery diverged: %d vs %d points, info %+v",
+				off, rec2.Disk().Points, rec.Disk().Points, info2)
+		}
+	}
+}
+
+func TestWALCorruptionMidSegmentDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation so corruption lands mid-log with
+	// whole segments after it.
+	db, _ := crashOpen(t, dir, WALOptions{Policy: FsyncNever, SegmentSize: 256})
+	for i := 0; i < 40; i++ {
+		if err := db.WritePoint(walPoint("n1", int64(60*i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.WALStats().Rotations == 0 {
+		t.Fatal("no rotation at 256-byte segments")
+	}
+	segs, err := listWALSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %d (%v)", len(segs), err)
+	}
+
+	// Flip one payload byte in the second segment.
+	data, err := os.ReadFile(segs[1].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[walHeaderSize+walFrameHeader] ^= 0xFF
+	if err := os.WriteFile(segs[1].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, info := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	if info.TornFrames != 1 {
+		t.Fatalf("info = %+v, want exactly one torn frame", info)
+	}
+	// Everything from the first segment replayed; everything at and
+	// after the corrupt frame is gone, including later segments.
+	firstSegBatches := db2.Disk().Points
+	if firstSegBatches == 0 || firstSegBatches >= 40 {
+		t.Fatalf("recovered %d points, want a proper prefix", firstSegBatches)
+	}
+	for _, s := range segs[2:] {
+		if _, err := os.Stat(s.path); !os.IsNotExist(err) {
+			t.Fatalf("post-tear segment %s survived", s.path)
+		}
+	}
+}
+
+func TestWALCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	for i := 0; i < 10; i++ {
+		if err := db.WritePoint(walPoint("n1", int64(60*i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.WALStats()
+	if st.Checkpoints != 1 {
+		t.Fatalf("checkpoints = %d", st.Checkpoints)
+	}
+	if st.Segments != 1 {
+		t.Fatalf("segments after checkpoint = %d, want just the active one", st.Segments)
+	}
+	// Post-checkpoint writes land in the new segment.
+	for i := 10; i < 15; i++ {
+		if err := db.WritePoint(walPoint("n1", int64(60*i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db2, info := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	if !info.SnapshotLoaded {
+		t.Fatal("checkpoint snapshot not loaded")
+	}
+	if info.SnapshotPoints != 10 || info.Points != 5 {
+		t.Fatalf("recovery split = %+v, want 10 snapshot + 5 replayed points", info)
+	}
+	if got := db2.Disk().Points; got != 15 {
+		t.Fatalf("recovered %d points, want 15", got)
+	}
+}
+
+func TestWALFsyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		db, _ := crashOpen(t, t.TempDir(), WALOptions{Policy: FsyncAlways})
+		for i := 0; i < 3; i++ {
+			if err := db.WritePoint(walPoint("n1", int64(i), 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := db.WALStats(); st.Syncs != 3 {
+			t.Fatalf("syncs = %d, want one per append", st.Syncs)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		sim := clock.NewSim(time.Unix(0, 0))
+		db, _ := crashOpen(t, t.TempDir(), WALOptions{
+			Policy: FsyncInterval, SyncInterval: time.Second, Clock: sim,
+		})
+		for i := 0; i < 5; i++ {
+			if err := db.WritePoint(walPoint("n1", int64(i), 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := db.WALStats(); st.Syncs != 0 {
+			t.Fatalf("syncs before the interval elapsed = %d", st.Syncs)
+		}
+		sim.Advance(2 * time.Second)
+		if err := db.WritePoint(walPoint("n1", 100, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if st := db.WALStats(); st.Syncs != 1 {
+			t.Fatalf("syncs after the interval elapsed = %d, want 1", st.Syncs)
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		db, _ := crashOpen(t, t.TempDir(), WALOptions{Policy: FsyncNever})
+		for i := 0; i < 3; i++ {
+			if err := db.WritePoint(walPoint("n1", int64(i), 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := db.WALStats(); st.Syncs != 0 {
+			t.Fatalf("syncs = %d, want none", st.Syncs)
+		}
+	})
+}
+
+// TestWALConcurrentWritesAndCheckpoints drives writers against the
+// checkpoint loop (run with -race): every acknowledged batch must
+// survive crash-recovery regardless of which side of a checkpoint cut
+// it landed on.
+func TestWALConcurrentWritesAndCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := crashOpen(t, dir, WALOptions{Policy: FsyncNever, SegmentSize: 4096})
+
+	const writers = 4
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node := fmt.Sprintf("n%d", w)
+			for i := 0; i < perWriter; i++ {
+				if err := db.WritePoint(walPoint(node, int64(60*i), float64(i))); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := db.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	want := db.Disk().Points
+	if want != writers*perWriter {
+		t.Fatalf("acked %d points, want %d", want, writers*perWriter)
+	}
+
+	db2, info := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	if got := db2.Disk().Points; got != want {
+		t.Fatalf("recovered %d points, want %d (info %+v)", got, want, info)
+	}
+	if info.TornFrames != 0 {
+		t.Fatalf("clean log reported torn frames: %+v", info)
+	}
+}
+
+func TestWALStatsSurfaceAndClose(t *testing.T) {
+	db := Open(Options{})
+	if st := db.WALStats(); st != (WALStats{}) {
+		t.Fatalf("memory-only DB reported WAL stats %+v", st)
+	}
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint on a memory-only DB succeeded")
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatalf("CloseWAL on memory-only DB: %v", err)
+	}
+
+	dir := t.TempDir()
+	ddb, _ := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	if err := ddb.WritePoint(walPoint("n1", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := ddb.WALStats()
+	if st.Appends != 1 || st.Segments != 1 || st.Bytes <= walHeaderSize {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := ddb.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ddb.WritePoint(walPoint("n1", 60, 1)); err == nil {
+		t.Fatal("write after CloseWAL succeeded silently — durability contract broken")
+	}
+}
+
+// TestWALCheckpointCrashBeforeTruncate pins the nastiest checkpoint
+// crash window: the boundary-stamped snapshot has atomically renamed
+// into place, but the process died before the covered segments (and
+// the previous snapshot) were deleted. The store appends duplicate
+// timestamps rather than overwriting, so replaying a covered segment
+// would double every point. Recovery must load the newest snapshot,
+// SKIP the covered segments, and clean the stale files up.
+func TestWALCheckpointCrashBeforeTruncate(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	for i := 0; i < 10; i++ {
+		if err := db.WritePoint(walPoint("n1", int64(60*i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First, a completed checkpoint, so a stale older snapshot exists.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		if err := db.WritePoint(walPoint("n1", int64(60*i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Now the crashing checkpoint: cut + snapshot rename, no truncation
+	// (exactly Checkpoint minus its truncateBefore call).
+	_ = db.lockWrite()
+	boundary, err := db.wal.cut()
+	v := db.view.Load()
+	db.unlockWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := saveViewFile(v, db.shardDuration, snapshotPath(dir, boundary)); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, err := listSnapshots(dir)
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("want 2 snapshots on disk (completed + crashed), got %d (%v)", len(snaps), err)
+	}
+
+	db2, info := crashOpen(t, dir, WALOptions{Policy: FsyncNever})
+	if !info.SnapshotLoaded || info.SnapshotPoints != 15 {
+		t.Fatalf("recovery did not load the newest snapshot: %+v", info)
+	}
+	if info.Records != 0 {
+		t.Fatalf("recovery replayed %d covered records — points would double", info.Records)
+	}
+	if got := db2.Disk().Points; got != 15 {
+		t.Fatalf("recovered %d points, want 15 (no double replay)", got)
+	}
+	// Stale files were swept: one snapshot, no covered segments.
+	snaps, err = listSnapshots(dir)
+	if err != nil || len(snaps) != 1 || snaps[0].boundary != boundary {
+		t.Fatalf("stale snapshots not swept: %v (%v)", snaps, err)
+	}
+	segs, err := listWALSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s.seq < boundary {
+			t.Fatalf("covered segment %s survived recovery", s.path)
+		}
+	}
+}

@@ -50,8 +50,13 @@ type (
 )
 
 // New builds a System from a Config; zero values select the defaults
-// documented on core.Config.
+// documented on core.Config. It panics on bad configuration or failed
+// storage recovery; daemons should prefer NewSystem.
 func New(cfg Config) *System { return core.New(cfg) }
+
+// NewSystem builds a System, returning configuration and storage
+// recovery errors instead of panicking.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
 
 // QuanahNodes is the paper deployment's cluster size (467).
 const QuanahNodes = core.QuanahNodes
@@ -79,7 +84,32 @@ type (
 	RollupSpec = tsdb.RollupSpec
 	// Rollups manages continuous queries over a DB.
 	Rollups = tsdb.Rollups
+	// WALOptions configures the write-ahead log under a durable DB.
+	WALOptions = tsdb.WALOptions
+	// WALStats counts write-ahead-log activity and recovery outcomes.
+	WALStats = tsdb.WALStats
+	// FsyncPolicy selects when the WAL fsyncs (always/interval/never).
+	FsyncPolicy = tsdb.FsyncPolicy
+	// RecoveryInfo summarizes what a durable open reconstructed.
+	RecoveryInfo = tsdb.RecoveryInfo
 )
+
+// WAL fsync policies.
+const (
+	FsyncInterval = tsdb.FsyncInterval
+	FsyncAlways   = tsdb.FsyncAlways
+	FsyncNever    = tsdb.FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "interval", or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return tsdb.ParseFsyncPolicy(s) }
+
+// RecoverDB opens a crash-safe storage engine rooted at wopts.Dir:
+// checkpoint snapshot + WAL replay on open, write-ahead logging of
+// every mutation thereafter, and DB.Checkpoint to snapshot + truncate.
+func RecoverDB(opts DBOptions, wopts WALOptions) (*DB, RecoveryInfo, error) {
+	return tsdb.OpenDurable(opts, wopts)
+}
 
 // Schema versions.
 const (
