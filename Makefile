@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench lint lint-selftest fuzz-smoke crash-recovery
+.PHONY: check fmt vet build test race bench bench-json lint lint-selftest fuzz-smoke crash-recovery compression
 
 # check is the pre-PR gate: formatting, static analysis (go vet plus
 # the project's own monsterlint suite), a full build, the whole test
 # suite, the crash-recovery matrix, and the race detector over every
 # package.
-check: fmt vet lint build test crash-recovery race
+check: fmt vet lint build test crash-recovery compression race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -66,8 +66,24 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzParseQuery$$' -run '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -fuzz '^FuzzMergeSeries$$' -run '^FuzzMergeSeries$$' -fuzztime $(FUZZTIME) ./internal/builder
 	$(GO) test -fuzz '^FuzzWALReplay$$' -run '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+	$(GO) test -fuzz '^FuzzBlockDecode$$' -run '^FuzzBlockDecode$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+
+# compression re-runs the sealed-block suite on its own under the race
+# detector: encode/decode round trips, seal thresholds, header pruning,
+# iterator order, out-of-order unseal, and the snapshot round trip on
+# both format versions (v2 blocks-verbatim and legacy v1 replay).
+compression:
+	$(GO) test -race -count=1 -run 'TestBlock|TestSeal|TestColumnIterator|TestOutOfOrderAcrossSealBoundary|TestSnapshotV1Compat|TestSnapshotV2RoundTripSealedBlocks|TestSnapshotFailingWriter|TestRangeIndexesSuffixSearch|TestWALKillPointsSealedBlocks|TestWALCheckpointSealedBlocks' ./internal/tsdb
 
 # bench runs the Metrics Builder ladder benchmarks (Figs 10-19):
 # naive-sequential vs batched-concurrent vs cached.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBuilder' -benchtime 100x .
+
+# bench-json prints the storage-compression benchmarks and regenerates
+# BENCH_compression.json (bytes/point, encode+decode ns/point, sealed
+# vs raw scan) from the same harnesses.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkBlockEncode|BenchmarkBlockDecode|BenchmarkCompressedScan' -benchtime 50x ./internal/tsdb
+	$(GO) test -run '^$$' -bench 'BenchmarkMixedReadWrite' -benchtime 1x .
+	BENCH_JSON=$(CURDIR)/BENCH_compression.json $(GO) test -run '^TestBenchJSON$$' -count=1 -v ./internal/tsdb

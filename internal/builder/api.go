@@ -228,33 +228,42 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	dbStats := db.Stats()
 	walStats := db.WALStats()
+	comp := db.Compression()
 	out := struct {
-		Points       int64         `json:"points"`
-		DataBytes    int64         `json:"data_bytes"`
-		IndexBytes   int64         `json:"index_bytes"`
-		Shards       int           `json:"shards"`
-		Epoch        int64         `json:"epoch"`
-		Batches      int64         `json:"batches_written"`
-		WriteWaitNs  int64         `json:"write_wait_ns"`
-		WriteErrors  int64         `json:"write_errors"`
-		WALSegments  int           `json:"wal_segments"`
-		WALBytes     int64         `json:"wal_bytes"`
-		WALReplayed  int64         `json:"wal_replayed"`
-		WALTorn      int64         `json:"wal_torn_frames"`
-		Measurements []measurement `json:"measurements"`
+		Points          int64         `json:"points"`
+		DataBytes       int64         `json:"data_bytes"`
+		IndexBytes      int64         `json:"index_bytes"`
+		StorageRaw      int64         `json:"storage_bytes_raw"`
+		StorageComp     int64         `json:"storage_bytes_compressed"`
+		CompressionRate float64       `json:"compression_ratio"`
+		BlocksSealed    int64         `json:"blocks_sealed"`
+		Shards          int           `json:"shards"`
+		Epoch           int64         `json:"epoch"`
+		Batches         int64         `json:"batches_written"`
+		WriteWaitNs     int64         `json:"write_wait_ns"`
+		WriteErrors     int64         `json:"write_errors"`
+		WALSegments     int           `json:"wal_segments"`
+		WALBytes        int64         `json:"wal_bytes"`
+		WALReplayed     int64         `json:"wal_replayed"`
+		WALTorn         int64         `json:"wal_torn_frames"`
+		Measurements    []measurement `json:"measurements"`
 	}{
-		Points:      disk.Points,
-		DataBytes:   disk.DataBytes,
-		IndexBytes:  disk.IndexBytes,
-		Shards:      disk.Shards,
-		Epoch:       db.Epoch(),
-		Batches:     dbStats.BatchesWritten,
-		WriteWaitNs: dbStats.WriteWaitNs,
-		WriteErrors: a.writeErrs.Load(),
-		WALSegments: walStats.Segments,
-		WALBytes:    walStats.Bytes,
-		WALReplayed: walStats.Replayed,
-		WALTorn:     walStats.TornFrames,
+		Points:          disk.Points,
+		DataBytes:       disk.DataBytes,
+		IndexBytes:      disk.IndexBytes,
+		StorageRaw:      comp.BytesRaw,
+		StorageComp:     comp.BytesCompressed,
+		CompressionRate: comp.Ratio(),
+		BlocksSealed:    comp.BlocksSealed,
+		Shards:          disk.Shards,
+		Epoch:           db.Epoch(),
+		Batches:         dbStats.BatchesWritten,
+		WriteWaitNs:     dbStats.WriteWaitNs,
+		WriteErrors:     a.writeErrs.Load(),
+		WALSegments:     walStats.Segments,
+		WALBytes:        walStats.Bytes,
+		WALReplayed:     walStats.Replayed,
+		WALTorn:         walStats.TornFrames,
 	}
 	for _, name := range db.Measurements() {
 		out.Measurements = append(out.Measurements, measurement{Name: name, Series: db.SeriesCardinality(name)})

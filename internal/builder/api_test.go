@@ -209,9 +209,13 @@ func TestAPIStatsEndpoint(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var body struct {
-		Points       int64 `json:"points"`
-		DataBytes    int64 `json:"data_bytes"`
-		Shards       int   `json:"shards"`
+		Points       int64   `json:"points"`
+		DataBytes    int64   `json:"data_bytes"`
+		Shards       int     `json:"shards"`
+		StorageRaw   int64   `json:"storage_bytes_raw"`
+		StorageComp  int64   `json:"storage_bytes_compressed"`
+		Ratio        float64 `json:"compression_ratio"`
+		BlocksSealed int64   `json:"blocks_sealed"`
 		Measurements []struct {
 			Name   string `json:"name"`
 			Series int    `json:"series"`
@@ -222,6 +226,19 @@ func TestAPIStatsEndpoint(t *testing.T) {
 	}
 	if body.Points != b.DB().Disk().Points || body.Points == 0 {
 		t.Fatalf("points = %d", body.Points)
+	}
+	comp := b.DB().Compression()
+	if body.StorageRaw != comp.BytesRaw || body.StorageRaw == 0 {
+		t.Fatalf("storage_bytes_raw = %d, engine says %d", body.StorageRaw, comp.BytesRaw)
+	}
+	if body.StorageComp != comp.BytesCompressed || body.StorageComp == 0 {
+		t.Fatalf("storage_bytes_compressed = %d, engine says %d", body.StorageComp, comp.BytesCompressed)
+	}
+	if body.Ratio != comp.Ratio() || body.Ratio < 1 {
+		t.Fatalf("compression_ratio = %v, engine says %v", body.Ratio, comp.Ratio())
+	}
+	if body.BlocksSealed != comp.BlocksSealed {
+		t.Fatalf("blocks_sealed = %d, engine says %d", body.BlocksSealed, comp.BlocksSealed)
 	}
 	found := false
 	for _, m := range body.Measurements {

@@ -61,6 +61,11 @@ type Config struct {
 	// QueryWorkers bounds the storage engine's per-query worker pool
 	// for parallel series-group execution (0 = automatic, 1 = serial).
 	QueryWorkers int
+	// BlockSize overrides the storage engine's seal threshold: columns
+	// whose raw tail reaches this many points are compressed into
+	// immutable Gorilla-encoded blocks. 0 = engine default (1024),
+	// negative disables compression.
+	BlockSize int
 	// StorageGlobalLock restores the engine's pre-snapshot global
 	// RWMutex serialization — the A/B baseline for the contention
 	// experiment, never useful in production.
@@ -175,6 +180,7 @@ func NewSystem(cfg Config) (*System, error) {
 	storageOpts := tsdb.Options{
 		ShardDuration: cfg.ShardDuration,
 		ExecWorkers:   cfg.QueryWorkers,
+		BlockSize:     cfg.BlockSize,
 		GlobalLock:    cfg.StorageGlobalLock,
 	}
 	var (

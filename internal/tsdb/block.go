@@ -1,0 +1,518 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+)
+
+// Sealed-block tier: Gorilla-style compression for immutable column
+// runs.
+//
+// A column is hot-tail-plus-sealed-blocks: writes append to the raw
+// time/value slices, and whenever the tail reaches Options.BlockSize
+// points the write batch seals a full run into an immutable compressed
+// block (see column.seal in shard.go). HPC telemetry is overwhelmingly
+// monotonic timestamps at a fixed cadence carrying slowly-varying
+// floats, which is exactly the shape Gorilla's encodings collapse:
+//
+//	timestamps  delta-of-delta, zig-zag varint: a fixed cadence makes
+//	            every delta-of-delta zero — one byte per point, and
+//	            most of that byte's bits are shared with neighbours in
+//	            the varint stream
+//	floats      XOR against the previous value with leading/trailing-
+//	            zero windows: an unchanged reading costs one bit, a
+//	            small change only its meaningful mantissa bits
+//	ints        delta, zig-zag varint
+//	mixed       per-value kind byte + canonical payload (strings,
+//	            bools, or columns that changed kind mid-stream)
+//
+// Block payload layout (everything after the in-memory header):
+//
+//	uvarint count | u8 venc
+//	varint t0 | varint d0 | varint dod*          (count-2 dods)
+//	values per venc (see above)
+//
+// The float bitstream is MSB-first. Each value after the first is:
+//
+//	'0'                                          identical to previous
+//	'1' '0' <meaningful bits>                    reuse previous window
+//	'1' '1' <5b leading> <6b sigbits-1> <bits>   new window
+//
+// Every block additionally carries min/max-time and count in its
+// in-memory (and snapshot v2) header, so scans prune blocks entirely
+// outside the query range without touching the payload.
+
+// DefaultBlockSize is the seal threshold in points when
+// Options.BlockSize is zero. 1024 points of one-minute telemetry is
+// ~17 hours of one series — long enough to amortize per-block headers,
+// short enough that header pruning has real granularity inside a
+// one-day shard.
+const DefaultBlockSize = 1024
+
+// maxBlockPoints bounds the decoded point count a block header may
+// claim, independent of the payload-length guard below.
+const maxBlockPoints = 1 << 24
+
+// blockHeaderBytes is the accounting cost of one block's header as
+// persisted by snapshot v2 (minT, maxT, count, rawBytes, dataLen); the
+// in-memory struct is the same magnitude. Charged into
+// CompressionStats.BytesCompressed so the reported ratio is honest.
+const blockHeaderBytes = 8 + 8 + 4 + 8 + 4
+
+// Value stream encodings.
+const (
+	vencFloat byte = 1 // all values KindFloat: XOR bitstream
+	vencInt   byte = 2 // all values KindInt: zig-zag delta varints
+	vencMixed byte = 3 // per-value kind byte + canonical payload
+)
+
+var errBlockCorrupt = errors.New("tsdb: corrupt block")
+
+// block is one sealed, immutable run of a column: count points in
+// [minT, maxT], compressed into data. Blocks are shared freely across
+// COW views and never mutated after sealBlock returns; the only
+// mutable cell is the decode cache, which is set at most to one value
+// (identical across racing decoders) through an atomic pointer.
+type block struct {
+	minT, maxT int64
+	count      int
+	rawBytes   int64 // canonical encoded size of the sealed samples
+	data       []byte
+
+	// cache memoizes the decoded payload: blocks are immutable, so the
+	// first scan that touches a block pays the decode and later scans
+	// read the cached slices. Resident raw bytes are therefore bounded
+	// by what queries actually touch (worst case: the pre-compression
+	// engine); cold blocks stay compressed. Dropped with the block by
+	// retention/drop sweeps.
+	cache atomic.Pointer[blockPayload]
+}
+
+// blockPayload is a decoded block: parallel time/value slices, never
+// written after construction.
+type blockPayload struct {
+	times []int64
+	vals  []Value
+}
+
+// overlaps reports whether the block intersects [start, end).
+func (b *block) overlaps(start, end int64) bool {
+	return b.maxT >= start && b.minT < end
+}
+
+// sealBlock compresses one sorted run of samples into an immutable
+// block. times must be non-empty and sorted ascending; the slices are
+// only read.
+func sealBlock(times []int64, vals []Value) *block {
+	n := len(times)
+	b := &block{minT: times[0], maxT: times[n-1], count: n}
+	for i := range vals {
+		b.rawBytes += 8 + int64(vals[i].EncodedSize())
+	}
+
+	venc := vencMixed
+	switch vals[0].Kind {
+	case KindFloat:
+		venc = vencFloat
+	case KindInt:
+		venc = vencInt
+	}
+	if venc != vencMixed {
+		want := vals[0].Kind
+		for i := 1; i < n; i++ {
+			if vals[i].Kind != want {
+				venc = vencMixed
+				break
+			}
+		}
+	}
+
+	buf := make([]byte, 0, n/4+16)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = append(buf, venc)
+
+	// Timestamps: t0, first delta, then delta-of-deltas.
+	buf = binary.AppendVarint(buf, times[0])
+	if n > 1 {
+		prevDelta := times[1] - times[0]
+		buf = binary.AppendVarint(buf, prevDelta)
+		for i := 2; i < n; i++ {
+			d := times[i] - times[i-1]
+			buf = binary.AppendVarint(buf, d-prevDelta)
+			prevDelta = d
+		}
+	}
+
+	switch venc {
+	case vencFloat:
+		w := bitWriter{buf: buf}
+		prev := math.Float64bits(vals[0].F)
+		w.writeBits(prev, 64)
+		// lead > 64 marks "no window yet": the first changed value
+		// always opens one.
+		lead, trail := uint(65), uint(65)
+		for i := 1; i < n; i++ {
+			cur := math.Float64bits(vals[i].F)
+			x := cur ^ prev
+			prev = cur
+			if x == 0 {
+				w.writeBits(0, 1)
+				continue
+			}
+			w.writeBits(1, 1)
+			l := uint(bits.LeadingZeros64(x))
+			if l > 31 {
+				l = 31 // 5-bit field
+			}
+			t := uint(bits.TrailingZeros64(x))
+			if l >= lead && t >= trail {
+				w.writeBits(0, 1)
+				w.writeBits(x>>trail, 64-lead-trail)
+				continue
+			}
+			lead, trail = l, t
+			sig := 64 - lead - trail
+			w.writeBits(1, 1)
+			w.writeBits(uint64(lead), 5)
+			w.writeBits(uint64(sig-1), 6)
+			w.writeBits(x>>trail, sig)
+		}
+		buf = w.buf
+	case vencInt:
+		prev := vals[0].I
+		buf = binary.AppendVarint(buf, prev)
+		for i := 1; i < n; i++ {
+			buf = binary.AppendVarint(buf, vals[i].I-prev)
+			prev = vals[i].I
+		}
+	default:
+		for i := range vals {
+			buf = appendValue(buf, vals[i])
+		}
+	}
+	b.data = buf
+	return b
+}
+
+// decode returns the block's samples, memoizing the result. Racing
+// callers may both decode; the stores are idempotent (identical
+// content), so last-write-wins is harmless.
+func (b *block) decode() (*blockPayload, error) {
+	if p := b.cache.Load(); p != nil {
+		return p, nil
+	}
+	times, vals, err := decodeBlockData(b.data)
+	if err != nil {
+		return nil, err
+	}
+	p := &blockPayload{times: times, vals: vals}
+	b.cache.Store(p)
+	return p, nil
+}
+
+// validate fully decodes the block without caching and checks the
+// payload against the header: exact count, sorted timestamps, and
+// min/max agreeing with the pruning header. Restore runs this on every
+// block read from a snapshot so a corrupt or adversarial file fails
+// loudly instead of poisoning scans later. The decoded payload is
+// returned for callers that need a peek (field-kind recovery) without
+// pinning it in the cache.
+func (b *block) validate() (*blockPayload, error) {
+	times, vals, err := decodeBlockData(b.data)
+	if err != nil {
+		return nil, err
+	}
+	if len(times) != b.count {
+		return nil, fmt.Errorf("%w: header count %d, payload %d", errBlockCorrupt, b.count, len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return nil, fmt.Errorf("%w: timestamps out of order", errBlockCorrupt)
+		}
+	}
+	if times[0] != b.minT || times[len(times)-1] != b.maxT {
+		return nil, fmt.Errorf("%w: time range header mismatch", errBlockCorrupt)
+	}
+	return &blockPayload{times: times, vals: vals}, nil
+}
+
+// decodeBlockData decodes a block payload. It is the pure inverse of
+// sealBlock and must be safe on arbitrary bytes (FuzzBlockDecode):
+// every read is bounds-checked and allocations are bounded by the
+// input length — each encoded point costs at least one payload byte,
+// so a count the payload cannot back is rejected before any
+// allocation.
+func decodeBlockData(data []byte) ([]int64, []Value, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("%w: bad count", errBlockCorrupt)
+	}
+	if n == 0 || n > maxBlockPoints || n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%w: count %d out of range for %d payload bytes", errBlockCorrupt, n, len(data))
+	}
+	off := sz
+	if off >= len(data) {
+		return nil, nil, fmt.Errorf("%w: missing value encoding", errBlockCorrupt)
+	}
+	venc := data[off]
+	off++
+
+	count := int(n)
+	times := make([]int64, count)
+	t0, sz := binary.Varint(data[off:])
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("%w: bad t0", errBlockCorrupt)
+	}
+	off += sz
+	times[0] = t0
+	if count > 1 {
+		delta, sz := binary.Varint(data[off:])
+		if sz <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad first delta", errBlockCorrupt)
+		}
+		off += sz
+		times[1] = times[0] + delta
+		for i := 2; i < count; i++ {
+			dod, sz := binary.Varint(data[off:])
+			if sz <= 0 {
+				return nil, nil, fmt.Errorf("%w: bad delta-of-delta", errBlockCorrupt)
+			}
+			off += sz
+			delta += dod
+			times[i] = times[i-1] + delta
+		}
+	}
+
+	vals := make([]Value, count)
+	switch venc {
+	case vencFloat:
+		r := bitReader{buf: data[off:]}
+		first, err := r.readBits(64)
+		if err != nil {
+			return nil, nil, err
+		}
+		prev := first
+		vals[0] = Float(math.Float64frombits(prev))
+		lead, trail := uint(65), uint(65)
+		for i := 1; i < count; i++ {
+			ctrl, err := r.readBits(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ctrl == 0 {
+				vals[i] = Float(math.Float64frombits(prev))
+				continue
+			}
+			ctrl, err = r.readBits(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ctrl == 1 {
+				hdr, err := r.readBits(11)
+				if err != nil {
+					return nil, nil, err
+				}
+				lead = uint(hdr >> 6)
+				sig := uint(hdr&0x3f) + 1
+				if lead+sig > 64 {
+					return nil, nil, fmt.Errorf("%w: float window %d+%d bits", errBlockCorrupt, lead, sig)
+				}
+				trail = 64 - lead - sig
+			} else if lead > 64 {
+				return nil, nil, fmt.Errorf("%w: window reuse before first window", errBlockCorrupt)
+			}
+			sig := 64 - lead - trail
+			mbits, err := r.readBits(sig)
+			if err != nil {
+				return nil, nil, err
+			}
+			prev ^= mbits << trail
+			vals[i] = Float(math.Float64frombits(prev))
+		}
+		if rem := r.remainingBytes(); rem > 0 {
+			return nil, nil, fmt.Errorf("%w: %d trailing bytes after float stream", errBlockCorrupt, rem)
+		}
+		return times, vals, nil
+	case vencInt:
+		v0, sz := binary.Varint(data[off:])
+		if sz <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad first int", errBlockCorrupt)
+		}
+		off += sz
+		vals[0] = Int(v0)
+		prev := v0
+		for i := 1; i < count; i++ {
+			d, sz := binary.Varint(data[off:])
+			if sz <= 0 {
+				return nil, nil, fmt.Errorf("%w: bad int delta", errBlockCorrupt)
+			}
+			off += sz
+			prev += d
+			vals[i] = Int(prev)
+		}
+	case vencMixed:
+		d := &walDecoder{b: data, off: off}
+		for i := 0; i < count; i++ {
+			v, err := d.value()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: %v", errBlockCorrupt, err)
+			}
+			vals[i] = v
+		}
+		off = d.off
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown value encoding %d", errBlockCorrupt, venc)
+	}
+	if off != len(data) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", errBlockCorrupt, len(data)-off)
+	}
+	return times, vals, nil
+}
+
+// appendValue appends a value in the canonical kind-byte + payload
+// encoding (the walDecoder.value inverse).
+func appendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case KindInt:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+	case KindString:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.S)))
+		buf = append(buf, v.S...)
+	case KindBool:
+		if v.B {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// bitWriter appends an MSB-first bitstream onto a byte slice.
+type bitWriter struct {
+	buf  []byte
+	free uint // unused low bits in the last byte (0 = byte-aligned)
+}
+
+// writeBits appends the n lowest bits of v, most-significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := n
+		if take > w.free {
+			take = w.free
+		}
+		chunk := (v >> (n - take)) & (1<<take - 1)
+		w.buf[len(w.buf)-1] |= byte(chunk << (w.free - take))
+		w.free -= take
+		n -= take
+	}
+}
+
+// bitReader consumes an MSB-first bitstream with bounds checks.
+type bitReader struct {
+	buf []byte
+	pos uint // absolute bit position consumed so far
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	if uint(len(r.buf))*8-r.pos < n {
+		return 0, fmt.Errorf("%w: bitstream exhausted", errBlockCorrupt)
+	}
+	var v uint64
+	for n > 0 {
+		avail := 8 - r.pos&7
+		take := n
+		if take > avail {
+			take = avail
+		}
+		chunk := (uint64(r.buf[r.pos>>3]) >> (avail - take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.pos += take
+		n -= take
+	}
+	return v, nil
+}
+
+// remainingBytes reports how many whole unread bytes follow the
+// current (possibly partial) byte — the final byte's padding bits are
+// legitimate, full trailing bytes are corruption.
+func (r *bitReader) remainingBytes() int {
+	consumed := int((r.pos + 7) / 8)
+	return len(r.buf) - consumed
+}
+
+// columnIterator walks one column's samples inside [start, end) in
+// time order: sealed blocks first, then the raw tail. Block headers
+// prune the walk — a block entirely outside the range is skipped
+// without touching its payload, so an out-of-range scan costs one
+// header comparison per skipped block and decodes nothing.
+type columnIterator struct {
+	col        *column
+	start, end int64
+	blockIdx   int
+	tailDone   bool
+}
+
+func newColumnIterator(col *column, start, end int64) columnIterator {
+	return columnIterator{col: col, start: start, end: end}
+}
+
+// next yields the following non-empty chunk, charging pruning and
+// decode work to stats.
+func (it *columnIterator) next(stats *QueryStats) (colChunk, bool) {
+	blocks := it.col.blocks
+	for it.blockIdx < len(blocks) {
+		blk := blocks[it.blockIdx]
+		if blk.minT >= it.end {
+			// Blocks are time-ordered: everything from here on starts
+			// past the range.
+			stats.BlocksSkipped += int64(len(blocks) - it.blockIdx)
+			it.blockIdx = len(blocks)
+			break
+		}
+		it.blockIdx++
+		if blk.maxT < it.start {
+			stats.BlocksSkipped++
+			continue
+		}
+		p, err := blk.decode()
+		if err != nil {
+			// Blocks are validated when sealed and when restored; an
+			// undecodable block here is post-hoc corruption. Drop it
+			// from the scan rather than failing the whole query.
+			stats.BlocksSkipped++
+			continue
+		}
+		stats.BlocksDecoded++
+		lo, hi := 0, len(p.times)
+		if blk.minT < it.start {
+			lo = sort.Search(len(p.times), func(i int) bool { return p.times[i] >= it.start })
+		}
+		if blk.maxT >= it.end {
+			hi = sort.Search(len(p.times), func(i int) bool { return p.times[i] >= it.end })
+		}
+		if lo < hi {
+			return colChunk{times: p.times, vals: p.vals, lo: lo, hi: hi}, true
+		}
+	}
+	if !it.tailDone {
+		it.tailDone = true
+		lo, hi := it.col.rangeIndexes(it.start, it.end)
+		if lo < hi {
+			return colChunk{times: it.col.times, vals: it.col.vals, lo: lo, hi: hi}, true
+		}
+	}
+	return colChunk{}, false
+}

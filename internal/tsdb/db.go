@@ -26,6 +26,14 @@ type Options struct {
 	// bound (GOMAXPROCS, capped); 1 forces serial execution.
 	ExecWorkers int
 
+	// BlockSize is the seal threshold in points: when a column's raw
+	// tail reaches this length, the write batch compresses full runs
+	// into immutable Gorilla-encoded blocks (see block.go). Zero
+	// selects DefaultBlockSize; negative disables sealing entirely
+	// (every sample stays raw — the A/B baseline for the compression
+	// benchmarks).
+	BlockSize int
+
 	// GlobalLock restores the pre-snapshot concurrency model for A/B
 	// comparison: queries hold a read lock for their full duration and
 	// each write batch takes the exclusive lock, so a collector flush
@@ -53,6 +61,7 @@ type Options struct {
 type DB struct {
 	shardDuration int64
 	execWorkers   int
+	blockSize     int // resolved seal threshold; 0 = sealing disabled
 	globalLock    bool
 	clock         clock.Clock
 
@@ -85,6 +94,9 @@ type DBStats struct {
 	// the write path (the store-side contention signal mirrored into
 	// collector.Stats and /v1/stats).
 	WriteWaitNs int64
+	// BlocksSealed counts columns runs compressed into immutable
+	// blocks since open (restored snapshots carry the counter over).
+	BlocksSealed int64
 }
 
 // Open creates an empty DB.
@@ -93,6 +105,13 @@ func Open(opts Options) *DB {
 	if sd <= 0 {
 		sd = DefaultShardDuration
 	}
+	bs := opts.BlockSize
+	switch {
+	case bs == 0:
+		bs = DefaultBlockSize
+	case bs < 0:
+		bs = 0 // sealing disabled
+	}
 	clk := opts.Clock
 	if clk == nil {
 		clk = clock.NewReal()
@@ -100,6 +119,7 @@ func Open(opts Options) *DB {
 	db := &DB{
 		shardDuration: sd,
 		execWorkers:   opts.ExecWorkers,
+		blockSize:     bs,
 		globalLock:    opts.GlobalLock,
 		clock:         clk,
 	}
@@ -172,7 +192,7 @@ func (db *DB) WritePoints(points []Point) error {
 			return err
 		}
 	}
-	b := newBatch(db.view.Load(), db.shardDuration)
+	b := newBatch(db.view.Load(), db.shardDuration, db.blockSize)
 	for i := range points {
 		p := &points[i]
 		sorted := p.Tags.Sorted()
@@ -304,6 +324,62 @@ func (db *DB) Disk() DiskStats {
 		d.IndexBytes += int64(sh.keyBytes)
 	}
 	return d
+}
+
+// CompressionStats reports the sealed-block tier's effect on stored
+// data volume, computed against the current view. BytesRaw is the
+// canonical encoded size of every live sample (what the engine stored
+// before the block tier existed); BytesCompressed is what the sealed
+// representation actually occupies — block payloads plus headers plus
+// the raw hot tail.
+type CompressionStats struct {
+	BlocksSealed    int64 // cumulative seals since open (DBStats counter)
+	Blocks          int64 // sealed blocks currently live
+	BlocksCached    int64 // live blocks holding a decoded payload cache
+	SealedPoints    int64 // samples inside sealed blocks
+	TailPoints      int64 // samples in raw hot tails
+	BytesRaw        int64
+	BytesCompressed int64
+}
+
+// Ratio is the raw-to-compressed volume quotient (1 when nothing is
+// sealed yet).
+func (c CompressionStats) Ratio() float64 {
+	if c.BytesCompressed == 0 {
+		return 1
+	}
+	return float64(c.BytesRaw) / float64(c.BytesCompressed)
+}
+
+// Compression walks the current view and totals the block tier's
+// accounting — the numbers behind /v1/stats' storage_bytes_raw /
+// storage_bytes_compressed / compression_ratio fields.
+func (db *DB) Compression() CompressionStats {
+	v := db.acquireView()
+	defer db.releaseView()
+	cs := CompressionStats{BlocksSealed: v.stats.BlocksSealed}
+	for _, sh := range v.shards {
+		for _, sr := range sh.series {
+			for _, col := range sr.fields {
+				for _, blk := range col.blocks {
+					cs.Blocks++
+					cs.SealedPoints += int64(blk.count)
+					cs.BytesRaw += blk.rawBytes
+					cs.BytesCompressed += int64(len(blk.data)) + blockHeaderBytes
+					if blk.cache.Load() != nil {
+						cs.BlocksCached++
+					}
+				}
+				for i := range col.times {
+					sz := 8 + int64(col.vals[i].EncodedSize())
+					cs.TailPoints++
+					cs.BytesRaw += sz
+					cs.BytesCompressed += sz
+				}
+			}
+		}
+	}
+	return cs
 }
 
 // ShardStats lists per-shard statistics in time order.

@@ -18,6 +18,14 @@ type QueryStats struct {
 	BytesScanned  int64 // encoded bytes of the samples read
 	Rows          int   // rows emitted
 
+	// BlocksDecoded counts sealed blocks whose payload the query
+	// decompressed; BlocksSkipped counts sealed blocks pruned by their
+	// min/max-time headers without touching the payload. Together they
+	// make the block tier's pruning observable (an out-of-range scan
+	// is all skips, no decodes).
+	BlocksDecoded int64
+	BlocksSkipped int64
+
 	// SnapshotEpoch is the mutation epoch of the snapshot the query ran
 	// against (the consistency token of the snapshot-isolated read path).
 	SnapshotEpoch int64
@@ -42,6 +50,8 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.PointsScanned += o.PointsScanned
 	s.BytesScanned += o.BytesScanned
 	s.Rows += o.Rows
+	s.BlocksDecoded += o.BlocksDecoded
+	s.BlocksSkipped += o.BlocksSkipped
 	s.LockWaitNs += o.LockWaitNs
 	s.Groups += o.Groups
 	if o.SnapshotEpoch > s.SnapshotEpoch {
@@ -474,29 +484,35 @@ type sample struct {
 	v Value
 }
 
-// colChunk is one contiguous, time-sorted run of column samples that
-// falls inside the query range. Scans operate on chunk lists so the
-// common case — every chunk already in global time order — can
+// colChunk is one contiguous, time-sorted run of samples that falls
+// inside the query range — a window onto either a decoded sealed
+// block's payload or a column's raw tail. Scans operate on chunk lists
+// so the common case — every chunk already in global time order — can
 // aggregate straight off the storage slices without materializing
 // per-sample structs.
 type colChunk struct {
-	col    *column
+	times  []int64
+	vals   []Value
 	lo, hi int
 }
 
 // collectChunks gathers the column ranges of one field across the
 // group's series and overlapping shards. It reports whether visiting
 // the chunks in order yields globally time-sorted samples, and the
-// total sample count. It does not touch query stats — the caller
-// accounts for each sample exactly once when it is consumed.
-func collectChunks(keys []string, field string, shards []*shard, start, end int64) ([]colChunk, bool, int) {
-	return collectChunksInto(nil, keys, field, shards, start, end)
+// total sample count. It charges block decode/prune work to stats but
+// not per-sample counters — the caller accounts for each sample
+// exactly once when it is consumed.
+func collectChunks(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) ([]colChunk, bool, int) {
+	return collectChunksInto(nil, keys, field, shards, start, end, stats)
 }
 
 // collectChunksInto is collectChunks appending into a reusable buffer.
-// Published columns are invariantly time-sorted (see shard.go), so this
-// is a read-only walk safe for any number of concurrent readers.
-func collectChunksInto(chunks []colChunk, keys []string, field string, shards []*shard, start, end int64) (_ []colChunk, sorted bool, n int) {
+// Published columns are invariantly time-sorted (see shard.go), and
+// sealed blocks are immutable with idempotent decode caching, so this
+// is a walk safe for any number of concurrent readers. Each column is
+// visited through a columnIterator: sealed blocks (header-pruned, then
+// decoded) followed by the raw tail.
+func collectChunksInto(chunks []colChunk, keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) (_ []colChunk, sorted bool, n int) {
 	sorted = true
 	var last int64
 	have := false
@@ -510,17 +526,20 @@ func collectChunksInto(chunks []colChunk, keys []string, field string, shards []
 			if !ok {
 				continue
 			}
-			lo, hi := col.rangeIndexes(start, end)
-			if lo >= hi {
-				continue
+			it := newColumnIterator(col, start, end)
+			for {
+				ch, ok := it.next(stats)
+				if !ok {
+					break
+				}
+				if have && ch.times[ch.lo] < last {
+					sorted = false
+				}
+				last = ch.times[ch.hi-1]
+				have = true
+				chunks = append(chunks, ch)
+				n += ch.hi - ch.lo
 			}
-			if have && col.times[lo] < last {
-				sorted = false
-			}
-			last = col.times[hi-1]
-			have = true
-			chunks = append(chunks, colChunk{col, lo, hi})
-			n += hi - lo
 		}
 	}
 	return chunks, sorted, n
@@ -532,9 +551,9 @@ func materialize(chunks []colChunk, sorted bool, n int, stats *QueryStats) []sam
 	out := make([]sample, 0, n)
 	for _, ch := range chunks {
 		for i := ch.lo; i < ch.hi; i++ {
-			out = append(out, sample{ch.col.times[i], ch.col.vals[i]})
+			out = append(out, sample{ch.times[i], ch.vals[i]})
 			stats.PointsScanned++
-			stats.BytesScanned += 8 + int64(ch.col.vals[i].EncodedSize())
+			stats.BytesScanned += 8 + int64(ch.vals[i].EncodedSize())
 		}
 	}
 	if !sorted {
@@ -546,7 +565,7 @@ func materialize(chunks []colChunk, sorted bool, n int, stats *QueryStats) []sam
 // scanField collects, in time order, every sample of one field across
 // the group's series and the overlapping shards.
 func scanField(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) []sample {
-	chunks, sorted, n := collectChunks(keys, field, shards, start, end)
+	chunks, sorted, n := collectChunks(keys, field, shards, start, end, stats)
 	return materialize(chunks, sorted, n, stats)
 }
 
@@ -627,18 +646,18 @@ func execAgg(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *
 	allSorted := true
 	minT, maxT := int64(math.MaxInt64), int64(math.MinInt64)
 	for i, f := range q.Fields {
-		chunks, sorted, _ := collectChunksInto(chunksPerField[i], keys, f.Field, shards, q.Start, q.End)
+		chunks, sorted, _ := collectChunksInto(chunksPerField[i], keys, f.Field, shards, q.Start, q.End, stats)
 		chunksPerField[i] = chunks
 		scratch.chunksPerField[i] = chunks // keep the grown backing for reuse
 		if !sorted {
 			allSorted = false
 		}
 		if len(chunks) > 0 && sorted {
-			if t := chunks[0].col.times[chunks[0].lo]; t < minT {
+			if t := chunks[0].times[chunks[0].lo]; t < minT {
 				minT = t
 			}
 			last := chunks[len(chunks)-1]
-			if t := last.col.times[last.hi-1]; t > maxT {
+			if t := last.times[last.hi-1]; t > maxT {
 				maxT = t
 			}
 		}
@@ -671,9 +690,9 @@ func aggWholeRange(q *Query, chunksPerField [][]colChunk, rs *ResultSeries, stat
 		agg, _ := newAggregator(f.Func)
 		for _, ch := range chunksPerField[i] {
 			for j := ch.lo; j < ch.hi; j++ {
-				agg.add(ch.col.vals[j])
+				agg.add(ch.vals[j])
 				stats.PointsScanned++
-				stats.BytesScanned += 8 + int64(ch.col.vals[j].EncodedSize())
+				stats.BytesScanned += 8 + int64(ch.vals[j].EncodedSize())
 			}
 		}
 		if v, ok := agg.result(); ok {
@@ -791,7 +810,7 @@ func aggBucketedFast(q *Query, chunksPerField [][]colChunk, base int64, nb int, 
 		}
 		var bytes int64
 		for _, ch := range chunksPerField[i] {
-			times, vals := ch.col.times, ch.col.vals
+			times, vals := ch.times, ch.vals
 			stats.PointsScanned += int64(ch.hi - ch.lo)
 			switch df.mode {
 			case kCount:

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"hash/crc32"
+	"math"
 	"os"
 	"testing"
 	"time"
@@ -78,6 +79,60 @@ func FuzzParseQuery(f *testing.F) {
 		}
 		if qerr != nil && res != nil {
 			t.Fatalf("Query(%q) returned both a result and an error: %v", stmt, qerr)
+		}
+	})
+}
+
+// FuzzBlockDecode feeds arbitrary bytes to the sealed-block decoder.
+// Invariants: no input panics; allocation stays proportional to the
+// input (a lying count header must be rejected, not trusted); and any
+// payload that decodes successfully re-seals into an encoding that
+// decodes back to the same column (round-trip stability).
+func FuzzBlockDecode(f *testing.F) {
+	seed := func(times []int64, vals []Value) {
+		f.Add(sealBlock(times, vals).data)
+	}
+	seed([]int64{60}, []Value{Float(314)})
+	seed([]int64{0, 60, 120, 180}, []Value{Float(200), Float(201), Float(200.5), Float(200.5)})
+	seed([]int64{-120, -120, 0, 1 << 40}, []Value{Int(-5), Int(9000), Int(0), Int(1)})
+	seed([]int64{10, 20, 30}, []Value{Str("OK"), Bool(true), Float(7)})
+	trunc := sealBlock([]int64{0, 60, 120}, []Value{Float(1), Float(2), Float(3)}).data
+	f.Add(trunc[:len(trunc)/2])              // torn payload
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1}) // absurd count
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		times, vals, err := decodeBlockData(data)
+		if err != nil {
+			return
+		}
+		if len(times) != len(vals) {
+			t.Fatalf("decode returned %d times but %d values", len(times), len(vals))
+		}
+		// Decoded lengths are bounded by the input: every point costs at
+		// least one payload byte, so a tiny input can never produce a
+		// huge column.
+		if len(times) > len(data) {
+			t.Fatalf("%d bytes decoded into %d points", len(data), len(times))
+		}
+		if len(times) == 0 {
+			return
+		}
+		// Re-seal and decode again: the encoder must be able to carry
+		// anything the decoder accepts.
+		t2, v2, err := decodeBlockData(sealBlock(times, vals).data)
+		if err != nil {
+			t.Fatalf("re-encoded block failed to decode: %v", err)
+		}
+		for i := range times {
+			if t2[i] != times[i] {
+				t.Fatalf("time %d changed across re-encode: %d -> %d", i, times[i], t2[i])
+			}
+			if w, g := vals[i], v2[i]; w.Kind != g.Kind ||
+				(w.Kind == KindFloat && math.Float64bits(w.F) != math.Float64bits(g.F)) ||
+				(w.Kind != KindFloat && w != g) {
+				t.Fatalf("value %d changed across re-encode: %+v -> %+v", i, w, g)
+			}
 		}
 	})
 }

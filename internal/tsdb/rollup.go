@@ -186,8 +186,8 @@ func (db *DB) earliestTime(measurement string) (int64, bool) {
 				continue
 			}
 			for _, col := range sr.fields {
-				if len(col.times) > 0 && col.times[0] < best {
-					best = col.times[0]
+				if t, ok := col.firstTime(); ok && t < best {
+					best = t
 					found = true
 				}
 			}

@@ -4,15 +4,108 @@ import (
 	"sort"
 )
 
-// column stores one field of one series as parallel time/value slices.
-// Published columns (reachable from the DB's current view) are always
-// sorted by time: a write batch that appends out of order rebuilds the
-// column into fresh sorted arrays before the view is published (see
-// batch.finish in view.go), so readers never sort and never observe a
-// mid-sort column.
+// column stores one field of one series as sealed compressed blocks
+// plus a raw hot tail of parallel time/value slices. Writes append to
+// the tail; when it reaches the seal threshold the write batch
+// compresses full runs into immutable blocks (see batch.finish in
+// view.go and sealBlock in block.go). Published columns (reachable
+// from the DB's current view) are always globally sorted by time —
+// blocks in order, every tail time at or after the last block's maxT —
+// so readers never sort and never observe a mid-sort column.
 type column struct {
-	times []int64
-	vals  []Value
+	blocks []*block // sealed, immutable, time-ordered
+	times  []int64  // raw tail
+	vals   []Value
+}
+
+// numPoints is the column's total sample count across sealed blocks
+// and the raw tail.
+func (c *column) numPoints() int {
+	n := len(c.times)
+	for _, b := range c.blocks {
+		n += b.count
+	}
+	return n
+}
+
+// lastTime reports the column's newest timestamp (tail if non-empty,
+// else the last sealed block), with ok=false for an empty column.
+func (c *column) lastTime() (int64, bool) {
+	if n := len(c.times); n > 0 {
+		return c.times[n-1], true
+	}
+	if n := len(c.blocks); n > 0 {
+		return c.blocks[n-1].maxT, true
+	}
+	return 0, false
+}
+
+// firstTime reports the column's oldest timestamp.
+func (c *column) firstTime() (int64, bool) {
+	if len(c.blocks) > 0 {
+		return c.blocks[0].minT, true
+	}
+	if len(c.times) > 0 {
+		return c.times[0], true
+	}
+	return 0, false
+}
+
+// seal compresses full bs-point runs of the tail into immutable
+// blocks, leaving the remainder (< bs points) raw, and reports how
+// many blocks it sealed. The caller must own the column (batch clone)
+// and the tail must be sorted. The surviving tail is rebuilt into
+// fresh arrays so the sealed run's raw backing can be collected once
+// older views retire; appending to c.blocks may extend capacity shared
+// with a published view, which is safe under the linear-history
+// invariant (older views never index past their own length).
+func (c *column) seal(bs int) int {
+	if bs <= 0 || len(c.times) < bs {
+		return 0
+	}
+	n := 0
+	for len(c.times)-n*bs >= bs {
+		lo := n * bs
+		c.blocks = append(c.blocks, sealBlock(c.times[lo:lo+bs], c.vals[lo:lo+bs]))
+		n++
+	}
+	rest := len(c.times) - n*bs
+	nt := make([]int64, rest, bs)
+	nv := make([]Value, rest, bs)
+	copy(nt, c.times[n*bs:])
+	copy(nv, c.vals[n*bs:])
+	c.times, c.vals = nt, nv
+	return n
+}
+
+// unseal decodes every sealed block back into the raw tail — the slow
+// path for out-of-order writes that land before already-sealed data.
+// The caller re-sorts afterwards and the next seal re-compresses, so
+// correctness never depends on write order, only the rare shuffle pays
+// for it.
+func (c *column) unseal() {
+	if len(c.blocks) == 0 {
+		return
+	}
+	total := len(c.times)
+	for _, b := range c.blocks {
+		total += b.count
+	}
+	nt := make([]int64, 0, total)
+	nv := make([]Value, 0, total)
+	for _, b := range c.blocks {
+		p, err := b.decode()
+		if err != nil {
+			// Validated at seal/restore time; undecodable means
+			// post-hoc corruption — nothing recoverable to keep.
+			continue
+		}
+		nt = append(nt, p.times...)
+		nv = append(nv, p.vals...)
+	}
+	nt = append(nt, c.times...)
+	nv = append(nv, c.vals...)
+	c.times, c.vals, c.blocks = nt, nv, nil
 }
 
 // sortByTime rebuilds the column sorted by time into fresh arrays
@@ -35,11 +128,12 @@ func (c *column) sortByTime() {
 	c.times, c.vals = nt, nv
 }
 
-// rangeIndexes returns the half-open index range [lo, hi) of samples
-// with start <= time < end.
+// rangeIndexes returns the half-open index range [lo, hi) of tail
+// samples with start <= time < end. The upper bound searches only the
+// suffix at lo — times is sorted, so nothing before lo can reach end.
 func (c *column) rangeIndexes(start, end int64) (int, int) {
 	lo := sort.Search(len(c.times), func(i int) bool { return c.times[i] >= start })
-	hi := sort.Search(len(c.times), func(i int) bool { return c.times[i] >= end })
+	hi := lo + sort.Search(len(c.times)-lo, func(i int) bool { return c.times[lo+i] >= end })
 	return lo, hi
 }
 
@@ -66,8 +160,8 @@ func (s *series) clone() *series {
 func (s *series) points() int {
 	max := 0
 	for _, c := range s.fields {
-		if len(c.times) > max {
-			max = len(c.times)
+		if n := c.numPoints(); n > max {
+			max = n
 		}
 	}
 	return max

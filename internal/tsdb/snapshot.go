@@ -5,21 +5,47 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
-// Snapshot format: a simple length-prefixed binary stream.
+// Snapshot format: a length-prefixed binary stream.
 //
-//	magic "MTSD" | version u16 | shardDuration i64 | nShards u32
-//	per shard: start i64 | nSeries u32
-//	  per series: key | measurement | nTags u32 | (k,v)* | nFields u32
-//	    per field: name | nSamples u32 | (time i64, value)*
-//	value: kind u8 + payload
+// Version 2 (current writer) persists the sealed-block tier verbatim —
+// compressed payloads are copied byte-for-byte, never re-encoded — plus
+// each column's raw tail and the engine counters, so a restore
+// reconstructs the exact view (same blocks, same accounting) without
+// replaying writes:
 //
-// Strings are u32 length + bytes. Integers are little-endian.
+//	magic "MTSD" | version u16 = 2 | shardDuration i64
+//	epoch i64 | pointsWritten i64 | batchesWritten i64
+//	seriesCreated i64 | measurements i64 | writeWaitNs i64
+//	blocksSealed i64
+//	nShards u32
+//	per shard: start i64 | points i64 | bytes i64 | nSeries u32
+//	  per series: key | measurement | seriesBytes i64
+//	              nTags u32 | (k,v)* | nFields u32
+//	    per field: name | nBlocks u32
+//	      per block: minT i64 | maxT i64 | count u32 | rawBytes i64
+//	                 dataLen u32 | data
+//	    tail: nSamples u32 | (time i64, value)*
+//
+// Version 1 stored every sample raw (per field: nSamples + samples,
+// no per-shard accounting, no engine counters); readers still accept
+// it — see restoreV1 — and rebuild through the ordinary write path.
+//
+// Strings are u32 length + bytes. Integers are little-endian. Values
+// are a kind byte + payload.
 
 const snapshotMagic = "MTSD"
-const snapshotVersion = 1
+
+// Snapshot format versions. snapshotVersion is what Snapshot writes;
+// RestoreOptions accepts every version listed here.
+const (
+	snapshotV1      = 1
+	snapshotV2      = 2
+	snapshotVersion = snapshotV2
+)
 
 // Snapshot serializes the whole database to w. It pins the current
 // immutable view, so both concurrent queries and concurrent writes
@@ -34,57 +60,76 @@ func (db *DB) Snapshot(w io.Writer) error {
 // uses, shared with Checkpoint, which must serialize the exact view it
 // cut the WAL boundary against.
 func snapshotView(v *dbView, shardDuration int64, w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
-		return err
-	}
-	writeU16(bw, snapshotVersion)
-	writeI64(bw, shardDuration)
-	writeU32(bw, uint32(len(v.shardStarts)))
+	ew := &errWriter{w: bufio.NewWriter(w)}
+	ew.raw(snapshotMagic)
+	ew.u16(snapshotVersion)
+	ew.i64(shardDuration)
+	ew.i64(v.epoch)
+	ew.i64(v.stats.PointsWritten)
+	ew.i64(v.stats.BatchesWritten)
+	ew.i64(v.stats.SeriesCreated)
+	ew.i64(int64(v.stats.Measurements))
+	ew.i64(v.stats.WriteWaitNs)
+	ew.i64(v.stats.BlocksSealed)
+	ew.u32(uint32(len(v.shardStarts)))
 	for _, start := range v.shardStarts {
 		sh := v.shards[start]
-		writeI64(bw, sh.start)
+		ew.i64(sh.start)
+		ew.i64(sh.points)
+		ew.i64(sh.bytes)
 		keys := make([]string, 0, len(sh.series))
 		for k := range sh.series {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		writeU32(bw, uint32(len(keys)))
+		ew.u32(uint32(len(keys)))
 		for _, k := range keys {
 			sr := sh.series[k]
-			writeStr(bw, k)
-			writeStr(bw, sr.measurement)
-			writeU32(bw, uint32(len(sr.tags)))
+			ew.str(k)
+			ew.str(sr.measurement)
+			ew.i64(int64(sr.bytes))
+			ew.u32(uint32(len(sr.tags)))
 			for _, t := range sr.tags {
-				writeStr(bw, t.Key)
-				writeStr(bw, t.Value)
+				ew.str(t.Key)
+				ew.str(t.Value)
 			}
 			fields := make([]string, 0, len(sr.fields))
 			for f := range sr.fields {
 				fields = append(fields, f)
 			}
 			sort.Strings(fields)
-			writeU32(bw, uint32(len(fields)))
+			ew.u32(uint32(len(fields)))
 			for _, f := range fields {
 				col := sr.fields[f]
-				writeStr(bw, f)
-				writeU32(bw, uint32(len(col.times)))
+				ew.str(f)
+				ew.u32(uint32(len(col.blocks)))
+				for _, blk := range col.blocks {
+					ew.i64(blk.minT)
+					ew.i64(blk.maxT)
+					ew.u32(uint32(blk.count))
+					ew.i64(blk.rawBytes)
+					ew.u32(uint32(len(blk.data)))
+					ew.bytes(blk.data)
+				}
+				ew.u32(uint32(len(col.times)))
 				for i := range col.times {
-					writeI64(bw, col.times[i])
-					writeValue(bw, col.vals[i])
+					ew.i64(col.times[i])
+					ew.value(col.vals[i])
 				}
 			}
 		}
 	}
-	return bw.Flush()
+	return ew.flush()
 }
 
 // Restore loads a snapshot written by Snapshot into a fresh DB.
 func Restore(r io.Reader) (*DB, error) { return RestoreOptions(r, Options{}) }
 
 // RestoreOptions loads a snapshot into a fresh DB configured by opts
-// (worker pool, clock, lock mode). The shard duration always comes
-// from the snapshot — the stored data was laid out under it.
+// (worker pool, clock, lock mode, block size). The shard duration
+// always comes from the snapshot — the stored data was laid out under
+// it. Both current (v2, sealed blocks verbatim) and legacy (v1, raw
+// samples) files restore.
 func RestoreOptions(r io.Reader, opts Options) (*DB, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -98,25 +143,37 @@ func RestoreOptions(r io.Reader, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != snapshotVersion {
-		return nil, fmt.Errorf("tsdb: restore: unsupported version %d", ver)
-	}
 	sd, err := readI64(br)
 	if err != nil {
 		return nil, err
 	}
+	if sd <= 0 {
+		return nil, fmt.Errorf("tsdb: restore: bad shard duration %d", sd)
+	}
 	opts.ShardDuration = sd
+	switch ver {
+	case snapshotV1:
+		return restoreV1(br, opts)
+	case snapshotV2:
+		return restoreV2(br, opts, sd)
+	default:
+		return nil, fmt.Errorf("tsdb: restore: unsupported version %d", ver)
+	}
+}
+
+// restoreV1 replays a legacy raw-sample snapshot through the ordinary
+// write path (which also re-seals the data under the target's block
+// size — a v1 file restored today comes out compressed).
+func restoreV1(br *bufio.Reader, opts Options) (*DB, error) {
 	db := Open(opts)
 	nShards, err := readU32(br)
 	if err != nil {
 		return nil, err
 	}
 	for s := uint32(0); s < nShards; s++ {
-		start, err := readI64(br)
-		if err != nil {
+		if _, err := readI64(br); err != nil { // shard start, re-derived
 			return nil, err
 		}
-		_ = start
 		nSeries, err := readU32(br)
 		if err != nil {
 			return nil, err
@@ -127,6 +184,239 @@ func RestoreOptions(r io.Reader, opts Options) (*DB, error) {
 			}
 		}
 	}
+	return db, nil
+}
+
+// maxRestoreCount bounds every count field a snapshot may claim, so a
+// corrupt or adversarial header cannot drive a huge allocation before
+// the payload disproves it.
+const maxRestoreCount = 1 << 28
+
+// restoreV2 rebuilds the exact serialized view: sealed blocks are
+// adopted verbatim (after validation), tails and accounting are
+// restored directly, and the finished dbView is published in one shot.
+// Nothing is re-encoded and no write batches run.
+func restoreV2(br *bufio.Reader, opts Options, sd int64) (*DB, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("tsdb: restore: "+format, args...)
+	}
+	var hdr [7]int64
+	for i := range hdr {
+		v, err := readI64(br)
+		if err != nil {
+			return nil, err
+		}
+		hdr[i] = v
+	}
+	stats := DBStats{
+		PointsWritten:  hdr[1],
+		BatchesWritten: hdr[2],
+		SeriesCreated:  hdr[3],
+		Measurements:   int(hdr[4]),
+		WriteWaitNs:    hdr[5],
+		BlocksSealed:   hdr[6],
+	}
+	nShards, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nShards > maxRestoreCount {
+		return nil, corrupt("shard count %d too large", nShards)
+	}
+	shards := make(map[int64]*shard)
+	var shardStarts []int64
+	index := make(map[string]*measurementIndex)
+	indexed := make(map[string]bool) // series keys already in postings
+	for s := uint32(0); s < nShards; s++ {
+		start, err := readI64(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := shards[start]; ok {
+			return nil, corrupt("duplicate shard %d", start)
+		}
+		sh := newShard(start, start+sd)
+		if sh.points, err = readI64(br); err != nil {
+			return nil, err
+		}
+		if sh.bytes, err = readI64(br); err != nil {
+			return nil, err
+		}
+		nSeries, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if nSeries > maxRestoreCount {
+			return nil, corrupt("series count %d too large", nSeries)
+		}
+		for i := uint32(0); i < nSeries; i++ {
+			if _, err := readStr(br); err != nil { // key, recomputed below
+				return nil, err
+			}
+			measurement, err := readStr(br)
+			if err != nil {
+				return nil, err
+			}
+			srBytes, err := readI64(br)
+			if err != nil {
+				return nil, err
+			}
+			nTags, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if nTags > maxRestoreCount {
+				return nil, corrupt("tag count %d too large", nTags)
+			}
+			var tags Tags
+			for t := uint32(0); t < nTags; t++ {
+				k, err := readStr(br)
+				if err != nil {
+					return nil, err
+				}
+				v, err := readStr(br)
+				if err != nil {
+					return nil, err
+				}
+				tags = append(tags, Tag{k, v})
+			}
+			tags = tags.Sorted()
+			key := seriesKey(measurement, tags)
+			sr := &series{measurement: measurement, tags: tags, fields: make(map[string]*column), bytes: int(srBytes)}
+			nFields, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if nFields > maxRestoreCount {
+				return nil, corrupt("field count %d too large", nFields)
+			}
+			mi := index[measurement]
+			if mi == nil {
+				mi = &measurementIndex{
+					byTag:  make(map[string]map[string][]string),
+					series: make(map[string]Tags),
+					fields: make(map[string]ValueKind),
+				}
+				index[measurement] = mi
+			}
+			for f := uint32(0); f < nFields; f++ {
+				name, err := readStr(br)
+				if err != nil {
+					return nil, err
+				}
+				col := &column{}
+				var kind ValueKind
+				haveKind := false
+				nBlocks, err := readU32(br)
+				if err != nil {
+					return nil, err
+				}
+				if nBlocks > maxRestoreCount {
+					return nil, corrupt("block count %d too large", nBlocks)
+				}
+				lastMax := int64(math.MinInt64)
+				for bi := uint32(0); bi < nBlocks; bi++ {
+					blk := &block{}
+					if blk.minT, err = readI64(br); err != nil {
+						return nil, err
+					}
+					if blk.maxT, err = readI64(br); err != nil {
+						return nil, err
+					}
+					count, err := readU32(br)
+					if err != nil {
+						return nil, err
+					}
+					if count == 0 || count > maxBlockPoints {
+						return nil, corrupt("block point count %d out of range", count)
+					}
+					blk.count = int(count)
+					if blk.rawBytes, err = readI64(br); err != nil {
+						return nil, err
+					}
+					dataLen, err := readU32(br)
+					if err != nil {
+						return nil, err
+					}
+					if dataLen > maxRestoreCount {
+						return nil, corrupt("block payload %d too large", dataLen)
+					}
+					blk.data = make([]byte, dataLen)
+					if _, err := io.ReadFull(br, blk.data); err != nil {
+						return nil, err
+					}
+					p, err := blk.validate()
+					if err != nil {
+						return nil, corrupt("field %q block %d: %v", name, bi, err)
+					}
+					if bi > 0 && blk.minT < lastMax {
+						return nil, corrupt("field %q blocks out of order", name)
+					}
+					lastMax = blk.maxT
+					if !haveKind {
+						kind, haveKind = p.vals[0].Kind, true
+					}
+					col.blocks = append(col.blocks, blk)
+				}
+				nSamples, err := readU32(br)
+				if err != nil {
+					return nil, err
+				}
+				if nSamples > maxRestoreCount {
+					return nil, corrupt("tail sample count %d too large", nSamples)
+				}
+				for j := uint32(0); j < nSamples; j++ {
+					ts, err := readI64(br)
+					if err != nil {
+						return nil, err
+					}
+					v, err := readValue(br)
+					if err != nil {
+						return nil, err
+					}
+					if n := len(col.times); (n > 0 && ts < col.times[n-1]) || (n == 0 && ts < lastMax) {
+						return nil, corrupt("field %q tail out of order", name)
+					}
+					col.times = append(col.times, ts)
+					col.vals = append(col.vals, v)
+					if !haveKind {
+						kind, haveKind = v.Kind, true
+					}
+				}
+				sr.fields[name] = col
+				if haveKind {
+					if _, seen := mi.fields[name]; !seen {
+						mi.fields[name] = kind
+					}
+				}
+			}
+			sh.series[key] = sr
+			sh.keyBytes += len(key) + 8
+			if !indexed[key] {
+				indexed[key] = true
+				mi.series[key] = tags
+				for _, t := range tags {
+					vals := mi.byTag[t.Key]
+					if vals == nil {
+						vals = make(map[string][]string)
+						mi.byTag[t.Key] = vals
+					}
+					vals[t.Value] = append(vals[t.Value], key)
+				}
+			}
+		}
+		shards[start] = sh
+		shardStarts = append(shardStarts, start)
+	}
+	sort.Slice(shardStarts, func(i, j int) bool { return shardStarts[i] < shardStarts[j] })
+	db := Open(opts)
+	db.publish(&dbView{
+		epoch:       hdr[0],
+		stats:       stats,
+		shards:      shards,
+		shardStarts: shardStarts,
+		index:       index,
+	})
 	return db, nil
 }
 
@@ -217,43 +507,80 @@ func (db *DB) restoreSeries(br *bufio.Reader) error {
 	return db.WritePoints(pts)
 }
 
-// writeBin encodes v little-endian into the snapshot's bufio.Writer,
-// whose error is sticky: the first failure poisons every later write
-// and Snapshot surfaces it through the single Flush check at the end.
-func writeBin(w io.Writer, v any) {
-	//lint:ignore errdrop bufio errors are sticky; Snapshot checks Flush once at the end
-	binary.Write(w, binary.LittleEndian, v)
+// errWriter wraps the snapshot's buffered writer with a latching
+// error: the first failure is remembered, every later write becomes a
+// no-op, and flush surfaces exactly that first error. Serialization
+// code stays linear while a full disk (or any failing sink) can no
+// longer produce a silently truncated yet "successful" snapshot.
+type errWriter struct {
+	w   *bufio.Writer
+	err error
 }
 
-func writeU16(w io.Writer, v uint16)  { writeBin(w, v) }
-func writeU32(w io.Writer, v uint32)  { writeBin(w, v) }
-func writeI64(w io.Writer, v int64)   { writeBin(w, v) }
-func writeF64(w io.Writer, v float64) { writeBin(w, v) }
-
-func writeStr(w *bufio.Writer, s string) {
-	writeU32(w, uint32(len(s)))
-	//lint:ignore errdrop bufio errors are sticky; Snapshot checks Flush once at the end
-	w.WriteString(s)
+func (ew *errWriter) raw(s string) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = ew.w.WriteString(s)
 }
 
-func writeValue(w *bufio.Writer, v Value) {
-	//lint:ignore errdrop bufio errors are sticky; Snapshot checks Flush once at the end
-	w.WriteByte(byte(v.Kind))
+func (ew *errWriter) bin(v any) {
+	if ew.err != nil {
+		return
+	}
+	ew.err = binary.Write(ew.w, binary.LittleEndian, v)
+}
+
+func (ew *errWriter) u16(v uint16) { ew.bin(v) }
+func (ew *errWriter) u32(v uint32) { ew.bin(v) }
+func (ew *errWriter) i64(v int64)  { ew.bin(v) }
+func (ew *errWriter) f64(v float64) {
+	ew.bin(v)
+}
+
+func (ew *errWriter) bytes(p []byte) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = ew.w.Write(p)
+}
+
+func (ew *errWriter) byteVal(b byte) {
+	if ew.err != nil {
+		return
+	}
+	ew.err = ew.w.WriteByte(b)
+}
+
+func (ew *errWriter) str(s string) {
+	ew.u32(uint32(len(s)))
+	ew.raw(s)
+}
+
+func (ew *errWriter) value(v Value) {
+	ew.byteVal(byte(v.Kind))
 	switch v.Kind {
 	case KindFloat:
-		writeF64(w, v.F)
+		ew.f64(v.F)
 	case KindInt:
-		writeI64(w, v.I)
+		ew.i64(v.I)
 	case KindString:
-		writeStr(w, v.S)
+		ew.str(v.S)
 	case KindBool:
 		b := byte(0)
 		if v.B {
 			b = 1
 		}
-		//lint:ignore errdrop bufio errors are sticky; Snapshot checks Flush once at the end
-		w.WriteByte(b)
+		ew.byteVal(b)
 	}
+}
+
+// flush drains the buffer and reports the first error any write hit.
+func (ew *errWriter) flush() error {
+	if ew.err != nil {
+		return ew.err
+	}
+	return ew.w.Flush()
 }
 
 func readU16(r io.Reader) (uint16, error) {

@@ -17,7 +17,9 @@ import (
 //	column      struct cloned once per batch; in-order appends land in
 //	            spare capacity beyond every published length, so older
 //	            views never observe them; out-of-order appends rebuild
-//	            the slices into fresh arrays before publication
+//	            the slices into fresh arrays before publication; sealed
+//	            blocks are immutable and shared — sealing appends block
+//	            pointers and replaces the tail with fresh arrays
 //	index       maps cloned only when a new measurement, series, field,
 //	            or tag value appears (none do in steady-state ingest)
 //
@@ -58,6 +60,7 @@ func (v *dbView) shardsOverlapping(start, end int64) []*shard {
 // the batch and may be mutated freely until publication.
 type batch struct {
 	shardDuration int64
+	blockSize     int // seal threshold in points; <= 0 disables sealing
 	v             *dbView
 
 	clonedShardMap bool
@@ -71,10 +74,11 @@ type batch struct {
 	dirtyCols      map[*column]bool // got an out-of-order append
 }
 
-func newBatch(base *dbView, shardDuration int64) *batch {
+func newBatch(base *dbView, shardDuration int64, blockSize int) *batch {
 	nv := *base // maps and slices stay shared until cloned
 	return &batch{
 		shardDuration: shardDuration,
+		blockSize:     blockSize,
 		v:             &nv,
 		freshShards:   make(map[*shard]bool),
 		freshSeries:   make(map[*series]bool),
@@ -85,13 +89,27 @@ func newBatch(base *dbView, shardDuration int64) *batch {
 	}
 }
 
-// finish sorts any columns that received out-of-order appends and seals
-// the view. mutated reports whether stored data changed (an empty batch
-// still counts as a batch but must not advance the epoch). waitNs is
-// the write-lock wait the batch accrued, folded into the view's stats.
+// finish sorts any columns that received out-of-order appends, seals
+// full block runs, and seals the view. mutated reports whether stored
+// data changed (an empty batch still counts as a batch but must not
+// advance the epoch). waitNs is the write-lock wait the batch accrued,
+// folded into the view's stats.
 func (b *batch) finish(mutated bool, waitNs int64) *dbView {
 	for col := range b.dirtyCols {
 		col.sortByTime()
+		// If the shuffle reaches behind sealed data, decode everything
+		// back to raw and re-sort; the seal pass below re-compresses
+		// full runs. Out-of-order within the tail alone leaves blocks
+		// untouched.
+		if n := len(col.blocks); n > 0 && len(col.times) > 0 && col.times[0] < col.blocks[n-1].maxT {
+			col.unseal()
+			col.sortByTime()
+		}
+	}
+	if b.blockSize > 0 {
+		for col := range b.freshCols {
+			b.v.stats.BlocksSealed += int64(col.seal(b.blockSize))
+		}
 	}
 	b.v.stats.BatchesWritten++
 	b.v.stats.WriteWaitNs += waitNs
@@ -278,12 +296,15 @@ func (b *batch) writePoint(p *Point, key string, sorted Tags) {
 			sr.fields[fk] = col
 			b.freshCols[col] = true
 		case !b.freshCols[col]:
-			c := &column{times: col.times, vals: col.vals}
+			c := &column{blocks: col.blocks, times: col.times, vals: col.vals}
 			sr.fields[fk] = c
 			b.freshCols[c] = true
 			col = c
 		}
-		if n := len(col.times); n > 0 && p.Time < col.times[n-1] {
+		// A tail append behind the column's newest time (which, for an
+		// empty tail, is the last sealed block's maxT) marks the column
+		// for the sort/unseal pass in finish.
+		if last, ok := col.lastTime(); ok && p.Time < last {
 			b.dirtyCols[col] = true
 		}
 		col.times = append(col.times, p.Time)

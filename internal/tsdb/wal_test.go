@@ -186,6 +186,122 @@ func TestWALKillPoints(t *testing.T) {
 	}
 }
 
+// TestWALKillPointsSealedBlocks reruns the kill-point matrix with an
+// aggressive seal threshold, so recovery replays into an engine that
+// compresses as it goes: every truncation offset must recover the same
+// longest valid prefix, with columns split across sealed blocks and
+// the raw tail.
+func TestWALKillPointsSealedBlocks(t *testing.T) {
+	sealedOpts := Options{ShardDuration: 3600, BlockSize: 4}
+	master := t.TempDir()
+	db, _, err := OpenDurable(sealedOpts, WALOptions{Dir: master, Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 12
+	var boundaries []int64
+	for i := 0; i < batches; i++ {
+		if err := db.WritePoint(walPoint("n1", int64(60*i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		db.wal.mu.Lock()
+		boundaries = append(boundaries, db.wal.segBytes)
+		db.wal.mu.Unlock()
+	}
+	if cs := db.Compression(); cs.Blocks != 3 {
+		t.Fatalf("writer did not seal: %+v", cs)
+	}
+	data, err := os.ReadFile(walSegmentPath(master, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for off := int64(0); off <= int64(len(data)); off++ {
+		wantBatches := int64(0)
+		for _, b := range boundaries {
+			if b <= off {
+				wantBatches++
+			}
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(walSegmentPath(dir, 1), data[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, info, err := OpenDurable(sealedOpts, WALOptions{Dir: dir, Policy: FsyncNever})
+		if err != nil {
+			t.Fatalf("offset %d: OpenDurable: %v", off, err)
+		}
+		if got := rec.Disk().Points; got != wantBatches {
+			t.Fatalf("offset %d: recovered %d points, want %d (info %+v)", off, got, wantBatches, info)
+		}
+		cs := rec.Compression()
+		if cs.SealedPoints+cs.TailPoints != wantBatches {
+			t.Fatalf("offset %d: compression accounting lost points: %+v, want %d", off, cs, wantBatches)
+		}
+		if wantSealed := wantBatches / 4 * 4; cs.SealedPoints != wantSealed {
+			t.Fatalf("offset %d: %d sealed points, want %d", off, cs.SealedPoints, wantSealed)
+		}
+		// The replayed data answers queries (decoding sealed blocks).
+		res, err := rec.Query(`SELECT count("Reading") FROM "Power"`)
+		if err != nil {
+			t.Fatalf("offset %d: query: %v", off, err)
+		}
+		if wantBatches > 0 {
+			if n := res.Series[0].Rows[0].Values[0].I; n != wantBatches {
+				t.Fatalf("offset %d: count = %d, want %d", off, n, wantBatches)
+			}
+		}
+	}
+}
+
+// TestWALCheckpointSealedBlocks checkpoints a database whose columns
+// hold sealed blocks: the snapshot (v2, blocks verbatim) must load on
+// recovery and merge cleanly with post-checkpoint WAL replay.
+func TestWALCheckpointSealedBlocks(t *testing.T) {
+	sealedOpts := Options{ShardDuration: 3600, BlockSize: 4}
+	dir := t.TempDir()
+	db, _, err := OpenDurable(sealedOpts, WALOptions{Dir: dir, Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.WritePoint(walPoint("n1", int64(60*i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		if err := db.WritePoint(walPoint("n1", int64(60*i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db2, info, err := OpenDurable(sealedOpts, WALOptions{Dir: dir, Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SnapshotLoaded || info.SnapshotPoints != 10 || info.Points != 5 {
+		t.Fatalf("recovery split = %+v, want 10 snapshot + 5 replayed points", info)
+	}
+	cs := db2.Compression()
+	if cs.SealedPoints != 12 || cs.TailPoints != 3 {
+		t.Fatalf("recovered compression state %+v, want 12 sealed + 3 tail", cs)
+	}
+	r1, err := db.Query(`SELECT "Reading" FROM "Power"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Query(`SELECT "Reading" FROM "Power"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FormatResult(r2), FormatResult(r1); got != want {
+		t.Fatalf("recovered data diverged:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestWALCorruptionMidSegmentDropsTail(t *testing.T) {
 	dir := t.TempDir()
 	// Tiny segments force rotation so corruption lands mid-log with

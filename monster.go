@@ -92,7 +92,14 @@ type (
 	FsyncPolicy = tsdb.FsyncPolicy
 	// RecoveryInfo summarizes what a durable open reconstructed.
 	RecoveryInfo = tsdb.RecoveryInfo
+	// CompressionStats reports the sealed-block tier's raw vs
+	// compressed data volume (DB.Compression).
+	CompressionStats = tsdb.CompressionStats
 )
+
+// DefaultBlockSize is the storage engine's default seal threshold in
+// points (DBOptions.BlockSize zero value resolves to it).
+const DefaultBlockSize = tsdb.DefaultBlockSize
 
 // WAL fsync policies.
 const (
