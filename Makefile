@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json lint lint-selftest fuzz-smoke crash-recovery compression
+.PHONY: check fmt vet build test race bench bench-json lint lint-selftest fuzz-smoke crash-recovery compression ingest
 
 # check is the pre-PR gate: formatting, static analysis (go vet plus
 # the project's own monsterlint suite), a full build, the whole test
 # suite, the crash-recovery matrix, and the race detector over every
 # package.
-check: fmt vet lint build test crash-recovery compression race
+check: fmt vet lint build test crash-recovery compression ingest race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -67,6 +67,13 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzMergeSeries$$' -run '^FuzzMergeSeries$$' -fuzztime $(FUZZTIME) ./internal/builder
 	$(GO) test -fuzz '^FuzzWALReplay$$' -run '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -fuzz '^FuzzBlockDecode$$' -run '^FuzzBlockDecode$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+	$(GO) test -fuzz '^FuzzLineProtocol$$' -run '^FuzzLineProtocol$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+
+# ingest re-runs the pipeline suite on its own under the race
+# detector: stage saturation under both overflow policies, exact
+# drop accounting, shutdown drain, and the receiver/sink contracts.
+ingest:
+	$(GO) test -race -count=1 ./internal/ingest
 
 # compression re-runs the sealed-block suite on its own under the race
 # detector: encode/decode round trips, seal thresholds, header pruning,

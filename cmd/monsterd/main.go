@@ -44,14 +44,48 @@ func main() {
 		fsync         = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
 		fsyncInterval = flag.Duration("fsync-interval", time.Second, "fsync cadence under -fsync interval (bounds power-loss exposure)")
 		snapInterval  = flag.Duration("snapshot-interval", 5*time.Minute, "background checkpoint (snapshot + WAL truncation) cadence when -wal-dir is set")
+
+		forward        = flag.String("forward", "", "relay every routed point to a peer monsterd push endpoint (e.g. http://peer:8080/v1/ingest/write)")
+		forwardOnly    = flag.Bool("forward-only", false, "skip local storage and act as a pure relay (requires -forward)")
+		scrape         = flag.String("scrape", "", "comma-separated Prometheus-style exposition endpoints to scrape")
+		scrapeInterval = flag.Duration("scrape-interval", time.Minute, "scrape cadence for -scrape targets")
+		ingestQueue    = flag.Int("ingest-queue", 0, "pipeline stage queue depth in batches (0 = default 64)")
+		ingestOverflow = flag.String("ingest-overflow", "block", "full-queue policy: block | drop-oldest")
+		sinkDebug      = flag.String("sink-debug", "", "render every routed point as line protocol to this file (\"-\" = stdout)")
 	)
+	var routes []string
+	flag.Func("route", "router rule, repeatable (add_tag:k=v[@Measurement] | rename_tag:old=new | drop_tag:k | rename_measurement:old=new | drop:Measurement | derive:Out.F=In.F*scale[+offset])", func(s string) error {
+		routes = append(routes, s)
+		return nil
+	})
 	flag.Parse()
 
 	cfg := monster.Config{
 		Nodes: *nodes, Seed: *seed, ConcurrentQueries: true,
-		Retention:  *retention,
-		BlockSize:  *blockSize,
-		AlertRules: monster.DefaultAlertRules(),
+		Retention:      *retention,
+		BlockSize:      *blockSize,
+		AlertRules:     monster.DefaultAlertRules(),
+		IngestRules:    routes,
+		IngestQueue:    *ingestQueue,
+		IngestOverflow: *ingestOverflow,
+		ForwardTo:      *forward,
+		ForwardOnly:    *forwardOnly,
+		ScrapeInterval: *scrapeInterval,
+	}
+	if *scrape != "" {
+		cfg.ScrapeTargets = strings.Split(*scrape, ",")
+	}
+	if *sinkDebug != "" {
+		if *sinkDebug == "-" {
+			cfg.DebugSink = os.Stdout
+		} else {
+			f, err := os.Create(*sinkDebug)
+			if err != nil {
+				log.Fatalf("monsterd: -sink-debug: %v", err)
+			}
+			defer f.Close()
+			cfg.DebugSink = f
+		}
 	}
 	if *walDir != "" {
 		policy, err := monster.ParseFsyncPolicy(*fsync)
@@ -120,10 +154,21 @@ func main() {
 	st := sys.Collector.Stats()
 	log.Printf("monsterd: warmup done: %d cycles, %d points, sim time %v", st.Cycles, st.PointsWritten, sys.Now().Format(time.RFC3339))
 
+	mux := http.NewServeMux()
+	mux.Handle("/v1/ingest/write", sys.Push)
+	mux.Handle("/", sys.BuilderAPI)
 	go func() {
-		log.Printf("monsterd: Metrics Builder API on %s", *listen)
-		if err := http.ListenAndServe(*listen, sys.BuilderAPI); err != nil {
+		log.Printf("monsterd: Metrics Builder API + push receiver on %s", *listen)
+		if err := http.ListenAndServe(*listen, mux); err != nil {
 			log.Fatalf("monsterd: builder API: %v", err)
+		}
+	}()
+	go func() {
+		// Asynchronous stage workers: pushed and scraped points flow
+		// through the bounded queues; the simulation loop's poll cycles
+		// enqueue instead of writing inline.
+		if err := sys.RunIngest(ctx); err != nil && ctx.Err() == nil {
+			log.Fatalf("monsterd: ingest pipeline: %v", err)
 		}
 	}()
 	if *schedAddr != "" {

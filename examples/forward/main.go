@@ -1,0 +1,116 @@
+// Forward: a two-node ingest-pipeline deployment. Node A monitors an
+// 8-node cluster, routes every collected point through declarative
+// rules (tagging each one with its origin), stores it locally, and
+// forwards the routed stream to node B's push receiver over HTTP in
+// line protocol. Node B — a site-wide aggregator — ingests the pushed
+// points alongside its own cluster's. Both ends expose exact
+// per-stage accounting through /v1/stats.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"monster"
+)
+
+func main() {
+	// Node B: the aggregator. Its push receiver mounts next to the
+	// Metrics Builder API, exactly as monsterd arranges it.
+	nodeB := monster.New(monster.Config{Nodes: 2, Seed: 2})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/ingest/write", nodeB.Push)
+	mux.Handle("/", nodeB.BuilderAPI)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	defer srv.Close()
+	peer := "http://" + ln.Addr().String()
+	fmt.Printf("node B (aggregator) listening on %s\n", peer)
+
+	// Node A: an edge collector. -route rules tag the stream before it
+	// fans out to the local tsdb sink and the forward sink.
+	nodeA := monster.New(monster.Config{
+		Nodes:       8,
+		Seed:        1,
+		ForwardTo:   peer + "/v1/ingest/write",
+		IngestRules: []string{"add_tag:origin=node-a"},
+	})
+
+	ctx := context.Background()
+	if err := nodeA.AdvanceCollecting(ctx, 10*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	if err := nodeB.AdvanceCollecting(ctx, 10*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	// Node A's view: every point went to both sinks.
+	ast := nodeA.Ingest.Stats()
+	fmt.Println("\nnode A pipeline:")
+	for _, r := range ast.Receivers {
+		fmt.Printf("  receiver %-8s received=%d dropped=%d\n", r.Name, r.PointsReceived, r.PointsDropped)
+	}
+	for _, s := range ast.Sinks {
+		fmt.Printf("  sink     %-8s written=%d batches=%d forward_errors=%d\n",
+			s.Name, s.PointsWritten, s.Batches, s.ForwardErrors)
+	}
+
+	// Node B's view, fetched the way an operator would: /v1/stats now
+	// carries an "ingest" section with the same counters.
+	resp, err := http.Get(peer + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats struct {
+		Points int64           `json:"points"`
+		Ingest json.RawMessage `json:"ingest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnode B /v1/stats: %d points stored, ingest section:\n", stats.Points)
+	var pretty map[string]any
+	if err := json.Unmarshal(stats.Ingest, &pretty); err != nil {
+		log.Fatal(err)
+	}
+	out, err := json.MarshalIndent(pretty, "  ", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s\n", out)
+
+	// The forwarded stream is queryable on node B, grouped by the tag
+	// node A's router injected.
+	res, err := nodeB.DB.Query(`SELECT count("Reading") FROM "Power" GROUP BY "origin"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnode B Power points by origin:")
+	for _, s := range res.Series {
+		origin := "(local)"
+		if v, ok := s.Tags.Get("origin"); ok {
+			origin = v
+		}
+		fmt.Printf("  %-8s %d\n", origin, s.Rows[0].Values[0].I)
+	}
+}

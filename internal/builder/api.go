@@ -39,6 +39,11 @@ type API struct {
 	// hung up mid-write, broken pipe). Surfaced as write_errors in
 	// /v1/stats so failed deliveries are counted, never silent.
 	writeErrs atomic.Int64
+
+	// ingestStats, when registered, contributes the "ingest" section of
+	// /v1/stats. Holds a func() any so the builder stays decoupled from
+	// the ingest package.
+	ingestStats atomic.Value
 }
 
 // NewAPI builds the HTTP surface over a Builder.
@@ -54,6 +59,12 @@ func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTT
 
 // WriteErrors reports how many response writes have failed since start.
 func (a *API) WriteErrors() int64 { return a.writeErrs.Load() }
+
+// SetIngestStats registers a snapshot function whose result is embedded
+// as the "ingest" section of /v1/stats — how the deployment surfaces
+// per-stage pipeline counters without the builder importing the ingest
+// package. Safe to call concurrently with request handling.
+func (a *API) SetIngestStats(fn func() any) { a.ingestStats.Store(fn) }
 
 func (a *API) httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -247,6 +258,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		WALReplayed     int64         `json:"wal_replayed"`
 		WALTorn         int64         `json:"wal_torn_frames"`
 		Measurements    []measurement `json:"measurements"`
+		Ingest          any           `json:"ingest,omitempty"`
 	}{
 		Points:          disk.Points,
 		DataBytes:       disk.DataBytes,
@@ -267,6 +279,9 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, name := range db.Measurements() {
 		out.Measurements = append(out.Measurements, measurement{Name: name, Series: db.SeriesCardinality(name)})
+	}
+	if fn, ok := a.ingestStats.Load().(func() any); ok {
+		out.Ingest = fn()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {

@@ -273,3 +273,53 @@ func TestAPIStatsHeaderParses(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// TestAPIStatsIngestSection: the /v1/stats payload embeds the ingest
+// pipeline's counters once a snapshot function is registered, and
+// omits the key entirely before then (so deployments without a
+// pipeline keep their exact old payload shape).
+func TestAPIStatsIngestSection(t *testing.T) {
+	db := seedDB(t, 2, 10)
+	api := NewAPI(New(db, Options{}))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	fetch := func() map[string]json.RawMessage {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats status = %d", resp.StatusCode)
+		}
+		var body map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	if raw, ok := fetch()["ingest"]; ok {
+		t.Fatalf("ingest section present before registration: %s", raw)
+	}
+
+	api.SetIngestStats(func() any {
+		return map[string]any{"running": true, "points_received": 42}
+	})
+	raw, ok := fetch()["ingest"]
+	if !ok {
+		t.Fatal("ingest section missing after registration")
+	}
+	var ing struct {
+		Running        bool  `json:"running"`
+		PointsReceived int64 `json:"points_received"`
+	}
+	if err := json.Unmarshal(raw, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if !ing.Running || ing.PointsReceived != 42 {
+		t.Fatalf("ingest section = %s", raw)
+	}
+}

@@ -42,6 +42,11 @@ type Options struct {
 	// the resource manager — both named as missing in the paper's
 	// Section VI.
 	CollectNetwork bool
+	// Emit, when set, hands each cycle's points to the ingest pipeline
+	// instead of writing them to storage directly; batch accounting then
+	// lives in the pipeline's tsdb sink rather than here. Nil keeps the
+	// classic direct write path.
+	Emit func(points []tsdb.Point) error
 	// Clock drives the Run loop. Nil means the real clock.
 	Clock clock.Clock
 }
@@ -134,6 +139,15 @@ func (c *Collector) Stats() Stats {
 // DB returns the storage the collector writes to.
 func (c *Collector) DB() *tsdb.DB { return c.db }
 
+// SetEmit redirects the collector's output (see Options.Emit). It is
+// how the ingest pipeline's poll receiver binds the collector without
+// rebuilding it.
+func (c *Collector) SetEmit(fn func(points []tsdb.Point) error) {
+	c.mu.Lock()
+	c.opts.Emit = fn
+	c.mu.Unlock()
+}
+
 // Run collects on the configured interval until ctx is done.
 func (c *Collector) Run(ctx context.Context) error {
 	for {
@@ -190,7 +204,7 @@ func (c *Collector) CollectOnce(ctx context.Context, now time.Time) (CycleResult
 		points = append(points, schedPoints...)
 	}
 
-	if werr := c.writeBatched(points); werr != nil && err == nil {
+	if werr := c.deliver(points); werr != nil && err == nil {
 		err = werr
 	}
 
@@ -525,6 +539,20 @@ func (c *Collector) jobPoint(ji JobInfo, t int64) tsdb.Point {
 		return jobsInfoPointsV1(ji, t)
 	}
 	return jobsInfoPointV2(ji, t)
+}
+
+// deliver hands the cycle's points to the configured Emit hook (the
+// ingest pipeline) or, when none is set, to the classic direct
+// batched write. Either way the first failure surfaces so the cycle
+// reports it.
+func (c *Collector) deliver(points []tsdb.Point) error {
+	c.mu.Lock()
+	emit := c.opts.Emit
+	c.mu.Unlock()
+	if emit != nil {
+		return emit(points)
+	}
+	return c.writeBatched(points)
 }
 
 // writeBatched writes points in batches of BatchSize ("Metrics

@@ -9,12 +9,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"monster/internal/alerting"
 	"monster/internal/builder"
 	"monster/internal/clock"
 	"monster/internal/collector"
+	"monster/internal/ingest"
 	"monster/internal/redfish"
 	"monster/internal/scheduler"
 	"monster/internal/simnode"
@@ -108,6 +110,33 @@ type Config struct {
 	// after every collection cycle. Nil disables alerting; use
 	// alerting.DefaultRules() for the Table I thresholds.
 	AlertRules []alerting.Rule
+	// IngestRules are the pipeline router's declarative transformation
+	// rules, applied in order to every collected, pushed, or scraped
+	// point (e.g. "add_tag:cluster=quanah",
+	// "derive:PowerKW.Reading=Power.Reading*0.001"). Empty passes
+	// points through untouched — the default single-path behaviour.
+	IngestRules []string
+	// IngestQueue bounds the pipeline's router queue and each sink
+	// queue, in batches (0 = ingest.DefaultQueueBatches).
+	IngestQueue int
+	// IngestOverflow selects what a full bounded stage does: "block"
+	// (backpressure, the default) or "drop-oldest".
+	IngestOverflow string
+	// ForwardTo adds a forward sink relaying every routed point to a
+	// peer monsterd's push endpoint (line protocol over HTTP POST),
+	// e.g. "http://peer:8080/v1/ingest/write".
+	ForwardTo string
+	// ForwardOnly removes the local storage sink, turning this instance
+	// into a pure relay. Requires ForwardTo.
+	ForwardOnly bool
+	// DebugSink, when non-nil, adds a sink rendering every routed point
+	// as line protocol to this writer (os.Stdout, a file).
+	DebugSink io.Writer
+	// ScrapeTargets adds a Prometheus-style scrape receiver polling
+	// these text-exposition endpoints on ScrapeInterval.
+	ScrapeTargets []string
+	// ScrapeInterval is the scrape cadence (0 = 60 s).
+	ScrapeInterval time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -146,6 +175,16 @@ type System struct {
 	Rollups    *tsdb.Rollups    // non-nil when Config.Rollups is set
 	Alerts     *alerting.Engine // non-nil when Config.AlertRules is set
 	Workload   *scheduler.Workload
+	// Ingest is the pluggable pipeline every point now flows through:
+	// receivers (poll, push, optionally scrape) → router → sinks. With
+	// the default config it contains exactly the poll receiver and the
+	// local tsdb sink — the classic single path.
+	Ingest *ingest.Pipeline
+	Poll   *ingest.PollReceiver
+	Push   *ingest.PushReceiver   // mount at the push endpoint to accept line protocol
+	Scrape *ingest.ScrapeReceiver // non-nil when Config.ScrapeTargets
+	Local  *ingest.TSDBSink       // non-nil unless Config.ForwardOnly
+	Fwd    *ingest.ForwardSink    // non-nil when Config.ForwardTo
 	// Recovery reports what startup reconstructed from the WAL
 	// directory (zero value when Config.WALDir is empty).
 	Recovery tsdb.RecoveryInfo
@@ -250,6 +289,60 @@ func NewSystem(cfg Config) (*System, error) {
 		workload = scheduler.GenerateWorkload(cfg.Workload, cfg.Start, cfg.WorkloadHorizon, cfg.Seed)
 	}
 
+	// Ingest pipeline: the collector's output is re-homed behind the
+	// poll receiver, a push receiver accepts line protocol over HTTP,
+	// and the routed stream fans out to the configured sinks. The
+	// default config reduces to poll → (no rules) → local tsdb — the
+	// exact pre-pipeline path.
+	if cfg.ForwardOnly && cfg.ForwardTo == "" {
+		return nil, fmt.Errorf("ForwardOnly requires ForwardTo")
+	}
+	rules, err := ingest.ParseRules(cfg.IngestRules)
+	if err != nil {
+		return nil, fmt.Errorf("bad ingest rule: %w", err)
+	}
+	overflow := ingest.OverflowBlock
+	if cfg.IngestOverflow != "" {
+		if overflow, err = ingest.ParseOverflowPolicy(cfg.IngestOverflow); err != nil {
+			return nil, err
+		}
+	}
+	pipe, err := ingest.New(ingest.Options{
+		Rules:        rules,
+		QueueBatches: cfg.IngestQueue,
+		Overflow:     overflow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	poll := ingest.NewPollReceiver(col, ingest.PollOptions{})
+	pipe.AddReceiver(poll)
+	push := ingest.NewPushReceiver(ingest.PushOptions{})
+	pipe.AddReceiver(push)
+	var scrape *ingest.ScrapeReceiver
+	if len(cfg.ScrapeTargets) > 0 {
+		scrape = ingest.NewScrapeReceiver(ingest.ScrapeOptions{
+			Targets:  cfg.ScrapeTargets,
+			Interval: cfg.ScrapeInterval,
+		})
+		pipe.AddReceiver(scrape)
+	}
+	var local *ingest.TSDBSink
+	if !cfg.ForwardOnly {
+		local = ingest.NewTSDBSink(db, ingest.TSDBOptions{})
+		pipe.AddSink(local)
+	}
+	var fwd *ingest.ForwardSink
+	if cfg.ForwardTo != "" {
+		fwd = ingest.NewForwardSink(cfg.ForwardTo, ingest.ForwardOptions{})
+		pipe.AddSink(fwd)
+	}
+	if cfg.DebugSink != nil {
+		pipe.AddSink(ingest.NewDebugSink(cfg.DebugSink))
+	}
+	bapi := builder.NewAPI(b)
+	bapi.SetIngestStats(func() any { return pipe.Stats() })
+
 	return &System{
 		Config:      cfg,
 		Nodes:       nodes,
@@ -259,11 +352,17 @@ func NewSystem(cfg Config) (*System, error) {
 		DB:          db,
 		Collector:   col,
 		Builder:     b,
-		BuilderAPI:  builder.NewAPI(b),
+		BuilderAPI:  bapi,
 		Cache:       cache,
 		Rollups:     rollups,
 		Alerts:      alerts,
 		Workload:    workload,
+		Ingest:      pipe,
+		Poll:        poll,
+		Push:        push,
+		Scrape:      scrape,
+		Local:       local,
+		Fwd:         fwd,
 		Recovery:    recovery,
 		now:         cfg.Start,
 		nextCollect: cfg.Start.Add(cfg.CollectInterval),
@@ -301,6 +400,15 @@ func (s *System) advance(d, step time.Duration, collect bool, ctx context.Contex
 		if collect && !s.now.Before(s.nextCollect) {
 			if _, err := s.Collector.CollectOnce(ctx, s.now); err != nil {
 				return fmt.Errorf("core: collection at %v: %w", s.now, err)
+			}
+			if s.Ingest.Running() {
+				// Asynchronous stage workers hold the cycle's points in
+				// bounded queues; wait for them to land so the rollup,
+				// retention, and alert passes below see this cycle's data —
+				// the same ordering the inline path gives for free.
+				if err := s.Ingest.Flush(ctx); err != nil {
+					return fmt.Errorf("core: ingest flush at %v: %w", s.now, err)
+				}
 			}
 			s.nextCollect = s.nextCollect.Add(s.Config.CollectInterval)
 			if s.Rollups != nil {
@@ -354,6 +462,16 @@ func (s *System) RunCheckpoints(ctx context.Context, clk clock.Clock) error {
 			return fmt.Errorf("core: checkpoint: %w", err)
 		}
 	}
+}
+
+// RunIngest starts the pipeline's asynchronous stage workers (router
+// loop, one worker per sink, receiver Run loops) and blocks until ctx
+// is done. Without it the pipeline processes every emission inline in
+// the producer's goroutine — the mode the deterministic simulation
+// loop relies on. Daemons that accept pushes or scrape targets run
+// this alongside their HTTP server.
+func (s *System) RunIngest(ctx context.Context) error {
+	return s.Ingest.Run(ctx)
 }
 
 // RunLive drives the simulation in real time, scaled by timeScale

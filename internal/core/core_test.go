@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"monster/internal/builder"
 	"monster/internal/clock"
 	"monster/internal/collector"
+	"monster/internal/ingest"
 	"monster/internal/scheduler"
 	"monster/internal/simnode"
 	"monster/internal/tsdb"
@@ -333,5 +336,99 @@ func TestTraceReplayConfig(t *testing.T) {
 	}
 	if got := s.QMaster.Stats().Submitted; got == 0 {
 		t.Fatal("trace replay submitted nothing")
+	}
+}
+
+// TestTwoNodeForwarding wires two complete systems together the way
+// the examples/forward demo does: node A polls its simulated cluster,
+// routes every point through a rename rule, stores locally, and
+// forwards the routed stream to node B's push receiver over HTTP.
+// Both ends must account for every point.
+func TestTwoNodeForwarding(t *testing.T) {
+	b := New(Config{Nodes: 2, Seed: 7})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/ingest/write", b.Push)
+	mux.Handle("/", b.BuilderAPI)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	a := New(Config{
+		Nodes:       4,
+		Seed:        1,
+		ForwardTo:   srv.URL + "/v1/ingest/write",
+		IngestRules: []string{"add_tag:origin=node-a"},
+	})
+	if err := a.AdvanceCollecting(context.Background(), 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	localPts := a.DB.Disk().Points
+	if localPts == 0 {
+		t.Fatal("node A stored nothing locally")
+	}
+	if got := b.DB.Disk().Points; got != localPts {
+		t.Fatalf("node B has %d points, node A stored %d — forwarding lost data", got, localPts)
+	}
+
+	// The router's add_tag ran before the forward, so node B can group
+	// by the injected origin tag.
+	res, err := b.DB.Query(`SELECT count("Reading") FROM "Power" GROUP BY "origin"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 {
+		t.Fatalf("forwarded points missing routed tag: %+v", res.Series)
+	}
+	if v, ok := res.Series[0].Tags.Get("origin"); !ok || v != "node-a" {
+		t.Fatalf("forwarded points missing routed tag: %+v", res.Series)
+	}
+
+	// Both pipelines' counters are non-zero and conserve exactly.
+	ast := a.Ingest.Stats()
+	var fwd *ingest.SinkStatus
+	for i := range ast.Sinks {
+		if ast.Sinks[i].Name == "forward" {
+			fwd = &ast.Sinks[i]
+		}
+	}
+	if fwd == nil || fwd.PointsWritten != localPts || fwd.ForwardErrors != 0 {
+		t.Fatalf("node A forward sink stats = %+v", ast.Sinks)
+	}
+	bst := b.Ingest.Stats()
+	var push *ingest.ReceiverStatus
+	for i := range bst.Receivers {
+		if bst.Receivers[i].Name == "push" {
+			push = &bst.Receivers[i]
+		}
+	}
+	if push == nil || push.PointsReceived != localPts {
+		t.Fatalf("node B push receiver stats = %+v", bst.Receivers)
+	}
+}
+
+// TestForwardOnlyRelay: a ForwardOnly system keeps nothing locally —
+// every collected point lands solely on the peer.
+func TestForwardOnlyRelay(t *testing.T) {
+	b := New(Config{Nodes: 2, Seed: 5})
+	srv := httptest.NewServer(b.Push)
+	defer srv.Close()
+
+	a := New(Config{Nodes: 2, Seed: 1, ForwardTo: srv.URL, ForwardOnly: true})
+	if a.Local != nil {
+		t.Fatal("ForwardOnly system built a local sink")
+	}
+	if err := a.AdvanceCollecting(context.Background(), 3*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DB.Disk().Points; got != 0 {
+		t.Fatalf("relay stored %d points locally", got)
+	}
+	if got := b.DB.Disk().Points; got == 0 {
+		t.Fatal("peer received nothing from the relay")
+	}
+
+	// Misconfiguration is rejected up front.
+	if _, err := NewSystem(Config{ForwardOnly: true}); err == nil {
+		t.Fatal("ForwardOnly without ForwardTo accepted")
 	}
 }

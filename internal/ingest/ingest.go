@@ -1,0 +1,112 @@
+// Package ingest is MonSTer's pluggable ingest pipeline: receivers →
+// router → sinks, the composable architecture cc-metric-collector and
+// DCDB use in place of a single hard-wired pull path.
+//
+//   - Receivers produce point batches: the classic redfish/slurm
+//     poller re-homed behind the Receiver interface (PollReceiver), an
+//     HTTP push receiver speaking InfluxDB line protocol
+//     (PushReceiver), and a Prometheus-style scrape receiver
+//     (ScrapeReceiver).
+//   - The router applies declarative rules on the fly — tag
+//     add/rename/drop, measurement renaming, point dropping, and
+//     simple derived metrics (scale+offset of an existing field).
+//   - Sinks consume routed batches: the local storage engine
+//     (TSDBSink, preserving the collector's historical batch-write
+//     accounting), a forward-to-peer HTTP sink speaking the push
+//     receiver's wire format (ForwardSink), and a line-protocol debug
+//     writer (DebugSink).
+//
+// The stages are wired by bounded channels. A pipeline that has not
+// been started processes every emission inline in the caller's
+// goroutine — the deterministic mode the simulation loop uses, and
+// exactly the synchronous collect→write behaviour the pre-pipeline
+// collector had. Pipeline.Run starts the stage workers: emissions then
+// enqueue into the bounded router queue and fan out into bounded
+// per-sink queues, each governed by an overflow policy (block for
+// lossless backpressure, drop-oldest for bounded staleness), with
+// exact accepted/dropped/forwarded accounting at every stage.
+package ingest
+
+import (
+	"context"
+	"fmt"
+
+	"monster/internal/tsdb"
+)
+
+// EmitFunc is a receiver's entry point into the pipeline. It reports
+// the first sink error when the pipeline processes the batch inline
+// (the synchronous mode); a started pipeline enqueues and returns nil,
+// with failures counted in the stage stats instead.
+type EmitFunc func(points []tsdb.Point) error
+
+// Receiver produces point batches into the pipeline.
+//
+// Bind is called exactly once, at registration, handing the receiver
+// its emit function; emissions may begin immediately after. Run is
+// started in its own goroutine by Pipeline.Run and drives active
+// collection until ctx is done. Externally-driven receivers — an HTTP
+// handler fed by clients, or a poller stepped by the simulation
+// loop — return from Run immediately; their emissions flow through the
+// bound emit whenever the external driver produces them.
+type Receiver interface {
+	Name() string
+	Bind(emit EmitFunc)
+	Run(ctx context.Context) error
+}
+
+// Sink consumes routed point batches. Implementations must be safe for
+// concurrent Write calls: a running pipeline writes from the sink's
+// queue worker while inline emissions (e.g. the simulation's poll
+// path) write from the caller's goroutine.
+type Sink interface {
+	Name() string
+	Write(points []tsdb.Point) error
+	Stats() SinkStats
+}
+
+// ExtraStats is optionally implemented by receivers and sinks to
+// surface implementation-specific counters (parse errors, scrape
+// failures, HTTP requests) in the pipeline stats snapshot.
+type ExtraStats interface {
+	ExtraStats() map[string]int64
+}
+
+// OverflowPolicy selects what a bounded stage does when its queue is
+// full.
+type OverflowPolicy int
+
+const (
+	// OverflowBlock applies backpressure: the producer blocks until
+	// the queue has room (or the pipeline shuts down). Nothing is
+	// dropped; a slow sink stalls its producers.
+	OverflowBlock OverflowPolicy = iota
+	// OverflowDropOldest evicts the oldest queued batch to admit the
+	// new one, counting the evicted points as dropped. Producers never
+	// block; a slow sink loses the stalest data first.
+	OverflowDropOldest
+)
+
+// String implements fmt.Stringer.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowBlock:
+		return "block"
+	case OverflowDropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
+
+// ParseOverflowPolicy parses "block" or "drop-oldest".
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "block":
+		return OverflowBlock, nil
+	case "drop-oldest":
+		return OverflowDropOldest, nil
+	default:
+		return 0, fmt.Errorf("ingest: unknown overflow policy %q (want block or drop-oldest)", s)
+	}
+}

@@ -1,0 +1,335 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"monster/internal/tsdb"
+)
+
+// gatedSink blocks every Write until the gate is released, signalling
+// entry — how the saturation tests hold a stage busy while producers
+// flood the bounded queues.
+type gatedSink struct {
+	entered chan struct{}
+	release chan struct{}
+
+	mu sync.Mutex
+	st SinkStats
+}
+
+func newGatedSink() *gatedSink {
+	return &gatedSink{entered: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g *gatedSink) Name() string { return "gated" }
+
+func (g *gatedSink) Write(points []tsdb.Point) error {
+	g.entered <- struct{}{}
+	<-g.release
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.st.Batches++
+	g.st.PointsWritten += int64(len(points))
+	return nil
+}
+
+func (g *gatedSink) Stats() SinkStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.st
+}
+
+// waitRunning parks until the stage workers are live, so the next
+// emit queues instead of processing inline in the test goroutine.
+func waitRunning(t *testing.T, p *Pipeline) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !p.Running() {
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func batchOf(n int, t int64) []tsdb.Point {
+	pts := make([]tsdb.Point, n)
+	for i := range pts {
+		pts[i] = validPoint(t + int64(i))
+	}
+	return pts
+}
+
+// conserve asserts the pipeline's exact accounting invariant: every
+// received point is either written or charged as dropped somewhere.
+func conserve(t *testing.T, st PipelineStats) {
+	t.Helper()
+	var received, written, dropped int64
+	for _, r := range st.Receivers {
+		received += r.PointsReceived
+		dropped += r.PointsDropped
+	}
+	for _, s := range st.Sinks {
+		written += s.PointsWritten
+		dropped += s.PointsDropped
+	}
+	if received != written+dropped {
+		t.Fatalf("conservation broken: received %d != written %d + dropped %d\n%+v",
+			received, written, dropped, st)
+	}
+}
+
+func TestPipelineInlineMode(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{})
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddSink(NewTSDBSink(db, TSDBOptions{}))
+	emit := p.Source("test")
+
+	if err := emit(batchOf(3, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Disk().Points; got != 3 {
+		t.Fatalf("db has %d points, want 3 (inline write-through)", got)
+	}
+	st := p.Stats()
+	if st.Running {
+		t.Fatal("pipeline reports running without Run")
+	}
+	if st.Receivers[0].PointsReceived != 3 || st.Sinks[0].PointsWritten != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	conserve(t, st)
+}
+
+// failSink always fails; inline emissions must surface its error to
+// the producer (the classic "write error fails the cycle" contract).
+type failSink struct {
+	mu sync.Mutex
+	st SinkStats
+}
+
+func (f *failSink) Name() string { return "fail" }
+func (f *failSink) Write(points []tsdb.Point) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.st.WriteErrors++
+	return errors.New("sink down")
+}
+func (f *failSink) Stats() SinkStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+func TestPipelineInlineSurfacesSinkError(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddSink(&failSink{})
+	emit := p.Source("test")
+	if err := emit(batchOf(1, 1)); err == nil {
+		t.Fatal("inline emit swallowed the sink error")
+	}
+}
+
+// TestPipelineDropOldestUnderSaturation saturates a bounded stage
+// (queues of 1 batch) while the sink is held busy, then verifies the
+// drop-oldest policy admitted the newest data, dropped older batches,
+// and kept the per-stage accounting exact. Run under -race via `make
+// ingest` / `make race`.
+func TestPipelineDropOldestUnderSaturation(t *testing.T) {
+	p, err := New(Options{QueueBatches: 1, Overflow: OverflowDropOldest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newGatedSink()
+	p.AddSink(sink)
+	emit := p.Source("flood")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); _ = p.Run(ctx) }()
+	waitRunning(t, p)
+
+	// First batch reaches the sink and parks there holding the worker.
+	if err := emit(batchOf(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sink.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink never entered Write")
+	}
+
+	// Flood: 8 more batches against 1-deep queues. Drop-oldest never
+	// blocks the producer, so these all return immediately.
+	const floodBatches, floodSize = 8, 5
+	for i := 0; i < floodBatches; i++ {
+		if err := emit(batchOf(floodSize, int64(100*(i+1)))); err != nil {
+			t.Fatalf("flood emit %d: %v", i, err)
+		}
+	}
+
+	close(sink.release)
+	flushCtx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer fcancel()
+	if err := p.Flush(flushCtx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	cancel()
+	<-runDone
+
+	st := p.Stats()
+	conserve(t, st)
+	recv := st.Receivers[0]
+	if recv.PointsReceived != 1+floodBatches*floodSize {
+		t.Fatalf("points_received = %d, want %d", recv.PointsReceived, 1+floodBatches*floodSize)
+	}
+	totalDropped := recv.PointsDropped + st.Sinks[0].PointsDropped
+	if totalDropped == 0 {
+		t.Fatal("saturating 1-deep queues dropped nothing")
+	}
+	// With both queues 1 deep and the sink parked, at most the parked
+	// batch, one queued batch per stage, and the final arrivals can
+	// survive; everything else must have been evicted.
+	if maxSurvive := int64(1 + 3*floodSize); st.Sinks[0].PointsWritten > maxSurvive {
+		t.Fatalf("points_written = %d, want <= %d under saturation", st.Sinks[0].PointsWritten, maxSurvive)
+	}
+	if totalDropped%floodSize != 0 {
+		t.Fatalf("dropped %d points, want a multiple of batch size %d (whole-batch eviction)",
+			totalDropped, floodSize)
+	}
+}
+
+// TestPipelineBlockPolicyLosesNothing drives the same saturation shape
+// under the default block policy: the producer stalls instead, and
+// after release every point must have landed — zero drops anywhere.
+func TestPipelineBlockPolicyLosesNothing(t *testing.T) {
+	p, err := New(Options{QueueBatches: 1, Overflow: OverflowBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newGatedSink()
+	p.AddSink(sink)
+	emit := p.Source("steady")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); _ = p.Run(ctx) }()
+	waitRunning(t, p)
+
+	if err := emit(batchOf(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sink.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink never entered Write")
+	}
+
+	// Fill the sink queue and the router queue, then prove the next
+	// emit blocks (backpressure) until the sink is released.
+	if err := emit(batchOf(2, 100)); err != nil { // → sink queue
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		_ = emit(batchOf(2, 200)) // router worker stalls on the full sink queue
+		_ = emit(batchOf(2, 300)) // fills the router queue
+		_ = emit(batchOf(2, 400)) // must block until the gate opens
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("emit did not block on saturated stages")
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	close(sink.release)
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked emit never resumed after release")
+	}
+	flushCtx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer fcancel()
+	if err := p.Flush(flushCtx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	cancel()
+	<-runDone
+
+	st := p.Stats()
+	conserve(t, st)
+	if d := st.Receivers[0].PointsDropped + st.Sinks[0].PointsDropped; d != 0 {
+		t.Fatalf("block policy dropped %d points", d)
+	}
+	if st.Sinks[0].PointsWritten != 10 {
+		t.Fatalf("points_written = %d, want all 10", st.Sinks[0].PointsWritten)
+	}
+}
+
+// TestPipelineShutdownCountsDrainedBatches: batches still queued when
+// the pipeline stops are charged as drops, keeping conservation exact
+// across shutdown.
+func TestPipelineShutdownCountsDrainedBatches(t *testing.T) {
+	p, err := New(Options{QueueBatches: 4, Overflow: OverflowDropOldest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newGatedSink()
+	p.AddSink(sink)
+	emit := p.Source("cutoff")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); _ = p.Run(ctx) }()
+	waitRunning(t, p)
+
+	if err := emit(batchOf(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sink.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink never entered Write")
+	}
+	for i := 0; i < 3; i++ {
+		if err := emit(batchOf(2, int64(10*(i+1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	close(sink.release)
+	<-runDone
+
+	conserve(t, p.Stats())
+}
+
+func TestPipelineRunTwiceFails(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() { close(started); _ = p.Run(ctx) }()
+	<-started
+	for !p.Running() {
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Run(ctx); err == nil {
+		t.Fatal("second Run accepted")
+	}
+	cancel()
+}

@@ -1,0 +1,141 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"monster/internal/clock"
+	"monster/internal/tsdb"
+)
+
+// DefaultMaxPushBody bounds a push request body (4 MiB) so a
+// misbehaving client cannot balloon the receiver's allocations.
+const DefaultMaxPushBody = 4 << 20
+
+// PushOptions configures a PushReceiver.
+type PushOptions struct {
+	// Name distinguishes multiple push receivers in the stats. Empty
+	// means "push".
+	Name string
+	// MaxBody caps the accepted request body in bytes. Zero means
+	// DefaultMaxPushBody.
+	MaxBody int64
+	// Clock stamps lines that carry no timestamp. Nil means the real
+	// clock.
+	Clock clock.Clock
+}
+
+// PushReceiver accepts InfluxDB line protocol over HTTP POST — the
+// push half of the pipeline, and the wire format ForwardSink speaks,
+// so any monsterd can receive from clients, collectd-style shippers,
+// or an upstream monsterd's forward sink. Mount it wherever the
+// deployment listens (monsterd uses /v1/ingest/write).
+//
+// Responses: 204 on success, 400 with {"error": ...} on a parse
+// failure (the offending line number included), 405 on a non-POST,
+// 413 when the body exceeds MaxBody, 503 before the receiver is bound
+// to a pipeline, and 500 when an inline sink write fails.
+type PushReceiver struct {
+	name    string
+	maxBody int64
+	clk     clock.Clock
+
+	mu   sync.RWMutex
+	emit EmitFunc
+
+	requests    atomic.Int64
+	parseErrors atomic.Int64
+	bytesRead   atomic.Int64
+	emitErrors  atomic.Int64
+}
+
+// NewPushReceiver builds an HTTP push receiver. Register it with
+// Pipeline.AddReceiver before serving traffic.
+func NewPushReceiver(opts PushOptions) *PushReceiver {
+	if opts.Name == "" {
+		opts.Name = "push"
+	}
+	if opts.MaxBody == 0 {
+		opts.MaxBody = DefaultMaxPushBody
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	return &PushReceiver{name: opts.Name, maxBody: opts.MaxBody, clk: opts.Clock}
+}
+
+// Name implements Receiver.
+func (r *PushReceiver) Name() string { return r.name }
+
+// Bind implements Receiver.
+func (r *PushReceiver) Bind(emit EmitFunc) {
+	r.mu.Lock()
+	r.emit = emit
+	r.mu.Unlock()
+}
+
+// Run implements Receiver. The push receiver is driven by its HTTP
+// clients, not by the pipeline, so Run has nothing to do.
+func (r *PushReceiver) Run(ctx context.Context) error { return nil }
+
+// ServeHTTP implements http.Handler.
+func (r *PushReceiver) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.requests.Add(1)
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "want POST, got %s", req.Method)
+		return
+	}
+	r.mu.RLock()
+	emit := r.emit
+	r.mu.RUnlock()
+	if emit == nil {
+		httpError(w, http.StatusServiceUnavailable, "push receiver not attached to a pipeline")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.maxBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	r.bytesRead.Add(int64(len(body)))
+	points, err := tsdb.ParseLineProtocol(body, r.clk.Now().Unix())
+	if err != nil {
+		r.parseErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := emit(points); err != nil {
+		// Inline mode surfaces the sink failure to the producer; a
+		// running pipeline reports nil here and counts failures in the
+		// sink stats instead.
+		r.emitErrors.Add(1)
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ExtraStats surfaces transport counters in the pipeline snapshot.
+func (r *PushReceiver) ExtraStats() map[string]int64 {
+	return map[string]int64{
+		"requests":     r.requests.Load(),
+		"parse_errors": r.parseErrors.Load(),
+		"bytes_read":   r.bytesRead.Load(),
+		"emit_errors":  r.emitErrors.Load(),
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
+		// The client hung up before reading its own error; nothing
+		// useful left to do with the failure.
+		_ = err
+	}
+}

@@ -1,0 +1,264 @@
+package ingest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"monster/internal/clock"
+	"monster/internal/tsdb"
+)
+
+func TestPushReceiverStatuses(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{})
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddSink(NewTSDBSink(db, TSDBOptions{}))
+	push := NewPushReceiver(PushOptions{MaxBody: 128})
+
+	srv := httptest.NewServer(push)
+	defer srv.Close()
+
+	// Unbound: the receiver is not attached to a pipeline yet.
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("x v=1i 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unbound push status = %d, want 503", resp.StatusCode)
+	}
+
+	p.AddReceiver(push)
+
+	// Non-POST.
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+
+	// Parse failure.
+	resp, err = http.Post(srv.URL, "text/plain", strings.NewReader("not line protocol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad payload status = %d, want 400", resp.StatusCode)
+	}
+
+	// Oversized body.
+	big := strings.Repeat("a", 256)
+	resp, err = http.Post(srv.URL, "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized status = %d, want 413", resp.StatusCode)
+	}
+
+	// Success: points land in the local sink via the inline pipeline.
+	line := `Power,NodeId=10.101.1.1 Reading=212.4 1587384000` + "\n"
+	resp, err = http.Post(srv.URL, "text/plain", strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("push status = %d, want 204", resp.StatusCode)
+	}
+	if got := db.Disk().Points; got != 1 {
+		t.Fatalf("db has %d points, want 1", got)
+	}
+	st := p.Stats()
+	var pushStat *ReceiverStatus
+	for i := range st.Receivers {
+		if st.Receivers[i].Name == "push" {
+			pushStat = &st.Receivers[i]
+		}
+	}
+	if pushStat == nil || pushStat.PointsReceived != 1 {
+		t.Fatalf("receiver stats = %+v", st.Receivers)
+	}
+	// Every request counts, including the unbound 503.
+	if pushStat.Extra["requests"] != 5 || pushStat.Extra["parse_errors"] != 1 {
+		t.Fatalf("extra = %+v", pushStat.Extra)
+	}
+}
+
+func TestPushReceiverDefaultTimestamp(t *testing.T) {
+	clk := clock.NewSim(time.Unix(5000, 0))
+	push := NewPushReceiver(PushOptions{Clock: clk})
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := tsdb.Open(tsdb.Options{})
+	p.AddSink(NewTSDBSink(db, TSDBOptions{}))
+	p.AddReceiver(push)
+
+	srv := httptest.NewServer(push)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("Power,NodeId=n1 Reading=1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	res, err := db.Query(`SELECT "Reading" FROM "Power"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := res.Series[0].Rows[0].Time; ts != 5000 {
+		t.Fatalf("default-stamped time = %d, want 5000", ts)
+	}
+}
+
+func TestParsePrometheus(t *testing.T) {
+	body := []byte(`# HELP node_power Node power draw in watts.
+# TYPE node_power gauge
+node_power{host="n1",rack="r 1"} 212.5 1587384000000
+node_power{host="n2"} 198
+cpu_seconds_total 1234.5
+
+weird_label{msg="a\"b\nc"} 1
+`)
+	pts, err := ParsePrometheus(body, 7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("parsed %d points, want 4: %+v", len(pts), pts)
+	}
+	p0 := pts[0]
+	if p0.Measurement != "node_power" || p0.Time != 1587384000 {
+		t.Fatalf("p0 = %+v", p0)
+	}
+	if v, ok := p0.Tags.Get("rack"); !ok || v != "r 1" {
+		t.Fatalf("p0 tags = %+v", p0.Tags)
+	}
+	if f, _ := p0.Fields["value"].AsFloat(); f != 212.5 {
+		t.Fatalf("p0 value = %+v", p0.Fields)
+	}
+	if pts[1].Time != 7777 {
+		t.Fatalf("untimestamped sample got %d, want default 7777", pts[1].Time)
+	}
+	if pts[2].Tags != nil {
+		t.Fatalf("bare metric grew tags: %+v", pts[2].Tags)
+	}
+	if v, ok := pts[3].Tags.Get("msg"); !ok || v != "a\"b\nc" {
+		t.Fatalf("escapes: %q", v)
+	}
+
+	for _, bad := range []string{
+		`{} 1`, `x{y="1} 2`, `x 1 2 3garbage`, `x notanumber`, `x{y=nope} 1`,
+	} {
+		if _, err := ParsePrometheus([]byte(bad), 0); err == nil {
+			t.Fatalf("ParsePrometheus(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScrapeReceiver(t *testing.T) {
+	exposition := "node_power{host=\"n1\"} 250\nnode_power{host=\"n2\"} 300\n"
+	target := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := w.Write([]byte(exposition)); err != nil {
+			t.Errorf("write exposition: %v", err)
+		}
+	}))
+	defer target.Close()
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer down.Close()
+
+	db := tsdb.Open(tsdb.Options{})
+	p, err := New(Options{Rules: mustRules(t, "rename_measurement:node_power=Power", "rename_tag:host=NodeId")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddSink(NewTSDBSink(db, TSDBOptions{}))
+	sc := NewScrapeReceiver(ScrapeOptions{
+		Targets: []string{target.URL, down.URL},
+		Clock:   clock.NewSim(time.Unix(9000, 0)),
+	})
+	p.AddReceiver(sc)
+
+	sc.ScrapeOnce(context.Background())
+
+	if got := db.Disk().Points; got != 2 {
+		t.Fatalf("db has %d points, want 2", got)
+	}
+	// The router renamed measurement and label on the way in.
+	res, err := db.Query(`SELECT "value" FROM "Power" GROUP BY "NodeId"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %+v", res.Series)
+	}
+	extra := sc.ExtraStats()
+	if extra["scrapes"] != 2 || extra["scrape_errors"] != 1 || extra["samples"] != 2 {
+		t.Fatalf("extra = %+v", extra)
+	}
+}
+
+// TestScrapeReceiverRunLoop drives the scrape loop through the
+// pipeline under a simulated clock and checks it honours cancellation.
+func TestScrapeReceiverRunLoop(t *testing.T) {
+	hits := make(chan struct{}, 16)
+	target := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits <- struct{}{}
+		if _, err := w.Write([]byte("m 1\n")); err != nil {
+			t.Errorf("write exposition: %v", err)
+		}
+	}))
+	defer target.Close()
+
+	sc := NewScrapeReceiver(ScrapeOptions{Targets: []string{target.URL}, Interval: 5 * time.Millisecond})
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddSink(NewTSDBSink(tsdb.Open(tsdb.Options{}), TSDBOptions{}))
+	p.AddReceiver(sc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); _ = p.Run(ctx) }()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case <-hits:
+		case <-time.After(5 * time.Second):
+			t.Fatal("scrape loop never fired")
+		}
+	}
+	cancel()
+	select {
+	case <-runDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not stop")
+	}
+}
+
+func mustRules(t *testing.T, specs ...string) []Rule {
+	t.Helper()
+	rules, err := ParseRules(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}

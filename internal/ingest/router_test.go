@@ -1,0 +1,191 @@
+package ingest
+
+import (
+	"testing"
+
+	"monster/internal/tsdb"
+)
+
+func pt(meas string, tags tsdb.Tags, fields map[string]tsdb.Value, t int64) tsdb.Point {
+	return tsdb.Point{Measurement: meas, Tags: tags, Fields: fields, Time: t}
+}
+
+func TestParseRuleForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Rule
+	}{
+		{"add_tag:cluster=quanah", Rule{Kind: RuleAddTag, Key: "cluster", Value: "quanah"}},
+		{"add_tag:rack=r1@Power", Rule{Kind: RuleAddTag, Key: "rack", Value: "r1", Match: "Power"}},
+		{"rename_tag:host=NodeId", Rule{Kind: RuleRenameTag, Key: "host", Value: "NodeId"}},
+		{"drop_tag:debug", Rule{Kind: RuleDropTag, Key: "debug"}},
+		{"rename_measurement:node_power=Power", Rule{Kind: RuleRenameMeasurement, Key: "node_power", Value: "Power"}},
+		{"drop:Scratch", Rule{Kind: RuleDrop, Match: "Scratch"}},
+		{"derive:PowerKW.Reading=Power.Reading*0.001", Rule{
+			Kind: RuleDerive, Match: "Power", Field: "Reading", Scale: 0.001,
+			OutMeasurement: "PowerKW", OutField: "Reading",
+		}},
+		{"derive:InletF.Reading=Thermal.Reading*1.8+32", Rule{
+			Kind: RuleDerive, Match: "Thermal", Field: "Reading", Scale: 1.8, Offset: 32,
+			OutMeasurement: "InletF", OutField: "Reading",
+		}},
+		{"derive:X.v=Y.v*1e-3", Rule{
+			Kind: RuleDerive, Match: "Y", Field: "v", Scale: 0.001,
+			OutMeasurement: "X", OutField: "v",
+		}},
+	}
+	for _, c := range cases {
+		got, err := ParseRule(c.in)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseRule(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// String() renders a form that parses back to the same rule.
+		rt, err := ParseRule(got.String())
+		if err != nil {
+			t.Fatalf("ParseRule(%q.String() = %q): %v", c.in, got.String(), err)
+		}
+		if rt != got {
+			t.Fatalf("round trip of %q: %+v != %+v", c.in, rt, got)
+		}
+	}
+
+	for _, bad := range []string{
+		"", "add_tag", "add_tag:novalue", "explode:x=y",
+		"drop:", "derive:X=Y*2", "derive:X.v=Y.v", "derive:X.v=Y.v*abc",
+	} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Fatalf("ParseRule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRouterNoRulesPassesThrough(t *testing.T) {
+	rt, err := newRouter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []tsdb.Point{pt("Power", nil, map[string]tsdb.Value{"Reading": tsdb.Float(1)}, 1)}
+	out := rt.process(in)
+	if &out[0] != &in[0] {
+		t.Fatal("no-rule router should pass the batch through without copying")
+	}
+	if rt.pointsIn.Load() != 1 || rt.pointsOut.Load() != 1 {
+		t.Fatalf("counters: in=%d out=%d", rt.pointsIn.Load(), rt.pointsOut.Load())
+	}
+}
+
+func TestRouterRuleChain(t *testing.T) {
+	rules, err := ParseRules([]string{
+		"rename_measurement:node_power=Power",
+		"add_tag:cluster=quanah",
+		"rename_tag:host=NodeId",
+		"drop_tag:debug",
+		"drop:Scratch",
+		"derive:PowerKW.Reading=Power.Reading*0.001",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := newRouter(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []tsdb.Point{
+		pt("node_power", tsdb.Tags{{Key: "host", Value: "n1"}, {Key: "debug", Value: "y"}},
+			map[string]tsdb.Value{"Reading": tsdb.Float(250)}, 10),
+		pt("Scratch", nil, map[string]tsdb.Value{"v": tsdb.Float(1)}, 10),
+	}
+	out := rt.process(in)
+
+	// Scratch dropped; node_power renamed, retagged, and its derived
+	// point appended before it (derive emits first, then the source).
+	if len(out) != 2 {
+		t.Fatalf("out = %d points, want 2: %+v", len(out), out)
+	}
+	var power, kw *tsdb.Point
+	for i := range out {
+		switch out[i].Measurement {
+		case "Power":
+			power = &out[i]
+		case "PowerKW":
+			kw = &out[i]
+		}
+	}
+	if power == nil || kw == nil {
+		t.Fatalf("out = %+v", out)
+	}
+	if v, ok := power.Tags.Get("NodeId"); !ok || v != "n1" {
+		t.Fatalf("rename_tag: tags = %+v", power.Tags)
+	}
+	if v, ok := power.Tags.Get("cluster"); !ok || v != "quanah" {
+		t.Fatalf("add_tag: tags = %+v", power.Tags)
+	}
+	if _, ok := power.Tags.Get("debug"); ok {
+		t.Fatalf("drop_tag: tags = %+v", power.Tags)
+	}
+	if f, _ := kw.Fields["Reading"].AsFloat(); f != 0.25 {
+		t.Fatalf("derive: Reading = %v, want 0.25", kw.Fields["Reading"])
+	}
+
+	// The input batch must not have been mutated (copy-on-write tags).
+	if in[0].Measurement != "node_power" {
+		t.Fatalf("input measurement mutated to %q", in[0].Measurement)
+	}
+	if v, ok := in[0].Tags.Get("host"); !ok || v != "n1" {
+		t.Fatalf("input tags mutated: %+v", in[0].Tags)
+	}
+
+	if got := rt.pointsDropped.Load(); got != 1 {
+		t.Fatalf("pointsDropped = %d, want 1", got)
+	}
+	if got := rt.derived.Load(); got != 1 {
+		t.Fatalf("derived = %d, want 1", got)
+	}
+	if rt.pointsIn.Load() != 2 || rt.pointsOut.Load() != 2 {
+		t.Fatalf("in=%d out=%d", rt.pointsIn.Load(), rt.pointsOut.Load())
+	}
+	// Power: rename_measurement, add_tag, rename_tag, drop_tag, derive;
+	// Scratch: add_tag (unscoped, applies before the drop), drop.
+	if rt.rulesApplied.Load() != 7 {
+		t.Fatalf("rulesApplied = %d, want 7", rt.rulesApplied.Load())
+	}
+}
+
+// TestRouterDeriveDoesNotAliasTags pins a subtle ownership rule: the
+// derived point shares the source point's tag slice at emission, so a
+// later tag-mutating rule must copy rather than mutate in place.
+func TestRouterDeriveDoesNotAliasTags(t *testing.T) {
+	rules, err := ParseRules([]string{
+		"add_tag:stage=one@Power", // forces a private tag slice before derive
+		"derive:PowerKW.Reading=Power.Reading*0.001",
+		"add_tag:unit=kw@Power", // must not leak onto the derived PowerKW point
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := newRouter(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rt.process([]tsdb.Point{
+		pt("Power", tsdb.Tags{{Key: "NodeId", Value: "n1"}},
+			map[string]tsdb.Value{"Reading": tsdb.Float(100)}, 5),
+	})
+	if len(out) != 2 {
+		t.Fatalf("out = %+v", out)
+	}
+	for i := range out {
+		if out[i].Measurement != "PowerKW" {
+			continue
+		}
+		if _, ok := out[i].Tags.Get("unit"); ok {
+			t.Fatalf("derived point aliased source tags: %+v", out[i].Tags)
+		}
+		if v, ok := out[i].Tags.Get("stage"); !ok || v != "one" {
+			t.Fatalf("derived point lost pre-derive tags: %+v", out[i].Tags)
+		}
+	}
+}

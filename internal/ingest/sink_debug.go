@@ -1,0 +1,54 @@
+package ingest
+
+import (
+	"io"
+	"sync"
+
+	"monster/internal/tsdb"
+)
+
+// DebugSink renders every routed point as InfluxDB line protocol to an
+// io.Writer — stdout for interactive debugging, a file for capture.
+// Write failures are counted and surfaced, never swallowed.
+type DebugSink struct {
+	w io.Writer
+
+	mu sync.Mutex
+	st SinkStats
+}
+
+// NewDebugSink builds a debug sink over w (e.g. os.Stdout or a file).
+func NewDebugSink(w io.Writer) *DebugSink {
+	return &DebugSink{w: w}
+}
+
+// Name implements Sink.
+func (s *DebugSink) Name() string { return "debug" }
+
+// Write implements Sink.
+func (s *DebugSink) Write(points []tsdb.Point) error {
+	if len(points) == 0 {
+		return nil
+	}
+	body := tsdb.FormatLineProtocol(points)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.w.Write(body)
+	if err == nil && n < len(body) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		s.st.WriteErrors++
+		return err
+	}
+	s.st.Batches++
+	s.st.PointsWritten += int64(len(points))
+	return nil
+}
+
+// Stats implements Sink.
+func (s *DebugSink) Stats() SinkStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}

@@ -8,8 +8,8 @@ package lint
 // paper's overhead evaluation depends on cycles that stop when told
 // to.
 //
-// Scope: packages named builder, collector, des, and core (where the
-// concurrency lives). Inside any function that takes a
+// Scope: packages named builder, collector, des, core, and ingest
+// (where the concurrency lives). Inside any function that takes a
 // context.Context, a `go` statement or a condition-less `for` loop
 // must mention *some* context value (the parameter or one derived
 // from it) somewhere in its body — passing ctx to a callee, selecting
@@ -24,7 +24,7 @@ import (
 // in-scope context.
 var CtxPropagate = &Analyzer{
 	Name: "ctxpropagate",
-	Doc:  "flags goroutine spawns and condition-less loops in builder/collector/des/core that ignore an in-scope context.Context (uncancellable work leaks)",
+	Doc:  "flags goroutine spawns and condition-less loops in builder/collector/des/core/ingest that ignore an in-scope context.Context (uncancellable work leaks)",
 	Run:  runCtxPropagate,
 }
 
@@ -34,6 +34,7 @@ var ctxScopedPackages = map[string]bool{
 	"collector": true,
 	"des":       true,
 	"core":      true,
+	"ingest":    true,
 }
 
 // isContextType reports whether t is context.Context.

@@ -36,6 +36,7 @@ import (
 	"monster/internal/collector"
 	"monster/internal/core"
 	"monster/internal/experiments"
+	"monster/internal/ingest"
 	"monster/internal/scheduler"
 	"monster/internal/simnode"
 	"monster/internal/tsdb"
@@ -134,6 +135,44 @@ func LoadDB(path string) (*DB, error) { return tsdb.LoadFile(path) }
 
 // NewRollups creates a continuous-query manager over a DB.
 func NewRollups(db *DB) *Rollups { return tsdb.NewRollups(db) }
+
+// Ingest pipeline surface (receivers → router → sinks).
+type (
+	// IngestPipeline wires receivers through the router into sinks
+	// with bounded, overflow-policied stage queues.
+	IngestPipeline = ingest.Pipeline
+	// IngestOptions configures a standalone pipeline.
+	IngestOptions = ingest.Options
+	// IngestRule is one declarative router transformation.
+	IngestRule = ingest.Rule
+	// IngestStats is the per-stage counter snapshot (the /v1/stats
+	// "ingest" section).
+	IngestStats = ingest.PipelineStats
+	// OverflowPolicy selects block vs drop-oldest on a full stage.
+	OverflowPolicy = ingest.OverflowPolicy
+	// PushReceiver accepts line protocol over HTTP POST.
+	PushReceiver = ingest.PushReceiver
+	// ScrapeReceiver polls Prometheus-style exposition endpoints.
+	ScrapeReceiver = ingest.ScrapeReceiver
+	// ForwardSink relays routed points to a peer push endpoint.
+	ForwardSink = ingest.ForwardSink
+	// TSDBSink writes routed points into a local storage engine.
+	TSDBSink = ingest.TSDBSink
+)
+
+// Overflow policies for a full pipeline stage.
+const (
+	OverflowBlock      = ingest.OverflowBlock
+	OverflowDropOldest = ingest.OverflowDropOldest
+)
+
+// NewIngestPipeline builds a standalone pipeline (normally you use the
+// one wired into a System).
+func NewIngestPipeline(opts IngestOptions) (*IngestPipeline, error) { return ingest.New(opts) }
+
+// ParseIngestRule parses one declarative router rule, e.g.
+// "add_tag:cluster=quanah" or "derive:PowerKW.Reading=Power.Reading*0.001".
+func ParseIngestRule(s string) (IngestRule, error) { return ingest.ParseRule(s) }
 
 // FormatLineProtocol renders points in InfluxDB line protocol.
 func FormatLineProtocol(points []Point) []byte { return tsdb.FormatLineProtocol(points) }
