@@ -68,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzWALReplay$$' -run '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -fuzz '^FuzzBlockDecode$$' -run '^FuzzBlockDecode$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -fuzz '^FuzzLineProtocol$$' -run '^FuzzLineProtocol$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+	$(GO) test -fuzz '^FuzzRollupPlanner$$' -run '^FuzzRollupPlanner$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 
 # ingest re-runs the pipeline suite on its own under the race
 # detector: stage saturation under both overflow policies, exact
@@ -89,8 +90,12 @@ bench:
 
 # bench-json prints the storage-compression benchmarks and regenerates
 # BENCH_compression.json (bytes/point, encode+decode ns/point, sealed
-# vs raw scan) from the same harnesses.
+# vs raw scan) and BENCH_rollup.json (month-long-dashboard scan
+# reduction through the tier planner, decode-cache budget stress) from
+# the same harnesses.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkBlockEncode|BenchmarkBlockDecode|BenchmarkCompressedScan' -benchtime 50x ./internal/tsdb
 	$(GO) test -run '^$$' -bench 'BenchmarkMixedReadWrite' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkTieredDashboard|BenchmarkRawDashboard' -benchtime 5x ./internal/tsdb
 	BENCH_JSON=$(CURDIR)/BENCH_compression.json $(GO) test -run '^TestBenchJSON$$' -count=1 -v ./internal/tsdb
+	BENCH_JSON=$(CURDIR)/BENCH_rollup.json $(GO) test -run '^TestBenchRollupJSON$$' -count=1 -v ./internal/tsdb

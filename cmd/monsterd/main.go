@@ -45,6 +45,10 @@ func main() {
 		fsyncInterval = flag.Duration("fsync-interval", time.Second, "fsync cadence under -fsync interval (bounds power-loss exposure)")
 		snapInterval  = flag.Duration("snapshot-interval", 5*time.Minute, "background checkpoint (snapshot + WAL truncation) cadence when -wal-dir is set")
 
+		decodeCacheMB = flag.Int64("decode-cache-mb", 0, "sealed-block decode cache budget in MiB (0 = default 64, negative = unbounded)")
+		plannerOff    = flag.Bool("planner-off", false, "disable the tier-aware query planner (A/B baseline: aggregates always scan raw storage)")
+		rawRetention  = flag.Duration("raw-retention", 0, "expire raw samples older than this once every covering -rollup tier has materialized them (0 = keep raw forever)")
+
 		forward        = flag.String("forward", "", "relay every routed point to a peer monsterd push endpoint (e.g. http://peer:8080/v1/ingest/write)")
 		forwardOnly    = flag.Bool("forward-only", false, "skip local storage and act as a pure relay (requires -forward)")
 		scrape         = flag.String("scrape", "", "comma-separated Prometheus-style exposition endpoints to scrape")
@@ -58,19 +62,41 @@ func main() {
 		routes = append(routes, s)
 		return nil
 	})
+	var rollups []monster.RollupSpec
+	flag.Func("rollup", "materialized rollup tier, repeatable (Source.Field:agg@interval, e.g. Power.Reading:max@5m; chain tiers by using a prior target as Source)", func(s string) error {
+		spec, err := parseRollupFlag(s)
+		if err != nil {
+			return err
+		}
+		rollups = append(rollups, spec)
+		return nil
+	})
 	flag.Parse()
 
+	// -decode-cache-mb speaks MiB; Config speaks bytes. Keep the two
+	// sentinels intact: 0 = engine default, negative = unbounded.
+	cacheBytes := *decodeCacheMB
+	if cacheBytes > 0 {
+		cacheBytes <<= 20
+	}
 	cfg := monster.Config{
 		Nodes: *nodes, Seed: *seed, ConcurrentQueries: true,
-		Retention:      *retention,
-		BlockSize:      *blockSize,
-		AlertRules:     monster.DefaultAlertRules(),
-		IngestRules:    routes,
-		IngestQueue:    *ingestQueue,
-		IngestOverflow: *ingestOverflow,
-		ForwardTo:      *forward,
-		ForwardOnly:    *forwardOnly,
-		ScrapeInterval: *scrapeInterval,
+		Retention:         *retention,
+		BlockSize:         *blockSize,
+		AlertRules:        monster.DefaultAlertRules(),
+		IngestRules:       routes,
+		IngestQueue:       *ingestQueue,
+		IngestOverflow:    *ingestOverflow,
+		ForwardTo:         *forward,
+		ForwardOnly:       *forwardOnly,
+		ScrapeInterval:    *scrapeInterval,
+		Rollups:           rollups,
+		RawRetention:      *rawRetention,
+		DecodeCacheBytes:  cacheBytes,
+		StoragePlannerOff: *plannerOff,
+	}
+	if *rawRetention > 0 && len(rollups) == 0 {
+		log.Fatalf("monsterd: -raw-retention needs at least one -rollup tier to cover the expired range")
 	}
 	if *scrape != "" {
 		cfg.ScrapeTargets = strings.Split(*scrape, ",")
@@ -213,6 +239,34 @@ func main() {
 	if err != nil {
 		log.Fatalf("monsterd: %v", err)
 	}
+}
+
+// parseRollupFlag parses "Source.Field:agg@interval" (interval is a Go
+// duration) into a RollupSpec. The target name is always derived, so
+// chained tiers reference parents by the derived "<Source>_<agg>_<N>s".
+func parseRollupFlag(s string) (monster.RollupSpec, error) {
+	var spec monster.RollupSpec
+	head, ivS, ok := strings.Cut(s, "@")
+	if !ok {
+		return spec, fmt.Errorf("want Source.Field:agg@interval, got %q", s)
+	}
+	sf, agg, ok := strings.Cut(head, ":")
+	if !ok {
+		return spec, fmt.Errorf("want Source.Field:agg@interval, got %q", s)
+	}
+	src, field, ok := strings.Cut(sf, ".")
+	if !ok {
+		return spec, fmt.Errorf("want Source.Field:agg@interval, got %q", s)
+	}
+	iv, err := time.ParseDuration(ivS)
+	if err != nil {
+		return spec, fmt.Errorf("bad rollup interval %q: %v", ivS, err)
+	}
+	if iv < time.Second || iv%time.Second != 0 {
+		return spec, fmt.Errorf("rollup interval %v must be a whole number of seconds", iv)
+	}
+	spec = monster.RollupSpec{Source: src, Field: field, Aggregate: agg, Interval: int64(iv / time.Second)}
+	return spec, spec.Validate()
 }
 
 func progress(ctx context.Context, clk clock.Clock, sys *monster.System) {

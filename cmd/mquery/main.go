@@ -119,8 +119,15 @@ func printBuilderStats(st monster.BuilderStats) {
 		cached = " (cache hit)"
 	}
 	fmt.Printf("builder: %d queries, %d series, %d points merged%s\n", st.Queries, st.Series, st.Points, cached)
-	fmt.Printf("scanned: %d series, %d points, %d bytes\n",
-		st.TSDB.SeriesScanned, st.TSDB.PointsScanned, st.TSDB.BytesScanned)
+	fmt.Printf("scanned: %d series, %d points, %d bytes (%d blocks decoded, %d pruned)\n",
+		st.TSDB.SeriesScanned, st.TSDB.PointsScanned, st.TSDB.BytesScanned,
+		st.TSDB.BlocksDecoded, st.TSDB.BlocksSkipped)
+	if st.TSDB.Tier != "" {
+		// PointsScanned spans every query the builder merged (including
+		// non-tiered ones), so only the absolute avoidance is meaningful.
+		fmt.Printf("planner: served from tier %s (~%d raw points avoided)\n",
+			st.TSDB.Tier, st.TSDB.TierRawEquivalent)
+	}
 	fmt.Printf("payload: %d bytes raw -> %d bytes compressed\n", st.BytesRaw, st.BytesCompressed)
 	fmt.Printf("stages:  plan %.2fms, query %.2fms, merge %.2fms, encode %.2fms, compress %.2fms, total %.2fms\n",
 		ms(st.PlanTime), ms(st.QueryTime), ms(st.MergeTime), ms(st.EncodeTime), ms(st.CompressTime), ms(st.Total))
@@ -180,6 +187,22 @@ func printStats(baseURL string, timeout time.Duration) {
 			Name   string `json:"name"`
 			Series int    `json:"series"`
 		} `json:"measurements"`
+		StorageCache *struct {
+			Hits      int64 `json:"hits"`
+			Misses    int64 `json:"misses"`
+			Evictions int64 `json:"evictions"`
+			Resident  int64 `json:"resident_bytes"`
+			Budget    int64 `json:"budget_bytes"`
+			Entries   int   `json:"entries"`
+		} `json:"storage_cache"`
+		StorageTiers []struct {
+			Target    string `json:"target"`
+			Source    string `json:"source"`
+			Aggregate string `json:"aggregate"`
+			IntervalS int64  `json:"interval_s"`
+			Points    int64  `json:"points"`
+			Watermark int64  `json:"watermark"`
+		} `json:"storage_tiers"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		log.Fatalf("mquery: %v", err)
@@ -189,6 +212,27 @@ func printStats(baseURL string, timeout time.Duration) {
 	fmt.Println("measurements:")
 	for _, m := range body.Measurements {
 		fmt.Printf("  %-14s %6d series\n", m.Name, m.Series)
+	}
+	if c := body.StorageCache; c != nil {
+		total := c.Hits + c.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(c.Hits) / float64(total)
+		}
+		budget := "unbounded"
+		if c.Budget > 0 {
+			budget = fmt.Sprintf("%.2f MB", float64(c.Budget)/1e6)
+		}
+		fmt.Printf("decode cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %.2f MB resident of %s budget, %d blocks\n",
+			c.Hits, c.Misses, rate, c.Evictions, float64(c.Resident)/1e6, budget, c.Entries)
+	}
+	if len(body.StorageTiers) > 0 {
+		fmt.Println("rollup tiers:")
+		for _, ti := range body.StorageTiers {
+			fmt.Printf("  %-22s %s(%s) @%ds  %8d points  watermark=%s\n",
+				ti.Target, ti.Aggregate, ti.Source, ti.IntervalS, ti.Points,
+				time.Unix(ti.Watermark, 0).UTC().Format(time.RFC3339))
+		}
 	}
 }
 

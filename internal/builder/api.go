@@ -259,6 +259,15 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		WALTorn         int64         `json:"wal_torn_frames"`
 		Measurements    []measurement `json:"measurements"`
 		Ingest          any           `json:"ingest,omitempty"`
+		// StorageCache is the sealed-block decode cache: hit/miss/eviction
+		// counters and resident bytes against the configured budget.
+		// Omitted until the first sealed block is touched keeps old
+		// clients' output stable (same contract as "ingest").
+		StorageCache any `json:"storage_cache,omitempty"`
+		// StorageTiers lists registered rollup tiers (target, source,
+		// interval, materialized points, watermark). Omitted when no
+		// rollups are registered.
+		StorageTiers any `json:"storage_tiers,omitempty"`
 	}{
 		Points:          disk.Points,
 		DataBytes:       disk.DataBytes,
@@ -282,6 +291,12 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if fn, ok := a.ingestStats.Load().(func() any); ok {
 		out.Ingest = fn()
+	}
+	if cs := db.CacheStats(); cs.Hits+cs.Misses+cs.Evictions > 0 || cs.ResidentBytes > 0 {
+		out.StorageCache = cs
+	}
+	if tiers := db.TierStats(); len(tiers) > 0 {
+		out.StorageTiers = tiers
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"monster/internal/tsdb"
 )
 
 func apiServer(t *testing.T, nodes, minutes int) (*httptest.Server, *Builder) {
@@ -321,5 +323,98 @@ func TestAPIStatsIngestSection(t *testing.T) {
 	}
 	if !ing.Running || ing.PointsReceived != 42 {
 		t.Fatalf("ingest section = %s", raw)
+	}
+}
+
+// TestAPIStatsStorageSections: /v1/stats embeds the decode-cache
+// counters once sealed blocks have been touched and the rollup tier
+// list once tiers are registered — and omits both keys before then, so
+// deployments without tiers keep their exact old payload shape.
+func TestAPIStatsStorageSections(t *testing.T) {
+	db := tsdb.Open(tsdb.Options{BlockSize: 8})
+	var pts []tsdb.Point
+	for i := 0; i < 60; i++ {
+		pts = append(pts, tsdb.Point{
+			Measurement: "Power",
+			Tags:        tsdb.Tags{{Key: "NodeId", Value: "n0"}, {Key: "Label", Value: "NodePower"}},
+			Fields:      map[string]tsdb.Value{"Reading": tsdb.Float(float64(100 + i))},
+			Time:        int64(i * 60),
+		})
+	}
+	if err := db.WritePoints(pts); err != nil {
+		t.Fatal(err)
+	}
+	api := NewAPI(New(db, Options{}))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	fetch := func() map[string]json.RawMessage {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	body := fetch()
+	if raw, ok := body["storage_cache"]; ok {
+		t.Fatalf("storage_cache present before any sealed-block decode: %s", raw)
+	}
+	if raw, ok := body["storage_tiers"]; ok {
+		t.Fatalf("storage_tiers present before registration: %s", raw)
+	}
+
+	rm := tsdb.NewRollups(db)
+	if err := rm.Add(tsdb.RollupSpec{Source: "Power", Field: "Reading", Aggregate: "max", Interval: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.Run(1800); err != nil {
+		t.Fatal(err)
+	}
+	// A raw scan over the sealed columns populates the decode cache.
+	if _, err := db.Query(`SELECT max("Reading") FROM "Power"`); err != nil {
+		t.Fatal(err)
+	}
+
+	body = fetch()
+	rawTiers, ok := body["storage_tiers"]
+	if !ok {
+		t.Fatal("storage_tiers missing after registration")
+	}
+	var tiers []struct {
+		Target    string `json:"target"`
+		Source    string `json:"source"`
+		IntervalS int64  `json:"interval_s"`
+		Points    int64  `json:"points"`
+		Watermark int64  `json:"watermark"`
+	}
+	if err := json.Unmarshal(rawTiers, &tiers); err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 1 || tiers[0].Target != "Power_max_300s" || tiers[0].Source != "Power" ||
+		tiers[0].IntervalS != 300 || tiers[0].Points == 0 || tiers[0].Watermark == 0 {
+		t.Fatalf("storage_tiers = %s", rawTiers)
+	}
+	rawCache, ok := body["storage_cache"]
+	if !ok {
+		t.Fatal("storage_cache missing after sealed-block reads")
+	}
+	var cache struct {
+		Hits     int64 `json:"hits"`
+		Misses   int64 `json:"misses"`
+		Resident int64 `json:"resident_bytes"`
+		Budget   int64 `json:"budget_bytes"`
+	}
+	if err := json.Unmarshal(rawCache, &cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses == 0 || cache.Resident == 0 || cache.Budget == 0 {
+		t.Fatalf("storage_cache = %s", rawCache)
 	}
 }

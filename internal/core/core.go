@@ -93,6 +93,20 @@ type Config struct {
 	// Rollups are continuous downsampling queries materialized after
 	// every collection cycle.
 	Rollups []tsdb.RollupSpec
+	// RawRetention expires raw samples older than this from rollup
+	// source measurements, once every covering rollup has materialized
+	// them — the age-based tiering knob (coarse tiers are kept by
+	// Retention, raw detail only this long). 0 keeps raw forever.
+	// Requires Rollups; enforced once per collection interval.
+	RawRetention time.Duration
+	// DecodeCacheBytes bounds the storage engine's sealed-block decode
+	// cache (0 = engine default 64 MiB, negative = unbounded — the
+	// keep-everything A/B baseline).
+	DecodeCacheBytes int64
+	// StoragePlannerOff disables the tier-aware query planner so
+	// aggregate queries always scan raw storage — the A/B baseline for
+	// the rollup-rewrite experiment.
+	StoragePlannerOff bool
 	// CacheResponses wraps the builder API in an LRU response cache.
 	CacheResponses bool
 	// StoreAllHealth disables the transition-only health filter
@@ -217,10 +231,12 @@ func NewSystem(cfg Config) (*System, error) {
 	qm := scheduler.NewQMaster(nodes.Nodes(), cfg.Start, scheduler.Options{})
 	api := scheduler.NewAPI(qm)
 	storageOpts := tsdb.Options{
-		ShardDuration: cfg.ShardDuration,
-		ExecWorkers:   cfg.QueryWorkers,
-		BlockSize:     cfg.BlockSize,
-		GlobalLock:    cfg.StorageGlobalLock,
+		ShardDuration:    cfg.ShardDuration,
+		ExecWorkers:      cfg.QueryWorkers,
+		BlockSize:        cfg.BlockSize,
+		GlobalLock:       cfg.StorageGlobalLock,
+		DecodeCacheBytes: cfg.DecodeCacheBytes,
+		PlannerOff:       cfg.StoragePlannerOff,
 	}
 	var (
 		db       *tsdb.DB
@@ -419,6 +435,11 @@ func (s *System) advance(d, step time.Duration, collect bool, ctx context.Contex
 			if s.Config.Retention > 0 {
 				if _, err := s.DB.DeleteBefore(s.now.Add(-s.Config.Retention).Unix()); err != nil {
 					return fmt.Errorf("core: retention at %v: %w", s.now, err)
+				}
+			}
+			if s.Config.RawRetention > 0 && s.Rollups != nil {
+				if _, err := s.DB.ExpireRaw(s.now.Add(-s.Config.RawRetention).Unix()); err != nil {
+					return fmt.Errorf("core: raw-tier expiry at %v: %w", s.now, err)
 				}
 			}
 			if s.Alerts != nil {

@@ -94,10 +94,13 @@ type block struct {
 }
 
 // blockPayload is a decoded block: parallel time/value slices, never
-// written after construction.
+// written after construction. ref is the CLOCK second-chance bit — the
+// only mutable cell, set lock-free by cache hits and cleared by the
+// eviction sweep (see cache.go).
 type blockPayload struct {
 	times []int64
 	vals  []Value
+	ref   atomic.Bool
 }
 
 // overlaps reports whether the block intersects [start, end).
@@ -201,9 +204,15 @@ func sealBlock(times []int64, vals []Value) *block {
 
 // decode returns the block's samples, memoizing the result. Racing
 // callers may both decode; the stores are idempotent (identical
-// content), so last-write-wins is harmless.
-func (b *block) decode() (*blockPayload, error) {
+// content), so last-write-wins is harmless. A non-nil cache charges
+// the payload against the global decode budget (and may evict other
+// blocks to admit it); nil keeps the unaccounted PR 5 behavior, used
+// by internal maintenance paths whose payloads are transient.
+func (b *block) decode(c *decodeCache) (*blockPayload, error) {
 	if p := b.cache.Load(); p != nil {
+		if c != nil {
+			c.hit(p)
+		}
 		return p, nil
 	}
 	times, vals, err := decodeBlockData(b.data)
@@ -212,6 +221,9 @@ func (b *block) decode() (*blockPayload, error) {
 	}
 	p := &blockPayload{times: times, vals: vals}
 	b.cache.Store(p)
+	if c != nil {
+		c.admit(b, p)
+	}
 	return p, nil
 }
 
@@ -460,13 +472,14 @@ func (r *bitReader) remainingBytes() int {
 // header comparison per skipped block and decodes nothing.
 type columnIterator struct {
 	col        *column
+	cache      *decodeCache
 	start, end int64
 	blockIdx   int
 	tailDone   bool
 }
 
-func newColumnIterator(col *column, start, end int64) columnIterator {
-	return columnIterator{col: col, start: start, end: end}
+func newColumnIterator(col *column, start, end int64, cache *decodeCache) columnIterator {
+	return columnIterator{col: col, cache: cache, start: start, end: end}
 }
 
 // next yields the following non-empty chunk, charging pruning and
@@ -487,7 +500,7 @@ func (it *columnIterator) next(stats *QueryStats) (colChunk, bool) {
 			stats.BlocksSkipped++
 			continue
 		}
-		p, err := blk.decode()
+		p, err := blk.decode(it.cache)
 		if err != nil {
 			// Blocks are validated when sealed and when restored; an
 			// undecodable block here is post-hoc corruption. Drop it

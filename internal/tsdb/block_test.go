@@ -85,7 +85,7 @@ func TestBlockRoundTripProperty(t *testing.T) {
 			if _, err := blk.validate(); err != nil {
 				t.Fatalf("%s: validate: %v", style, err)
 			}
-			p, err := blk.decode()
+			p, err := blk.decode(nil)
 			if err != nil {
 				t.Fatalf("%s: decode: %v", style, err)
 			}
@@ -311,7 +311,7 @@ func TestColumnIteratorWalksBlocksThenTail(t *testing.T) {
 	col.vals = []Value{Float(12), Float(13)}
 
 	var stats QueryStats
-	it := newColumnIterator(col, 15, 125)
+	it := newColumnIterator(col, 15, 125, nil)
 	var got []int64
 	for {
 		ch, ok := it.next(&stats)

@@ -1,0 +1,153 @@
+package tsdb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Global decode-cache budget: age-based retention for decoded block
+// payloads.
+//
+// PR 5's per-block memoization (block.cache) made warm scans ~1.0x raw
+// speed, but every block a query ever touched stayed decoded forever —
+// a month-long cold scan left the whole database resident at raw size.
+// The decodeCache charges every cached payload against one global
+// budget (Options.DecodeCacheBytes) and evicts cold payloads with a
+// CLOCK second-chance sweep, so resident decoded bytes stay bounded
+// while the hot working set keeps its pointer-load fast path.
+//
+// The hit path stays lock-free: a cached read is still a single
+// atomic.Pointer load on the block plus setting the payload's ref bit.
+// Only misses (decode + admit) and evictions take the cache mutex.
+
+// defaultDecodeCacheBytes is the budget when Options.DecodeCacheBytes
+// is zero: 64 MiB holds ~1.2M decoded points — a day of minutely
+// telemetry for a few hundred nodes.
+const defaultDecodeCacheBytes = 64 << 20
+
+// cachedPointBytes is the accounting charge per decoded point: an
+// int64 timestamp plus one Value struct (kind + float + int + string
+// header + bool, padded). Slice headers and allocator slack are not
+// counted; string payloads in mixed blocks are charged at header size
+// only. The budget is a working-set bound, not an allocator audit.
+const cachedPointBytes = 8 + 48
+
+// cacheEntry tracks one admitted payload for the CLOCK sweep.
+type cacheEntry struct {
+	blk   *block
+	p     *blockPayload
+	bytes int64
+}
+
+// decodeCache is the global charge-accounted registry of decoded block
+// payloads. Eviction is CLOCK second-chance: the hand sweeps the ring,
+// clearing ref bits set by hits and evicting the first unreferenced
+// entry, so anything touched since the last sweep survives one round.
+type decodeCache struct {
+	budget int64 // max resident payload bytes; <0 = unlimited
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	resident  atomic.Int64
+
+	mu      sync.Mutex
+	entries map[*block]*cacheEntry
+	ring    []*cacheEntry
+	hand    int
+}
+
+// newDecodeCache builds a cache with the given budget (<0 unlimited).
+func newDecodeCache(budget int64) *decodeCache {
+	return &decodeCache{budget: budget, entries: make(map[*block]*cacheEntry)}
+}
+
+// hit records a lock-free cache hit: mark the payload recently used.
+func (c *decodeCache) hit(p *blockPayload) {
+	c.hits.Add(1)
+	if !p.ref.Load() {
+		p.ref.Store(true)
+	}
+}
+
+// admit registers a freshly decoded payload and evicts until the
+// budget holds. Racing decoders of the same block dedup on the entries
+// map: the loser's payload simply goes unaccounted (the block cache
+// pointer holds one of the identical payloads either way).
+func (c *decodeCache) admit(blk *block, p *blockPayload) {
+	c.misses.Add(1)
+	bytes := int64(blk.count) * cachedPointBytes
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[blk]; ok {
+		return
+	}
+	e := &cacheEntry{blk: blk, p: p, bytes: bytes}
+	c.entries[blk] = e
+	c.ring = append(c.ring, e)
+	c.resident.Add(bytes)
+	if c.budget < 0 {
+		return
+	}
+	// CLOCK sweep: each pass either clears a ref bit or evicts, so the
+	// loop terminates — in the worst case by evicting everything,
+	// including the entry just admitted when it alone exceeds budget.
+	for c.resident.Load() > c.budget && len(c.ring) > 0 {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		victim := c.ring[c.hand]
+		if victim.p.ref.Load() {
+			victim.p.ref.Store(false)
+			c.hand++
+			continue
+		}
+		c.evictLocked(c.hand)
+	}
+}
+
+// evictLocked drops ring[i]: the block's decode memo is cleared so the
+// next scan re-decodes (and re-admits). In-flight readers holding the
+// payload pointer keep it alive until they finish; eviction only
+// severs the block's reference.
+func (c *decodeCache) evictLocked(i int) {
+	victim := c.ring[i]
+	victim.blk.cache.Store(nil)
+	delete(c.entries, victim.blk)
+	last := len(c.ring) - 1
+	c.ring[i] = c.ring[last]
+	c.ring[last] = nil
+	c.ring = c.ring[:last]
+	c.resident.Add(-victim.bytes)
+	c.evictions.Add(1)
+}
+
+// CacheStats is a point-in-time snapshot of the decode cache
+// (DB.CacheStats): how the bounded cold-block cache is performing.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"` // <0 = unlimited
+	Entries       int   `json:"entries"`
+}
+
+// CacheStats reports the decode cache's counters.
+func (db *DB) CacheStats() CacheStats {
+	c := db.cache
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		ResidentBytes: c.resident.Load(),
+		BudgetBytes:   c.budget,
+		Entries:       n,
+	}
+}

@@ -1,0 +1,114 @@
+package tsdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// cacheFixture builds a DB whose columns are mostly sealed: nodes
+// series of perNode minutely points with an aggressive seal threshold,
+// so scans must decode blocks through the decode cache.
+func cacheFixture(t *testing.T, budget int64, nodes, perNode int) *DB {
+	t.Helper()
+	db := Open(Options{BlockSize: 32, DecodeCacheBytes: budget})
+	var pts []Point
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < perNode; i++ {
+			pts = append(pts, Point{
+				Measurement: "Power",
+				Tags:        Tags{{"NodeId", fmt.Sprintf("n%d", n)}},
+				Fields:      map[string]Value{"Reading": Float(float64(100 + i%50))},
+				Time:        int64(i * 60),
+			})
+		}
+	}
+	if err := db.WritePoints(pts); err != nil {
+		t.Fatal(err)
+	}
+	if cs := db.Compression(); cs.BlocksSealed == 0 {
+		t.Fatal("fixture sealed no blocks")
+	}
+	return db
+}
+
+// TestDecodeCacheCounters checks the basic contract: a cold scan is
+// all misses, an immediately repeated scan is all hits, and resident
+// bytes track the admitted payloads.
+func TestDecodeCacheCounters(t *testing.T) {
+	db := cacheFixture(t, 1<<30, 4, 256)
+	scan := func() {
+		t.Helper()
+		if _, err := db.Query(`SELECT max("Reading") FROM "Power" GROUP BY time(5m), "NodeId"`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scan()
+	cold := db.CacheStats()
+	if cold.Misses == 0 || cold.Hits != 0 {
+		t.Fatalf("cold scan: %+v, want misses only", cold)
+	}
+	if cold.ResidentBytes == 0 || cold.Entries == 0 {
+		t.Fatalf("cold scan admitted nothing: %+v", cold)
+	}
+	scan()
+	warm := db.CacheStats()
+	if warm.Misses != cold.Misses {
+		t.Fatalf("warm scan re-decoded: %+v after %+v", warm, cold)
+	}
+	if warm.Hits == 0 {
+		t.Fatalf("warm scan missed the cache: %+v", warm)
+	}
+	if warm.Evictions != 0 {
+		t.Fatalf("evictions under a roomy budget: %+v", warm)
+	}
+}
+
+// TestDecodeCacheBudgetEviction is the cold-scan stress: with a budget
+// far smaller than the decoded working set, repeated full scans must
+// keep resident bytes at or under budget by evicting, never crash, and
+// still answer correctly.
+func TestDecodeCacheBudgetEviction(t *testing.T) {
+	const budget = 64 * 1024              // ~1170 points of 64k decoded
+	db := cacheFixture(t, budget, 8, 512) // 4096 points decoded cold
+	for pass := 0; pass < 3; pass++ {
+		res, err := db.Query(`SELECT count("Reading") FROM "Power"`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Series[0].Rows[0].Values[0].I; n != 8*512 {
+			t.Fatalf("pass %d: count = %d, want %d", pass, n, 8*512)
+		}
+		cs := db.CacheStats()
+		if cs.ResidentBytes > budget {
+			t.Fatalf("pass %d: resident %d exceeds budget %d: %+v", pass, cs.ResidentBytes, budget, cs)
+		}
+	}
+	cs := db.CacheStats()
+	if cs.Evictions == 0 {
+		t.Fatalf("working set exceeds budget yet nothing evicted: %+v", cs)
+	}
+	if cs.BudgetBytes != budget {
+		t.Fatalf("budget reported %d, want %d", cs.BudgetBytes, budget)
+	}
+}
+
+// TestDecodeCacheUnbounded checks the A/B baseline: a negative budget
+// disables eviction entirely (PR 5 keep-everything behavior).
+func TestDecodeCacheUnbounded(t *testing.T) {
+	db := cacheFixture(t, -1, 8, 512)
+	for pass := 0; pass < 2; pass++ {
+		if _, err := db.Query(`SELECT count("Reading") FROM "Power"`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := db.CacheStats()
+	if cs.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted: %+v", cs)
+	}
+	if cs.BudgetBytes >= 0 {
+		t.Fatalf("budget reported %d, want negative sentinel", cs.BudgetBytes)
+	}
+	if cs.ResidentBytes == 0 || cs.Hits == 0 {
+		t.Fatalf("unbounded cache not caching: %+v", cs)
+	}
+}

@@ -41,6 +41,18 @@ type Options struct {
 	// and the ext-contention experiment as the baseline.
 	GlobalLock bool
 
+	// DecodeCacheBytes bounds the total resident bytes of decoded
+	// sealed-block payloads (the age-based retention tier for memory —
+	// see cache.go). Zero selects a 64 MiB default; negative removes
+	// the bound (the PR 5 keep-everything baseline for A/B runs).
+	DecodeCacheBytes int64
+
+	// PlannerOff disables the tier-aware query planner: every query
+	// scans raw data even when a registered rollup could answer it.
+	// The A/B escape hatch for the equivalence tests and benchmarks,
+	// same pattern as GlobalLock/BlockSize.
+	PlannerOff bool
+
 	// Clock supplies time for contention accounting (write-wait and
 	// query lock-wait measurements). Nil selects the wall clock; the
 	// DES experiments inject a virtual clock so replayed runs stay
@@ -63,10 +75,26 @@ type DB struct {
 	execWorkers   int
 	blockSize     int // resolved seal threshold; 0 = sealing disabled
 	globalLock    bool
+	plannerOff    bool
 	clock         clock.Clock
+
+	// cache charge-accounts decoded block payloads against one global
+	// budget (see cache.go). Set once at Open, never nil.
+	cache *decodeCache
 
 	writeMu sync.Mutex
 	view    atomic.Pointer[dbView]
+
+	// rollups is the registry of engine-level rollup tiers the planner
+	// and write-path maintenance consult (see rollup.go). Registration
+	// swaps the pointer under writeMu; readers load it lock-free.
+	rollups atomic.Pointer[rollupRegistry]
+
+	// rollupWM caches each rollup target's maintenance watermark (first
+	// unprocessed bucket start). Guarded by writeMu; purely an
+	// optimization — when a target is absent the watermark is inferred
+	// from the published view, which is also how recovery resumes.
+	rollupWM map[string]int64
 
 	// wal, when non-nil, receives every mutation before it applies —
 	// the durability layer OpenDurable attaches (see wal.go). It is set
@@ -116,12 +144,22 @@ func Open(opts Options) *DB {
 	if clk == nil {
 		clk = clock.NewReal()
 	}
+	budget := opts.DecodeCacheBytes
+	switch {
+	case budget == 0:
+		budget = defaultDecodeCacheBytes
+	case budget < 0:
+		budget = -1 // unlimited, accounting stays on
+	}
 	db := &DB{
 		shardDuration: sd,
 		execWorkers:   opts.ExecWorkers,
 		blockSize:     bs,
 		globalLock:    opts.GlobalLock,
+		plannerOff:    opts.PlannerOff,
 		clock:         clk,
+		cache:         newDecodeCache(budget),
+		rollupWM:      make(map[string]int64),
 	}
 	db.view.Store(&dbView{
 		shards: make(map[int64]*shard),
@@ -172,26 +210,18 @@ func (db *DB) publish(v *dbView) { db.view.Store(v) }
 // ingest. Concurrent queries keep running against the previous snapshot
 // and switch to the new one atomically when the batch publishes.
 //
-// On a durable DB (OpenDurable) the batch is appended to the
-// write-ahead log before it applies; a log failure rejects the write
-// so an acknowledged batch is always recoverable.
+// On a durable DB (OpenDurable) the batch — including any rollup
+// maintenance it triggered — is appended to the write-ahead log before
+// it publishes; a log failure rejects the write so an acknowledged
+// batch is always recoverable.
 func (db *DB) WritePoints(points []Point) error {
 	for i := range points {
 		if err := points[i].Validate(); err != nil {
 			return fmt.Errorf("point %d: %w", i, err)
 		}
 	}
-	var logRec []byte
-	if db.wal != nil && len(points) > 0 {
-		logRec = encodeWriteRecord(points)
-	}
 	wait := db.lockWrite()
 	defer db.unlockWrite()
-	if logRec != nil {
-		if err := db.wal.append(logRec); err != nil {
-			return err
-		}
-	}
 	b := newBatch(db.view.Load(), db.shardDuration, db.blockSize)
 	for i := range points {
 		p := &points[i]
@@ -200,7 +230,30 @@ func (db *DB) WritePoints(points []Point) error {
 		b.indexSeries(p, key, sorted)
 		b.writePoint(p, key, sorted)
 	}
-	db.publish(b.finish(len(points) > 0, wait.Nanoseconds()))
+	nv := b.finish(len(points) > 0, wait.Nanoseconds())
+	nv, ops, wms, err := db.rollupMaintain(nv, points)
+	if err != nil {
+		return err
+	}
+	if db.wal != nil && len(points) > 0 {
+		// A plain batch keeps the PR 4 record format so existing logs
+		// and kill-point fixtures stay byte-identical; maintenance work
+		// rides in one composite record so a crash can never tear a raw
+		// write from the rollup rows it produced.
+		var rec []byte
+		if len(ops) == 0 {
+			rec = encodeWriteRecord(points)
+		} else {
+			rec = encodeBatchRecord(points, ops)
+		}
+		if err := db.wal.append(rec); err != nil {
+			return err
+		}
+	}
+	for target, wm := range wms {
+		db.rollupWM[target] = wm
+	}
+	db.publish(nv)
 	return nil
 }
 
@@ -432,4 +485,75 @@ func (db *DB) DeleteBefore(t int64) (int, error) {
 	}
 	db.publish(nv)
 	return dropped, nil
+}
+
+// DeleteMeasurementBefore removes one measurement's samples with
+// time < t, reporting how many points were deleted. Unlike the
+// shard-granular DeleteBefore, this surgically rewrites overlapping
+// columns — the raw-tier expiry path, where raw data ages out while
+// its covering rollup measurements (and unrelated raw measurements in
+// the same shards) stay. On a durable DB the clear is write-ahead
+// logged before it applies.
+func (db *DB) DeleteMeasurementBefore(name string, t int64) (int64, error) {
+	wait := db.lockWrite()
+	defer db.unlockWrite()
+	nv, removed := clearMeasurementRangeView(db.view.Load(), name, minInt64, t, db.blockSize, wait.Nanoseconds())
+	if nv == nil {
+		return 0, nil
+	}
+	if db.wal != nil {
+		if err := db.wal.append(encodeClearRangeRecord(name, minInt64, t)); err != nil {
+			return 0, err
+		}
+	}
+	db.publish(nv)
+	return removed, nil
+}
+
+// ExpireRaw ages out raw-tier data that a registered rollup already
+// covers: for every rollup source measurement, samples older than
+// min(cutoff, every covering rollup's watermark) are deleted. The
+// watermark bound guarantees a bucket is never expired before each of
+// its rollups materialized it, so coarse dashboard queries keep exact
+// answers while the raw tier shrinks to the configured horizon. It
+// reports total points removed.
+func (db *DB) ExpireRaw(cutoff int64) (int64, error) {
+	reg := db.rollups.Load()
+	if reg == nil {
+		return 0, nil
+	}
+	// Collect the safe cutoff per root source: bounded by the least
+	// advanced rollup materialized from it (directly or via a chain).
+	safe := make(map[string]int64)
+	for _, cr := range reg.specs {
+		c, ok := safe[cr.root]
+		if !ok {
+			c = cutoff
+		}
+		db.lockWrite()
+		wm, okWM := db.rollupWM[cr.target]
+		if !okWM {
+			wm, okWM = inferWatermark(db.view.Load(), cr)
+		}
+		db.unlockWrite()
+		if !okWM {
+			wm = minInt64 // nothing materialized yet: nothing expires
+		}
+		if wm < c {
+			c = wm
+		}
+		safe[cr.root] = c
+	}
+	var total int64
+	for source, c := range safe {
+		if c <= minInt64 {
+			continue
+		}
+		n, err := db.DeleteMeasurementBefore(source, c)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }

@@ -39,6 +39,17 @@ type QueryStats struct {
 	// ParallelWorkers is the worker-pool width used to scan and
 	// aggregate the groups (1 = serial).
 	ParallelWorkers int
+
+	// Tier names the rollup measurement the planner served this query
+	// from (empty when the query ran against raw storage). The unsealed
+	// tail beyond the tier's watermark is still read raw, so a tiered
+	// answer is exact.
+	Tier string
+	// TierRawEquivalent estimates how many raw samples the tier portion
+	// replaced — what PointsScanned would have charged without the
+	// rewrite. The ratio TierRawEquivalent / PointsScanned is the
+	// planner's read amplification win.
+	TierRawEquivalent int64
 }
 
 // Add accumulates other into s. Counters sum; SnapshotEpoch and
@@ -54,6 +65,10 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.BlocksSkipped += o.BlocksSkipped
 	s.LockWaitNs += o.LockWaitNs
 	s.Groups += o.Groups
+	s.TierRawEquivalent += o.TierRawEquivalent
+	if s.Tier == "" {
+		s.Tier = o.Tier
+	}
 	if o.SnapshotEpoch > s.SnapshotEpoch {
 		s.SnapshotEpoch = o.SnapshotEpoch
 	}
@@ -135,6 +150,12 @@ func (db *DB) execWorkersFor(groups int) int {
 // snapshot is pinned with one atomic load, so Exec never blocks behind
 // a write batch and always observes whole batches; series groups are
 // scanned and aggregated by a bounded worker pool.
+//
+// When the query's shape matches a registered rollup tier — single
+// aggregate over a grouping interval the tier's buckets divide — the
+// planner transparently answers the sealed prefix from the tier and
+// only the unsealed tail from raw storage (see planTiered). Disable
+// with Options.PlannerOff for A/B baselines.
 func (db *DB) Exec(q *Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -142,9 +163,36 @@ func (db *DB) Exec(q *Query) (*Result, error) {
 	t0 := db.clock.Now()
 	v := db.acquireView()
 	defer db.releaseView()
+	lockWaitNs := db.clock.Now().Sub(t0).Nanoseconds()
+	if res, ok, err := db.planTiered(v, q, lockWaitNs); ok || err != nil {
+		return res, err
+	}
+	return db.execView(v, q, lockWaitNs)
+}
 
+// execNoRewrite executes q against the current snapshot with the
+// tier-aware planner bypassed — the forced-raw baseline the
+// equivalence tests compare against.
+func (db *DB) execNoRewrite(q *Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	v := db.acquireView()
+	defer db.releaseView()
+	return db.execView(v, q, 0)
+}
+
+// execView runs q against one pinned view, bypassing the planner. The
+// write path calls this on unpublished candidate views during rollup
+// maintenance (never through Exec: the planner would consult the very
+// tiers being rebuilt, and acquireView could deadlock under
+// Options.GlobalLock).
+func (db *DB) execView(v *dbView, q *Query, lockWaitNs int64) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
 	res := &Result{}
-	res.Stats.LockWaitNs = db.clock.Now().Sub(t0).Nanoseconds()
+	res.Stats.LockWaitNs = lockWaitNs
 	res.Stats.SnapshotEpoch = v.epoch
 	res.Stats.ParallelWorkers = 1
 
@@ -163,7 +211,7 @@ func (db *DB) Exec(q *Query) (*Result, error) {
 	if workers := db.execWorkersFor(len(groups)); workers <= 1 {
 		var scratch aggScratch
 		for i := range groups {
-			execGroup(q, &groups[i], shards, columns, &out[i], &res.Stats, &scratch)
+			execGroup(q, &groups[i], shards, columns, &out[i], &res.Stats, &scratch, db.cache)
 		}
 	} else {
 		res.Stats.ParallelWorkers = workers
@@ -180,7 +228,7 @@ func (db *DB) Exec(q *Query) (*Result, error) {
 					if i >= len(groups) {
 						return
 					}
-					execGroup(q, &groups[i], shards, columns, &out[i], &workerStats[w], &scratch)
+					execGroup(q, &groups[i], shards, columns, &out[i], &workerStats[w], &scratch, db.cache)
 				}
 			}(w)
 		}
@@ -209,14 +257,14 @@ func (db *DB) Exec(q *Query) (*Result, error) {
 // work (including emitted rows) to stats. Group slots are disjoint, so
 // pool workers call this concurrently with per-worker stats and
 // scratch.
-func execGroup(q *Query, g *seriesGroup, shards []*shard, columns []string, rs *ResultSeries, stats *QueryStats, scratch *aggScratch) {
+func execGroup(q *Query, g *seriesGroup, shards []*shard, columns []string, rs *ResultSeries, stats *QueryStats, scratch *aggScratch, cache *decodeCache) {
 	rs.Name = q.Measurement
 	rs.Tags = g.tags
 	rs.Columns = columns
 	if q.Aggregated() {
-		execAgg(q, g.keys, shards, rs, stats, scratch)
+		execAgg(q, g.keys, shards, rs, stats, scratch, cache)
 	} else {
-		execRaw(q, g.keys, shards, rs, stats)
+		execRaw(q, g.keys, shards, rs, stats, cache)
 	}
 	if q.Descending {
 		for i, j := 0, len(rs.Rows)-1; i < j; i, j = i+1, j-1 {
@@ -502,8 +550,8 @@ type colChunk struct {
 // total sample count. It charges block decode/prune work to stats but
 // not per-sample counters — the caller accounts for each sample
 // exactly once when it is consumed.
-func collectChunks(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) ([]colChunk, bool, int) {
-	return collectChunksInto(nil, keys, field, shards, start, end, stats)
+func collectChunks(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats, cache *decodeCache) ([]colChunk, bool, int) {
+	return collectChunksInto(nil, keys, field, shards, start, end, stats, cache)
 }
 
 // collectChunksInto is collectChunks appending into a reusable buffer.
@@ -512,7 +560,7 @@ func collectChunks(keys []string, field string, shards []*shard, start, end int6
 // is a walk safe for any number of concurrent readers. Each column is
 // visited through a columnIterator: sealed blocks (header-pruned, then
 // decoded) followed by the raw tail.
-func collectChunksInto(chunks []colChunk, keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) (_ []colChunk, sorted bool, n int) {
+func collectChunksInto(chunks []colChunk, keys []string, field string, shards []*shard, start, end int64, stats *QueryStats, cache *decodeCache) (_ []colChunk, sorted bool, n int) {
 	sorted = true
 	var last int64
 	have := false
@@ -526,7 +574,7 @@ func collectChunksInto(chunks []colChunk, keys []string, field string, shards []
 			if !ok {
 				continue
 			}
-			it := newColumnIterator(col, start, end)
+			it := newColumnIterator(col, start, end, cache)
 			for {
 				ch, ok := it.next(stats)
 				if !ok {
@@ -564,8 +612,8 @@ func materialize(chunks []colChunk, sorted bool, n int, stats *QueryStats) []sam
 
 // scanField collects, in time order, every sample of one field across
 // the group's series and the overlapping shards.
-func scanField(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats) []sample {
-	chunks, sorted, n := collectChunks(keys, field, shards, start, end, stats)
+func scanField(keys []string, field string, shards []*shard, start, end int64, stats *QueryStats, cache *decodeCache) []sample {
+	chunks, sorted, n := collectChunks(keys, field, shards, start, end, stats, cache)
 	return materialize(chunks, sorted, n, stats)
 }
 
@@ -640,13 +688,13 @@ func (s *aggScratch) bools(nb int) []bool {
 // to the aggregators in the exact order the slow path would after its
 // stable sort, so results are bit-identical while skipping the
 // per-sample materialization and the bucket hash map.
-func execAgg(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats, scratch *aggScratch) {
+func execAgg(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats, scratch *aggScratch, cache *decodeCache) {
 	nf := len(q.Fields)
 	chunksPerField := scratch.chunkLists(nf)
 	allSorted := true
 	minT, maxT := int64(math.MaxInt64), int64(math.MinInt64)
 	for i, f := range q.Fields {
-		chunks, sorted, _ := collectChunksInto(chunksPerField[i], keys, f.Field, shards, q.Start, q.End, stats)
+		chunks, sorted, _ := collectChunksInto(chunksPerField[i], keys, f.Field, shards, q.Start, q.End, stats, cache)
 		chunksPerField[i] = chunks
 		scratch.chunksPerField[i] = chunks // keep the grown backing for reuse
 		if !sorted {
@@ -1024,13 +1072,13 @@ func rangeStart(q *Query) int64 {
 // timestamps *within* one series; rows from different series in the
 // group are concatenated and time-sorted, never merged (two nodes
 // sampled at the same instant stay two rows).
-func execRaw(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats) {
+func execRaw(q *Query, keys []string, shards []*shard, rs *ResultSeries, stats *QueryStats, cache *decodeCache) {
 	nf := len(q.Fields)
 	for _, key := range keys {
 		rowsByTime := make(map[int64]*Row)
 		var order []int64
 		for i, f := range q.Fields {
-			for _, s := range scanField([]string{key}, f.Field, shards, q.Start, q.End, stats) {
+			for _, s := range scanField([]string{key}, f.Field, shards, q.Start, q.End, stats, cache) {
 				r, ok := rowsByTime[s.t]
 				if !ok {
 					r = &Row{Time: s.t, Values: make([]Value, nf), Present: make([]bool, nf)}

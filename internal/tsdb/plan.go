@@ -1,0 +1,276 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+)
+
+// Tier-aware query planning.
+//
+// A dashboard query like
+//
+//	SELECT max("Reading") FROM "Power" GROUP BY time(1h)
+//
+// over a month of 60-second samples reads ~43k raw points per series.
+// When a rollup tier (rollup.go) already materializes per-5-minute or
+// per-hour maxima, the same buckets can be assembled from tier rows —
+// 12x to 60x fewer points — provided the answer stays exact. The
+// planner rewrites eligible queries to do exactly that:
+//
+//   - The sealed prefix [Start, split) is served from the coarsest
+//     registered tier whose interval divides the query's GROUP BY time
+//     and whose chain bottoms out at the queried measurement + field
+//     with the same aggregate.
+//   - The unsealed tail [split, End) — buckets at or past the tier's
+//     watermark, which raw writes may still be filling — is served from
+//     raw storage, so late buckets are never reported from stale rows.
+//   - split is GROUP-BY-aligned and buckets are absolutely aligned
+//     everywhere (base = alignDown(minT, interval)), so the merge is
+//     plain row concatenation per group, no bucket can straddle it.
+//
+// max/min/sum/count compose losslessly across tiers (sum of sums,
+// max of maxes, sum of counts); mean recombines from the tier's
+// materialized sum and count side fields. Sum-based aggregates over
+// arbitrary floats may differ from the raw scan by reassociation
+// (~1 ulp); integer-valued floats below 2^53 are bit-exact — see
+// DESIGN.md.
+
+// planTiered attempts the rollup rewrite for q against pinned view v.
+// ok=false means the query is not eligible (no matching tier, unaligned
+// range, disabled planner) and the caller should run the raw path.
+func (db *DB) planTiered(v *dbView, q *Query, lockWaitNs int64) (_ *Result, ok bool, _ error) {
+	if db.plannerOff {
+		return nil, false, nil
+	}
+	reg := db.rollups.Load()
+	if reg == nil || !q.Aggregated() || len(q.Fields) != 1 {
+		return nil, false, nil
+	}
+	f := q.Fields[0]
+	g := q.GroupByTime
+	if g <= 0 || !chainableAgg(f.Func) {
+		return nil, false, nil
+	}
+	best := -1
+	for i := range reg.specs {
+		cr := &reg.specs[i]
+		if cr.root != q.Measurement || cr.rootField != f.Field || cr.agg != f.Func {
+			continue
+		}
+		if g%cr.interval != 0 {
+			continue
+		}
+		if best == -1 || cr.interval > reg.specs[best].interval {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	cr := reg.specs[best]
+	// A Start inside a tier bucket would clip raw samples that bucket's
+	// row has already folded in; only tier-aligned (hence GROUP-BY-
+	// aligned) starts are rewritten.
+	if q.Start != math.MinInt64 && mod(q.Start, cr.interval) != 0 {
+		return nil, false, nil
+	}
+	wm, okWM := inferWatermark(v, cr)
+	if !okWM {
+		return nil, false, nil
+	}
+	split := alignDown(min64(wm, q.End), g)
+	if split <= q.Start {
+		return nil, false, nil // tier covers nothing of the range
+	}
+
+	tq := &Query{
+		Measurement: cr.target,
+		Fields:      plannerTierFields(cr),
+		TagConds:    q.TagConds,
+		TagRegexps:  q.TagRegexps,
+		Start:       q.Start,
+		End:         split,
+		GroupByTime: g,
+		GroupByTags: q.GroupByTags,
+	}
+	tres, err := db.execView(v, tq, lockWaitNs)
+	if err != nil {
+		return nil, false, err
+	}
+	rq := *q
+	rq.Start = split
+	rq.Descending = false
+	rq.Limit = 0
+	rres, err := db.execView(v, &rq, 0)
+	if err != nil {
+		return nil, false, err
+	}
+
+	columns := []string{"time", f.Label()}
+	type mergedSeries struct {
+		tags Tags
+		rows []Row
+	}
+	byKey := make(map[string]*mergedSeries)
+	var order []string
+	groupOf := func(tags Tags) *mergedSeries {
+		key := seriesKey("", tags)
+		ms, ok := byKey[key]
+		if !ok {
+			ms = &mergedSeries{tags: tags}
+			byKey[key] = ms
+			order = append(order, key)
+		}
+		return ms
+	}
+	for i := range tres.Series {
+		s := &tres.Series[i]
+		ms := groupOf(s.Tags)
+		for _, row := range s.Rows {
+			val, ok := plannerTierValue(cr, row)
+			if !ok {
+				continue
+			}
+			ms.rows = append(ms.rows, Row{Time: row.Time, Values: []Value{val}, Present: []bool{true}})
+		}
+	}
+	// Tier rows all precede split, raw rows all follow it, and both sides
+	// arrive ascending — concatenation is the merge.
+	for i := range rres.Series {
+		s := &rres.Series[i]
+		ms := groupOf(s.Tags)
+		ms.rows = append(ms.rows, s.Rows...)
+	}
+
+	res := &Result{}
+	res.Stats = tres.Stats
+	res.Stats.Add(rres.Stats)
+	res.Stats.LockWaitNs = lockWaitNs
+	res.Stats.Tier = cr.target
+	res.Stats.TierRawEquivalent = estimateRawPoints(v, q, f.Field, split)
+	res.Stats.Rows = 0
+	res.Series = make([]ResultSeries, 0, len(order))
+	for _, key := range order {
+		ms := byKey[key]
+		if len(ms.rows) == 0 {
+			continue
+		}
+		if q.Descending {
+			for i, j := 0, len(ms.rows)-1; i < j; i, j = i+1, j-1 {
+				ms.rows[i], ms.rows[j] = ms.rows[j], ms.rows[i]
+			}
+		}
+		if q.Limit > 0 && len(ms.rows) > q.Limit {
+			ms.rows = ms.rows[:q.Limit]
+		}
+		res.Stats.Rows += len(ms.rows)
+		res.Series = append(res.Series, ResultSeries{
+			Name:    q.Measurement,
+			Tags:    ms.tags,
+			Columns: columns,
+			Rows:    ms.rows,
+		})
+	}
+	if len(res.Series) == 0 {
+		res.Series = nil
+	}
+	sort.Slice(res.Series, func(i, j int) bool {
+		return tagsLess(res.Series[i].Tags, res.Series[j].Tags)
+	})
+	return res, true, nil
+}
+
+// plannerTierFields maps the user's aggregate onto the tier's
+// materialized fields: tier rows are already per-bucket aggregates, so
+// coarser buckets recombine with the composition aggregate (sum of
+// counts, max of maxes) rather than the original one.
+func plannerTierFields(cr compiledRollup) []FieldExpr {
+	switch cr.agg {
+	case "mean":
+		return []FieldExpr{
+			{Func: "sum", Field: meanSumField(cr.rootField)},
+			{Func: "sum", Field: meanCountField(cr.rootField)},
+		}
+	case "count":
+		return []FieldExpr{{Func: "sum", Field: cr.rootField}}
+	default: // max, min, sum compose with themselves
+		return []FieldExpr{{Func: cr.agg, Field: cr.rootField}}
+	}
+}
+
+// plannerTierValue converts one aggregated tier row into the value the
+// raw scan would have produced for that bucket.
+func plannerTierValue(cr compiledRollup, row Row) (Value, bool) {
+	switch cr.agg {
+	case "mean":
+		if len(row.Values) < 2 || !row.Present[0] || !row.Present[1] {
+			return Value{}, false
+		}
+		sum, okS := row.Values[0].AsFloat()
+		cnt, okC := row.Values[1].AsFloat()
+		if !okS || !okC || cnt == 0 {
+			return Value{}, false
+		}
+		return Float(sum / cnt), true
+	case "count":
+		// Raw count emits Int; the tier side sums Int counts through the
+		// float kernel, so coerce back.
+		if len(row.Values) < 1 || !row.Present[0] {
+			return Value{}, false
+		}
+		fv, ok := row.Values[0].AsFloat()
+		if !ok {
+			return Value{}, false
+		}
+		return Int(int64(math.Round(fv))), true
+	default:
+		if len(row.Values) < 1 || !row.Present[0] {
+			return Value{}, false
+		}
+		return row.Values[0], true
+	}
+}
+
+// estimateRawPoints estimates how many raw samples of field the query
+// would have scanned over [q.Start, split) without the rewrite —
+// header-only work: full blocks contribute their exact counts, blocks
+// straddling a boundary contribute proportionally, the raw tail is
+// counted exactly. Reported as QueryStats.TierRawEquivalent.
+func estimateRawPoints(v *dbView, q *Query, field string, split int64) int64 {
+	keys := v.matchSeries(q)
+	if len(keys) == 0 {
+		return 0
+	}
+	shards := v.shardsOverlapping(q.Start, split)
+	var n int64
+	for _, sh := range shards {
+		for _, k := range keys {
+			sr, ok := sh.series[k]
+			if !ok {
+				continue
+			}
+			col, ok := sr.fields[field]
+			if !ok {
+				continue
+			}
+			for _, b := range col.blocks {
+				if b.maxT < q.Start || b.minT >= split {
+					continue
+				}
+				if b.minT >= q.Start && b.maxT < split {
+					n += int64(b.count)
+					continue
+				}
+				span := b.maxT - b.minT + 1
+				lo := max64(q.Start, b.minT)
+				hi := min64(split-1, b.maxT)
+				if ovl := hi - lo + 1; ovl > 0 && span > 0 {
+					n += int64(b.count) * ovl / span
+				}
+			}
+			lo, hi := col.rangeIndexes(q.Start, split)
+			n += int64(hi - lo)
+		}
+	}
+	return n
+}

@@ -233,7 +233,10 @@ func replaySegment(db *DB, seg walSegment, info *RecoveryInfo) (int64, error) {
 }
 
 // applyWALRecord re-applies one mutation. The DB has no WAL attached
-// during replay, so nothing is re-logged.
+// during replay, so nothing is re-logged; rollup specs are registered
+// only after OpenDurable returns, so replaying a write never re-runs
+// tier maintenance — composite records carry their derived ops and
+// replay them verbatim instead.
 func applyWALRecord(db *DB, rec walRecord) error {
 	switch rec.op {
 	case walOpWrite:
@@ -244,9 +247,63 @@ func applyWALRecord(db *DB, rec walRecord) error {
 	case walOpDeleteBefore:
 		_, err := db.DeleteBefore(rec.before)
 		return err
+	case walOpBatch:
+		return db.applyBatchRecord(rec.points, rec.ops)
+	case walOpClearRange:
+		return db.applyClearRange(rec.name, rec.start, rec.end)
 	default:
 		return fmt.Errorf("tsdb: wal: bad op %d", rec.op)
 	}
+}
+
+// applyBatchRecord replays a composite record: the raw write batch,
+// then each rollup op exactly as maintenance produced it at log time
+// (clear the stale bucket range, write the recomputed rows). One
+// publish at the end keeps the whole record atomic for readers, the
+// same guarantee the original write gave.
+func (db *DB) applyBatchRecord(points []Point, ops []rollupOp) error {
+	for i := range points {
+		if err := points[i].Validate(); err != nil {
+			return err
+		}
+	}
+	wait := db.lockWrite()
+	defer db.unlockWrite()
+	v := db.view.Load()
+	if len(points) > 0 {
+		b := newBatch(v, db.shardDuration, db.blockSize)
+		for i := range points {
+			p := &points[i]
+			sorted := p.Tags.Sorted()
+			key := seriesKey(p.Measurement, sorted)
+			b.indexSeries(p, key, sorted)
+			b.writePoint(p, key, sorted)
+		}
+		v = b.finish(true, wait.Nanoseconds())
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.clearStart < op.clearEnd {
+			if nv, _ := clearMeasurementRangeView(v, op.target, op.clearStart, op.clearEnd, db.blockSize, 0); nv != nil {
+				v = nv
+			}
+		}
+		if len(op.points) > 0 {
+			v = applyRollupPoints(v, op.points, db.shardDuration, db.blockSize)
+		}
+	}
+	db.publish(v)
+	return nil
+}
+
+// applyClearRange replays a measurement range clear.
+func (db *DB) applyClearRange(name string, start, end int64) error {
+	wait := db.lockWrite()
+	defer db.unlockWrite()
+	if nv, _ := clearMeasurementRangeView(db.view.Load(), name, start, end, db.blockSize, wait.Nanoseconds()); nv != nil {
+		db.publish(nv)
+	}
+	return nil
 }
 
 // Checkpoint makes the WAL directory's snapshot current and truncates

@@ -10,10 +10,15 @@ import (
 // features that can be used to calculate aggregation, roll-ups,
 // downsampling" the paper leans on (Section III-C). A RollupSpec
 // materializes a downsampled copy of one field into a target
-// measurement; consumers with coarse intervals then scan orders of
-// magnitude fewer points (see BenchmarkAblationRollup).
+// measurement; the tier-aware planner (exec.go) then answers coarse
+// dashboard queries from the rollup tier transparently, and the write
+// path keeps every tier fresh incrementally — O(touched buckets) per
+// batch instead of a poll-loop rescan.
 type RollupSpec struct {
-	// Source measurement and field to downsample.
+	// Source measurement and field to downsample. Source may itself be
+	// a registered rollup target, chaining tiers (raw -> 5m -> 1h);
+	// a chained spec must keep the parent's field and aggregate, and
+	// its interval must be a coarser multiple of the parent's.
 	Source string
 	Field  string
 	// Aggregate function ("max", "mean", ...).
@@ -49,37 +54,549 @@ func (s *RollupSpec) TargetName() string {
 	return fmt.Sprintf("%s_%s_%ds", s.Source, s.Aggregate, s.Interval)
 }
 
+const minInt64 = math.MinInt64
+
+// alignDown floors t to a multiple of interval (bucket start).
+func alignDown(t, interval int64) int64 { return t - mod(t, interval) }
+
+// compiledRollup is a registered spec resolved against the registry:
+// chain provenance (root measurement/field for planner matching) plus
+// the flags maintenance needs.
+type compiledRollup struct {
+	target   string
+	source   string
+	field    string
+	agg      string
+	interval int64
+
+	chained   bool
+	root      string // raw measurement at the bottom of the chain
+	rootField string // raw field the chain aggregates
+	depth     int
+}
+
+// rollupRegistry is the immutable registered-spec set the planner and
+// write-path maintenance consult. specs is in registration order,
+// which is topological: a chained spec's parent always precedes it.
+type rollupRegistry struct {
+	specs    []compiledRollup
+	byTarget map[string]int
+}
+
+// chainableAggs are the aggregates a rollup can source from a coarser
+// rollup (and the only ones the planner rewrites): they compose
+// exactly — max of maxes, sum of sums, sum of counts; mean rides on
+// materialized sum+count side fields.
+func chainableAgg(agg string) bool {
+	switch agg {
+	case "max", "min", "sum", "count", "mean":
+		return true
+	}
+	return false
+}
+
+// meanSumField / meanCountField name the side fields a mean rollup
+// materializes next to the mean itself, so coarser tiers and the
+// planner can recombine exactly instead of averaging averages.
+func meanSumField(f string) string   { return f + "_sum" }
+func meanCountField(f string) string { return f + "_count" }
+
+// RegisterRollup compiles and registers a rollup tier on the engine.
+// The target must be unused; a spec whose Source is itself a
+// registered target chains onto it, which requires the same field and
+// aggregate, a chain-exact aggregate (max/min/sum/count/mean), and an
+// interval that is a coarser multiple of the parent's.
+func (db *DB) RegisterRollup(spec RollupSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	target := spec.TargetName()
+	db.lockWrite()
+	defer db.unlockWrite()
+	old := db.rollups.Load()
+	cr := compiledRollup{
+		target:    target,
+		source:    spec.Source,
+		field:     spec.Field,
+		agg:       spec.Aggregate,
+		interval:  spec.Interval,
+		root:      spec.Source,
+		rootField: spec.Field,
+	}
+	if old != nil {
+		if _, dup := old.byTarget[target]; dup {
+			return fmt.Errorf("tsdb: rollup target %q already registered", target)
+		}
+		if pi, ok := old.byTarget[spec.Source]; ok {
+			parent := old.specs[pi]
+			if !chainableAgg(spec.Aggregate) {
+				return fmt.Errorf("tsdb: rollup aggregate %q cannot chain from %q", spec.Aggregate, spec.Source)
+			}
+			if spec.Aggregate != parent.agg {
+				return fmt.Errorf("tsdb: chained rollup aggregate %q differs from parent's %q", spec.Aggregate, parent.agg)
+			}
+			if spec.Field != parent.rootField {
+				return fmt.Errorf("tsdb: chained rollup field %q differs from parent's %q", spec.Field, parent.rootField)
+			}
+			if spec.Interval <= parent.interval || spec.Interval%parent.interval != 0 {
+				return fmt.Errorf("tsdb: chained rollup interval %ds must be a coarser multiple of the parent's %ds",
+					spec.Interval, parent.interval)
+			}
+			cr.chained = true
+			cr.root = parent.root
+			cr.rootField = parent.rootField
+			cr.depth = parent.depth + 1
+		}
+	}
+	next := &rollupRegistry{byTarget: make(map[string]int)}
+	if old != nil {
+		next.specs = append(next.specs, old.specs...)
+		for k, v := range old.byTarget {
+			next.byTarget[k] = v
+		}
+	}
+	next.byTarget[target] = len(next.specs)
+	next.specs = append(next.specs, cr)
+	db.rollups.Store(next)
+	return nil
+}
+
+// rollupOp is one tier mutation produced by maintenance: clear the
+// target's stale bucket rows, then write the recomputed ones. Recorded
+// in the composite WAL record so recovery replays the exact mutation
+// instead of re-running maintenance (deterministic, never
+// double-applied).
+type rollupOp struct {
+	target     string
+	clearStart int64 // half-open clear range; equal bounds = no clear
+	clearEnd   int64
+	points     []Point
+}
+
+// wmOf resolves a spec's watermark (first unprocessed bucket start):
+// staged updates from the current maintenance round, then the DB's
+// cached map, then inference from the view. Callers hold writeMu.
+func (db *DB) wmOf(v *dbView, cr compiledRollup, staged map[string]int64) (int64, bool) {
+	if wm, ok := staged[cr.target]; ok {
+		return wm, true
+	}
+	if wm, ok := db.rollupWM[cr.target]; ok {
+		return wm, true
+	}
+	return inferWatermark(v, cr)
+}
+
+// inferWatermark derives a spec's watermark purely from stored data —
+// how maintenance resumes after restart or crash recovery without
+// persisting planner state. Target rows sit at bucket starts, so the
+// newest target row t means every bucket through t is materialized:
+// wm = t + interval. An empty target starts at the source's first
+// bucket. ok=false means the source holds no data yet.
+//
+// Crash safety falls out of the construction: a watermark inferred
+// this way never points below an existing bucket row, so replayed
+// maintenance recomputes whole buckets idempotently (clear + rewrite)
+// instead of appending duplicates.
+func inferWatermark(v *dbView, cr compiledRollup) (int64, bool) {
+	if last, ok := viewLastTime(v, cr.target); ok {
+		return alignDown(last, cr.interval) + cr.interval, true
+	}
+	if first, ok := viewEarliestTime(v, cr.source); ok {
+		return alignDown(first, cr.interval), true
+	}
+	return 0, false
+}
+
+// rollupMaintain advances every registered tier affected by a write
+// batch, against the not-yet-published candidate view. For each spec
+// (topological order) it recomputes the touched bucket range — late
+// writes heal already-materialized buckets via clear+rewrite, because
+// the store appends duplicate timestamps rather than overwriting —
+// and materializes newly closed buckets up to the data horizon (the
+// bucket holding the newest source point stays open). Returns the new
+// candidate view, the ops to WAL-log, and staged watermark updates to
+// apply after the log append succeeds. Caller holds writeMu.
+func (db *DB) rollupMaintain(v *dbView, points []Point) (*dbView, []rollupOp, map[string]int64, error) {
+	reg := db.rollups.Load()
+	if reg == nil || len(points) == 0 {
+		return v, nil, nil, nil
+	}
+	type timeRange struct{ min, max int64 }
+	touched := make(map[string]timeRange)
+	for i := range points {
+		p := &points[i]
+		tr, ok := touched[p.Measurement]
+		if !ok {
+			tr = timeRange{p.Time, p.Time}
+		} else {
+			if p.Time < tr.min {
+				tr.min = p.Time
+			}
+			if p.Time > tr.max {
+				tr.max = p.Time
+			}
+		}
+		touched[p.Measurement] = tr
+	}
+	var ops []rollupOp
+	staged := make(map[string]int64)
+	for _, cr := range reg.specs {
+		tch, ok := touched[cr.source]
+		if !ok {
+			continue
+		}
+		wm, ok := db.wmOf(v, cr, staged)
+		if !ok {
+			continue // source empty (first write validated against it below anyway)
+		}
+		// Horizon: how far materialization may advance. Root tiers are
+		// data-driven — the bucket containing the newest source point is
+		// still open. Chained tiers are bounded by the parent's
+		// watermark: a child bucket closes once the parent materialized
+		// everything inside it.
+		var horizon int64
+		if cr.chained {
+			pwm, okP := db.wmOf(v, reg.specs[reg.byTarget[cr.source]], staged)
+			if !okP {
+				continue
+			}
+			horizon = alignDown(pwm, cr.interval)
+		} else {
+			last, okL := viewLastTime(v, cr.source)
+			if !okL {
+				continue
+			}
+			horizon = alignDown(last, cr.interval)
+		}
+		// Recompute span: stale touched buckets below the watermark
+		// (heal) plus newly closed buckets up to the horizon (growth).
+		start := alignDown(tch.min, cr.interval)
+		if wm < start {
+			start = wm
+		}
+		end := horizon
+		if healEnd := min64(wm, alignDown(tch.max, cr.interval)+cr.interval); healEnd > end {
+			end = healEnd
+		}
+		if start >= end {
+			continue
+		}
+		nv, op, err := db.rollupExec(v, cr, start, end, wm)
+		if err != nil {
+			return v, nil, nil, err
+		}
+		v = nv
+		if op.clearStart < op.clearEnd || len(op.points) > 0 {
+			ops = append(ops, op)
+		}
+		staged[cr.target] = max64(wm, horizon)
+		// The target advanced over [start, end): chained children see it
+		// as touched source data.
+		tr, ok := touched[cr.target]
+		if !ok {
+			tr = timeRange{start, end - 1}
+		} else {
+			if start < tr.min {
+				tr.min = start
+			}
+			if end-1 > tr.max {
+				tr.max = end - 1
+			}
+		}
+		touched[cr.target] = tr
+	}
+	return v, ops, staged, nil
+}
+
+// rollupExec recomputes one spec's buckets in [start, end) against
+// candidate view v: query the source, clear stale target rows below
+// the watermark, write the recomputed rows. Returns the new candidate
+// view and the op for WAL logging. Caller holds writeMu; the result is
+// not published here.
+func (db *DB) rollupExec(v *dbView, cr compiledRollup, start, end, wm int64) (*dbView, rollupOp, error) {
+	q := &Query{
+		Fields:      rollupQueryFields(cr),
+		Measurement: cr.source,
+		Start:       start,
+		End:         end,
+		GroupByTime: cr.interval,
+		GroupByTags: []string{"*"},
+	}
+	res, err := db.execView(v, q, 0)
+	if err != nil {
+		return v, rollupOp{}, fmt.Errorf("tsdb: rollup %q: %w", cr.target, err)
+	}
+	var pts []Point
+	for _, s := range res.Series {
+		for _, row := range s.Rows {
+			fields, ok := rollupRowFields(cr, row)
+			if !ok {
+				continue
+			}
+			pts = append(pts, Point{
+				Measurement: cr.target,
+				Tags:        s.Tags,
+				Fields:      fields,
+				Time:        row.Time,
+			})
+		}
+	}
+	op := rollupOp{target: cr.target, clearStart: start, clearEnd: min64(end, wm), points: pts}
+	if op.clearStart < op.clearEnd {
+		if nv, _ := clearMeasurementRangeView(v, cr.target, op.clearStart, op.clearEnd, db.blockSize, 0); nv != nil {
+			v = nv
+		} else {
+			op.clearEnd = op.clearStart // nothing was there to clear
+		}
+	} else {
+		op.clearEnd = op.clearStart
+	}
+	if len(pts) > 0 {
+		v = applyRollupPoints(v, pts, db.shardDuration, db.blockSize)
+	}
+	return v, op, nil
+}
+
+// applyRollupPoints writes maintenance-produced points into a fresh
+// batch over v and returns the finished (unpublished) view.
+func applyRollupPoints(v *dbView, pts []Point, shardDuration int64, blockSize int) *dbView {
+	b := newBatch(v, shardDuration, blockSize)
+	for i := range pts {
+		p := &pts[i]
+		sorted := p.Tags.Sorted()
+		key := seriesKey(p.Measurement, sorted)
+		b.indexSeries(p, key, sorted)
+		b.writePoint(p, key, sorted)
+	}
+	return b.finish(true, 0)
+}
+
+// rollupQueryFields builds the source query's field list for one spec.
+// A root mean materializes sum and count next to the mean so coarser
+// tiers and the planner recombine exactly; a chained tier re-reads the
+// parent's materialized fields with chain-exact aggregates.
+func rollupQueryFields(cr compiledRollup) []FieldExpr {
+	if !cr.chained {
+		if cr.agg == "mean" {
+			return []FieldExpr{
+				{Func: "mean", Field: cr.field},
+				{Func: "sum", Field: cr.field},
+				{Func: "count", Field: cr.field},
+			}
+		}
+		return []FieldExpr{{Func: cr.agg, Field: cr.field}}
+	}
+	switch cr.agg {
+	case "mean":
+		return []FieldExpr{
+			{Func: "sum", Field: meanSumField(cr.field)},
+			{Func: "sum", Field: meanCountField(cr.field)},
+		}
+	case "count":
+		// The parent's rows already hold per-bucket counts; coarser
+		// counts are their sum.
+		return []FieldExpr{{Func: "sum", Field: cr.field}}
+	default: // max, min, sum compose with themselves
+		return []FieldExpr{{Func: cr.agg, Field: cr.field}}
+	}
+}
+
+// rollupRowFields converts one aggregated source row into the target
+// point's field map, applying the chain coercions (counts stay Int,
+// chained means recombine from sum/count).
+func rollupRowFields(cr compiledRollup, row Row) (map[string]Value, bool) {
+	if !cr.chained {
+		if cr.agg == "mean" {
+			if !row.Present[0] || !row.Present[1] || !row.Present[2] {
+				return nil, false
+			}
+			return map[string]Value{
+				cr.field:                 row.Values[0],
+				meanSumField(cr.field):   row.Values[1],
+				meanCountField(cr.field): row.Values[2],
+			}, true
+		}
+		if !row.Present[0] {
+			return nil, false
+		}
+		return map[string]Value{cr.field: row.Values[0]}, true
+	}
+	switch cr.agg {
+	case "mean":
+		if !row.Present[0] || !row.Present[1] {
+			return nil, false
+		}
+		sum, okS := row.Values[0].AsFloat()
+		cnt, okC := row.Values[1].AsFloat()
+		if !okS || !okC || cnt == 0 {
+			return nil, false
+		}
+		return map[string]Value{
+			cr.field:                 Float(sum / cnt),
+			meanSumField(cr.field):   Float(sum),
+			meanCountField(cr.field): Int(int64(math.Round(cnt))),
+		}, true
+	case "count":
+		if !row.Present[0] {
+			return nil, false
+		}
+		f, ok := row.Values[0].AsFloat()
+		if !ok {
+			return nil, false
+		}
+		return map[string]Value{cr.field: Int(int64(math.Round(f)))}, true
+	default:
+		if !row.Present[0] {
+			return nil, false
+		}
+		return map[string]Value{cr.field: row.Values[0]}, true
+	}
+}
+
+// RollupAdvance materializes every complete bucket with end <= now
+// (data time, unix seconds) for all registered tiers — the poll-loop
+// complement to the write-path maintenance, used to close buckets by
+// clock when writes go quiet. It reports rollup points written.
+func (db *DB) RollupAdvance(now int64) (int, error) {
+	reg := db.rollups.Load()
+	if reg == nil {
+		return 0, nil
+	}
+	db.lockWrite()
+	defer db.unlockWrite()
+	v := db.view.Load()
+	base := v
+	var ops []rollupOp
+	staged := make(map[string]int64)
+	total := 0
+	for _, cr := range reg.specs {
+		wm, ok := db.wmOf(v, cr, staged)
+		if !ok {
+			continue // source empty
+		}
+		var horizon int64
+		if cr.chained {
+			pwm, okP := db.wmOf(v, reg.specs[reg.byTarget[cr.source]], staged)
+			if !okP {
+				continue
+			}
+			horizon = alignDown(pwm, cr.interval)
+		} else {
+			horizon = alignDown(now, cr.interval)
+		}
+		if wm >= horizon {
+			continue
+		}
+		nv, op, err := db.rollupExec(v, cr, wm, horizon, wm)
+		if err != nil {
+			return total, err
+		}
+		v = nv
+		total += len(op.points)
+		if op.clearStart < op.clearEnd || len(op.points) > 0 {
+			ops = append(ops, op)
+		}
+		staged[cr.target] = horizon
+	}
+	if db.wal != nil && len(ops) > 0 {
+		if err := db.wal.append(encodeBatchRecord(nil, ops)); err != nil {
+			return 0, err
+		}
+	}
+	for target, wm := range staged {
+		db.rollupWM[target] = wm
+	}
+	if v != base {
+		db.publish(v)
+	}
+	return total, nil
+}
+
+// TierStats describes one registered rollup tier for observability
+// (/v1/stats storage_tiers, mquery).
+type TierStats struct {
+	Target    string `json:"target"`
+	Source    string `json:"source"`
+	Aggregate string `json:"aggregate"`
+	IntervalS int64  `json:"interval_s"`
+	Points    int64  `json:"points"`
+	Watermark int64  `json:"watermark"`
+}
+
+// TierStats lists the registered rollup tiers with their materialized
+// point counts and watermarks, in registration (chain) order.
+func (db *DB) TierStats() []TierStats {
+	reg := db.rollups.Load()
+	if reg == nil {
+		return nil
+	}
+	out := make([]TierStats, 0, len(reg.specs))
+	db.lockWrite()
+	v := db.view.Load()
+	for _, cr := range reg.specs {
+		ts := TierStats{
+			Target:    cr.target,
+			Source:    cr.source,
+			Aggregate: cr.agg,
+			IntervalS: cr.interval,
+		}
+		if wm, ok := db.wmOf(v, cr, nil); ok {
+			ts.Watermark = wm
+		}
+		out = append(out, ts)
+	}
+	db.unlockWrite()
+	for i := range out {
+		out[i].Points = db.measurementPoints(out[i].Target)
+	}
+	return out
+}
+
+// measurementPoints counts one measurement's stored points across all
+// shards.
+func (db *DB) measurementPoints(name string) int64 {
+	v := db.acquireView()
+	defer db.releaseView()
+	mi, ok := v.index[name]
+	if !ok {
+		return 0
+	}
+	var n int64
+	for _, s := range v.shardStarts {
+		sh := v.shards[s]
+		for key := range mi.series {
+			if sr, ok := sh.series[key]; ok {
+				n += int64(sr.points())
+			}
+		}
+	}
+	return n
+}
+
 // Rollups manages a set of continuous downsampling queries over one
-// DB. Each Run processes complete buckets between the per-spec
-// watermark and the given data time.
+// DB — the stable wrapper around the engine-level registry
+// (RegisterRollup/RollupAdvance) that core and the deployment wire up.
 type Rollups struct {
 	db *DB
 
-	mu        sync.Mutex
-	specs     []RollupSpec
-	watermark map[string]int64 // target -> first unprocessed bucket start
+	mu    sync.Mutex
+	specs []RollupSpec
 }
 
 // NewRollups creates a manager for db.
 func NewRollups(db *DB) *Rollups {
-	return &Rollups{db: db, watermark: make(map[string]int64)}
+	return &Rollups{db: db}
 }
 
-// Add registers a spec; processing starts at the first Run.
+// Add registers a spec on the engine; the write path maintains it
+// incrementally from then on, and Run closes buckets by clock.
 func (r *Rollups) Add(spec RollupSpec) error {
-	if err := spec.Validate(); err != nil {
+	if err := r.db.RegisterRollup(spec); err != nil {
 		return err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	name := spec.TargetName()
-	for _, s := range r.specs {
-		if s.TargetName() == name {
-			return fmt.Errorf("tsdb: rollup target %q already registered", name)
-		}
-	}
 	r.specs = append(r.specs, spec)
-	r.watermark[name] = math.MinInt64
+	r.mu.Unlock()
 	return nil
 }
 
@@ -94,84 +611,31 @@ func (r *Rollups) Specs() []RollupSpec {
 
 // Run materializes every complete bucket with end <= now (data time,
 // unix seconds) for all specs. It reports the number of rollup points
-// written.
+// written. With write-path maintenance active this mostly closes the
+// final clock-complete bucket after writes go quiet.
 func (r *Rollups) Run(now int64) (int, error) {
-	r.mu.Lock()
-	specs := make([]RollupSpec, len(r.specs))
-	copy(specs, r.specs)
-	r.mu.Unlock()
-
-	total := 0
-	for _, spec := range specs {
-		n, err := r.runOne(spec, now)
-		total += n
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
+	return r.db.RollupAdvance(now)
 }
 
-func (r *Rollups) runOne(spec RollupSpec, now int64) (int, error) {
-	target := spec.TargetName()
-	horizon := now - mod(now, spec.Interval) // first incomplete bucket
-
-	r.mu.Lock()
-	start := r.watermark[target]
-	r.mu.Unlock()
-	if start == math.MinInt64 {
-		// First run: begin at the oldest stored data.
-		first, ok := r.db.earliestTime(spec.Source)
-		if !ok {
-			return 0, nil // nothing to do yet
-		}
-		start = first - mod(first, spec.Interval)
+// min64/max64 are int64 helpers (the stdlib min/max builtins arrived
+// in Go 1.21; kept explicit for clarity with mixed literals).
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
 	}
-	if start >= horizon {
-		return 0, nil
-	}
-
-	q := &Query{
-		Fields:      []FieldExpr{{Func: spec.Aggregate, Field: spec.Field}},
-		Measurement: spec.Source,
-		Start:       start,
-		End:         horizon,
-		GroupByTime: spec.Interval,
-		GroupByTags: []string{"*"},
-	}
-	res, err := r.db.Exec(q)
-	if err != nil {
-		return 0, err
-	}
-	var pts []Point
-	for _, s := range res.Series {
-		for _, row := range s.Rows {
-			if !row.Present[0] {
-				continue
-			}
-			pts = append(pts, Point{
-				Measurement: target,
-				Tags:        s.Tags,
-				Fields:      map[string]Value{spec.Field: row.Values[0]},
-				Time:        row.Time,
-			})
-		}
-	}
-	if len(pts) > 0 {
-		if err := r.db.WritePoints(pts); err != nil {
-			return 0, err
-		}
-	}
-	r.mu.Lock()
-	r.watermark[target] = horizon
-	r.mu.Unlock()
-	return len(pts), nil
+	return b
 }
 
-// earliestTime reports the earliest stored timestamp of a measurement.
-func (db *DB) earliestTime(measurement string) (int64, bool) {
-	v := db.acquireView()
-	defer db.releaseView()
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// viewEarliestTime reports the earliest stored timestamp of a
+// measurement within one pinned view.
+func viewEarliestTime(v *dbView, measurement string) (int64, bool) {
 	mi, ok := v.index[measurement]
 	if !ok {
 		return 0, false
@@ -199,4 +663,41 @@ func (db *DB) earliestTime(measurement string) (int64, bool) {
 		}
 	}
 	return best, found
+}
+
+// viewLastTime reports the newest stored timestamp of a measurement
+// within one pinned view (the symmetric walk, newest shard first).
+func viewLastTime(v *dbView, measurement string) (int64, bool) {
+	mi, ok := v.index[measurement]
+	if !ok {
+		return 0, false
+	}
+	best := int64(math.MinInt64)
+	found := false
+	for i := len(v.shardStarts) - 1; i >= 0; i-- {
+		sh := v.shards[v.shardStarts[i]]
+		for key := range mi.series {
+			sr, ok := sh.series[key]
+			if !ok {
+				continue
+			}
+			for _, col := range sr.fields {
+				if t, ok := col.lastTime(); ok && t > best {
+					best = t
+					found = true
+				}
+			}
+		}
+		if found {
+			break
+		}
+	}
+	return best, found
+}
+
+// earliestTime reports the earliest stored timestamp of a measurement.
+func (db *DB) earliestTime(measurement string) (int64, bool) {
+	v := db.acquireView()
+	defer db.releaseView()
+	return viewEarliestTime(v, measurement)
 }

@@ -117,7 +117,10 @@ func TestRollupIncrementalWatermark(t *testing.T) {
 	if n2 != 0 {
 		t.Fatalf("second run wrote %d", n2)
 	}
-	// New data extends; only the new bucket is materialized.
+	// New data extends the source. Write-path maintenance closes every
+	// data-complete bucket immediately: the batch reaches t=2340, so
+	// [1200,1800) is materialized by the write itself and only the
+	// clock-complete [1800,2400) remains for the next Run.
 	var pts []Point
 	for i := 30; i < 40; i++ {
 		pts = append(pts, Point{
@@ -130,18 +133,25 @@ func TestRollupIncrementalWatermark(t *testing.T) {
 	if err := db.WritePoints(pts); err != nil {
 		t.Fatal(err)
 	}
+	countRows := func() int64 {
+		t.Helper()
+		res, err := db.Query(`SELECT count("Reading") FROM "Power_mean_600s"`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Series[0].Rows[0].Values[0].I
+	}
+	if got := countRows(); got != 3 {
+		t.Fatalf("rollup points after write hook = %d, want 3", got)
+	}
 	n3, err := rm.Run(2400)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n3 != 2 { // buckets [1200,1800) and [1800,2400)
-		t.Fatalf("third run wrote %d, want 2", n3)
+	if n3 != 1 { // bucket [1800,2400); [1200,1800) was closed by the write
+		t.Fatalf("third run wrote %d, want 1", n3)
 	}
-	res, err := db.Query(`SELECT count("Reading") FROM "Power_mean_600s"`)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := res.Series[0].Rows[0].Values[0].I; got != 4 {
+	if got := countRows(); got != 4 {
 		t.Fatalf("total rollup points = %d", got)
 	}
 }
@@ -189,8 +199,9 @@ func TestRollupDuplicateTargetRejected(t *testing.T) {
 }
 
 func TestRollupQueryEquivalence(t *testing.T) {
-	// Querying the rollup at its native interval must equal aggregating
-	// the raw data.
+	// The planner must serve a tier-aligned aggregate query from the
+	// rollup measurement, bit-identical to the forced raw scan and far
+	// cheaper.
 	db := rollupFixture(t, 1, 60)
 	rm := NewRollups(db)
 	if err := rm.Add(RollupSpec{Source: "Power", Field: "Reading", Aggregate: "max", Interval: 300}); err != nil {
@@ -199,26 +210,40 @@ func TestRollupQueryEquivalence(t *testing.T) {
 	if _, err := rm.Run(3600); err != nil {
 		t.Fatal(err)
 	}
-	raw, err := db.Query(`SELECT max("Reading") FROM "Power" WHERE time >= 0 AND time < 3600 GROUP BY time(5m)`)
+	q, err := Parse(`SELECT max("Reading") FROM "Power" WHERE time >= 0 AND time < 3600 GROUP BY time(5m)`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rolled, err := db.Query(`SELECT "Reading" FROM "Power_max_300s" WHERE time >= 0 AND time < 3600`)
+	planned, err := db.Exec(q)
 	if err != nil {
 		t.Fatal(err)
+	}
+	raw, err := db.execNoRewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.Stats.Tier != "Power_max_300s" {
+		t.Fatalf("planner served tier %q, want Power_max_300s", planned.Stats.Tier)
+	}
+	if raw.Stats.Tier != "" {
+		t.Fatalf("forced raw scan reports tier %q", raw.Stats.Tier)
 	}
 	rawRows := raw.Series[0].Rows
-	rolledRows := rolled.Series[0].Rows
-	if len(rawRows) != len(rolledRows) {
-		t.Fatalf("row counts differ: %d vs %d", len(rawRows), len(rolledRows))
+	plannedRows := planned.Series[0].Rows
+	if len(rawRows) != len(plannedRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(rawRows), len(plannedRows))
 	}
 	for i := range rawRows {
-		if rawRows[i].Time != rolledRows[i].Time || rawRows[i].Values[0].F != rolledRows[i].Values[0].F {
-			t.Fatalf("bucket %d differs: %+v vs %+v", i, rawRows[i], rolledRows[i])
+		if rawRows[i].Time != plannedRows[i].Time || rawRows[i].Values[0].F != plannedRows[i].Values[0].F {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, rawRows[i], plannedRows[i])
 		}
 	}
-	// And the rollup scan is much cheaper.
-	if rolled.Stats.PointsScanned >= raw.Stats.PointsScanned/3 {
-		t.Fatalf("rollup scanned %d vs raw %d — no saving", rolled.Stats.PointsScanned, raw.Stats.PointsScanned)
+	// And the tier scan is much cheaper than the raw one it replaced.
+	if planned.Stats.PointsScanned >= raw.Stats.PointsScanned/3 {
+		t.Fatalf("planner scanned %d vs raw %d — no saving", planned.Stats.PointsScanned, raw.Stats.PointsScanned)
+	}
+	if planned.Stats.TierRawEquivalent < raw.Stats.PointsScanned/2 {
+		t.Fatalf("raw-equivalent estimate %d implausibly low (raw scanned %d)",
+			planned.Stats.TierRawEquivalent, raw.Stats.PointsScanned)
 	}
 }

@@ -371,6 +371,173 @@ func dropMeasurementView(base *dbView, name string, waitNs int64) *dbView {
 	return &nv
 }
 
+// clearColumnRange derives a copy of col with samples in [start, end)
+// removed, reporting removed sample count and their value-encoding
+// bytes. Returns col itself untouched when nothing overlaps. When
+// sealed blocks overlap the range, the whole column is rebuilt raw and
+// re-sealed at bs (the boundary shard of a raw-tier expiry pays one
+// decode+reseal; fully-covered shards never reach here — their series
+// are deleted outright).
+func clearColumnRange(col *column, start, end int64, bs int) (*column, int, int64) {
+	first, ok := col.firstTime()
+	if !ok {
+		return col, 0, 0
+	}
+	last, _ := col.lastTime()
+	if last < start || first >= end {
+		return col, 0, 0
+	}
+	blocksHit := false
+	for _, blk := range col.blocks {
+		if blk.overlaps(start, end) {
+			blocksHit = true
+			break
+		}
+	}
+	if !blocksHit {
+		lo, hi := col.rangeIndexes(start, end)
+		if lo == hi {
+			return col, 0, 0
+		}
+		nc := &column{blocks: col.blocks}
+		nc.times = make([]int64, 0, len(col.times)-(hi-lo))
+		nc.vals = make([]Value, 0, len(col.times)-(hi-lo))
+		nc.times = append(append(nc.times, col.times[:lo]...), col.times[hi:]...)
+		nc.vals = append(append(nc.vals, col.vals[:lo]...), col.vals[hi:]...)
+		var bytes int64
+		for i := lo; i < hi; i++ {
+			bytes += int64(col.vals[i].EncodedSize())
+		}
+		return nc, hi - lo, bytes
+	}
+	total := col.numPoints()
+	nc := &column{
+		times: make([]int64, 0, total),
+		vals:  make([]Value, 0, total),
+	}
+	var bytes int64
+	removed := 0
+	keep := func(times []int64, vals []Value) {
+		for i := range times {
+			if times[i] >= start && times[i] < end {
+				removed++
+				bytes += int64(vals[i].EncodedSize())
+				continue
+			}
+			nc.times = append(nc.times, times[i])
+			nc.vals = append(nc.vals, vals[i])
+		}
+	}
+	for _, blk := range col.blocks {
+		p, err := blk.decode(nil)
+		if err != nil {
+			// Validated at seal/restore; undecodable is post-hoc
+			// corruption with nothing recoverable to keep.
+			continue
+		}
+		keep(p.times, p.vals)
+	}
+	keep(col.times, col.vals)
+	if removed == 0 {
+		// Header overlap without sample overlap: keep the original
+		// column (and its decode caches) untouched.
+		return col, 0, 0
+	}
+	nc.seal(bs)
+	return nc, removed, bytes
+}
+
+// clearMeasurementRangeView derives, copy-on-write, a view with
+// measurement name's samples in [start, end) removed — the raw-tier
+// expiry and rollup-recompute primitive, surgical where DeleteBefore
+// is shard-granular. bs is the seal threshold for rebuilt boundary
+// columns. It returns (nil, 0) when nothing overlaps; otherwise the
+// new view and the number of points removed (series max-across-columns
+// semantics, matching shard accounting).
+func clearMeasurementRangeView(base *dbView, name string, start, end int64, bs int, waitNs int64) (*dbView, int64) {
+	mi, ok := base.index[name]
+	if !ok || start >= end {
+		return nil, 0
+	}
+	var removed int64
+	cloned := make(map[int64]*shard)
+	for _, shStart := range base.shardStarts {
+		sh := base.shards[shStart]
+		if sh.end <= start || sh.start >= end {
+			continue
+		}
+		for key := range mi.series {
+			sr, ok := sh.series[key]
+			if !ok {
+				continue
+			}
+			oldPts := sr.points()
+			nsr := &series{measurement: sr.measurement, tags: sr.tags, bytes: sr.bytes}
+			nsr.fields = make(map[string]*column, len(sr.fields))
+			touched := false
+			var valBytes int64
+			for fk, col := range sr.fields {
+				nc, n, vb := clearColumnRange(col, start, end, bs)
+				if nc != col {
+					touched = true
+					valBytes += vb + int64(n*(2+len(fk)))
+				}
+				if nc.numPoints() > 0 {
+					nsr.fields[fk] = nc
+				}
+			}
+			if !touched {
+				continue
+			}
+			csh := cloned[shStart]
+			if csh == nil {
+				csh = sh.clone()
+				cloned[shStart] = csh
+			}
+			newPts := 0
+			for _, c := range nsr.fields {
+				if n := c.numPoints(); n > newPts {
+					newPts = n
+				}
+			}
+			gone := int64(oldPts - newPts)
+			removed += gone
+			csh.points -= gone
+			// Removed bytes: one 8-byte timestamp per removed point plus
+			// each removed sample's field key and value encoding, clamped
+			// to what the series is charged with (multi-field points share
+			// a timestamp, so this is exact for aligned columns and a safe
+			// estimate otherwise).
+			goneBytes := gone*8 + valBytes
+			if goneBytes > int64(nsr.bytes) {
+				goneBytes = int64(nsr.bytes)
+			}
+			nsr.bytes -= int(goneBytes)
+			csh.bytes -= goneBytes
+			if len(nsr.fields) == 0 {
+				delete(csh.series, key)
+				csh.keyBytes -= len(key) + 8
+			} else {
+				csh.series[key] = nsr
+			}
+		}
+	}
+	if len(cloned) == 0 {
+		return nil, 0
+	}
+	nv := *base
+	nv.shards = make(map[int64]*shard, len(base.shards))
+	for k, v := range base.shards {
+		nv.shards[k] = v
+	}
+	for k, v := range cloned {
+		nv.shards[k] = v
+	}
+	nv.stats.WriteWaitNs += waitNs
+	nv.epoch++
+	return &nv, removed
+}
+
 // deleteBeforeView derives, copy-on-write, a view with every shard
 // whose window ends at or before t removed, reporting how many were
 // dropped. It returns (nil, 0) when no shard qualifies.

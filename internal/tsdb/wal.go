@@ -173,6 +173,15 @@ const (
 	walOpWrite        walOp = 1
 	walOpDrop         walOp = 2
 	walOpDeleteBefore walOp = 3
+	// walOpBatch is a composite record: a raw write batch plus the
+	// rollup-tier mutations (clear + rewrite per target) that write-path
+	// maintenance derived from it. Logging the derived ops — instead of
+	// re-running maintenance at replay — makes recovery deterministic:
+	// the tiers come back exactly as acknowledged, never double-applied.
+	walOpBatch walOp = 4
+	// walOpClearRange removes one measurement's rows in [start, end) —
+	// the raw-tier expiry primitive behind DeleteMeasurementBefore.
+	walOpClearRange walOp = 5
 )
 
 // walSegment describes one on-disk segment file.
@@ -451,33 +460,67 @@ func walPutValue(b *bytes.Buffer, v Value) {
 	}
 }
 
-// encodeWriteRecord serializes a validated point batch. Field maps are
+// walPutPoints emits a length-prefixed point list. Field maps are
 // emitted in sorted key order so identical batches encode identically —
 // the property the kill-point tests lean on.
-func encodeWriteRecord(points []Point) []byte {
-	var b bytes.Buffer
-	b.WriteByte(byte(walOpWrite))
-	walPutU32(&b, uint32(len(points)))
+func walPutPoints(b *bytes.Buffer, points []Point) {
+	walPutU32(b, uint32(len(points)))
 	for i := range points {
 		p := &points[i]
-		walPutStr(&b, p.Measurement)
-		walPutU32(&b, uint32(len(p.Tags)))
+		walPutStr(b, p.Measurement)
+		walPutU32(b, uint32(len(p.Tags)))
 		for _, t := range p.Tags {
-			walPutStr(&b, t.Key)
-			walPutStr(&b, t.Value)
+			walPutStr(b, t.Key)
+			walPutStr(b, t.Value)
 		}
 		names := make([]string, 0, len(p.Fields))
 		for name := range p.Fields {
 			names = append(names, name)
 		}
 		sort.Strings(names)
-		walPutU32(&b, uint32(len(names)))
+		walPutU32(b, uint32(len(names)))
 		for _, name := range names {
-			walPutStr(&b, name)
-			walPutValue(&b, p.Fields[name])
+			walPutStr(b, name)
+			walPutValue(b, p.Fields[name])
 		}
-		walPutI64(&b, p.Time)
+		walPutI64(b, p.Time)
 	}
+}
+
+// encodeWriteRecord serializes a validated point batch.
+func encodeWriteRecord(points []Point) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(walOpWrite))
+	walPutPoints(&b, points)
+	return b.Bytes()
+}
+
+// encodeBatchRecord serializes a write batch together with the rollup
+// ops maintenance derived from it (walOpBatch). A pure maintenance
+// advance (RollupAdvance) logs with an empty point list.
+func encodeBatchRecord(points []Point, ops []rollupOp) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(walOpBatch))
+	walPutPoints(&b, points)
+	walPutU32(&b, uint32(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		walPutStr(&b, op.target)
+		walPutI64(&b, op.clearStart)
+		walPutI64(&b, op.clearEnd)
+		walPutPoints(&b, op.points)
+	}
+	return b.Bytes()
+}
+
+// encodeClearRangeRecord serializes a measurement range clear
+// (walOpClearRange).
+func encodeClearRangeRecord(name string, start, end int64) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(walOpClearRange))
+	walPutStr(&b, name)
+	walPutI64(&b, start)
+	walPutI64(&b, end)
 	return b.Bytes()
 }
 
@@ -576,8 +619,33 @@ func (d *walDecoder) value() (Value, error) {
 type walRecord struct {
 	op     walOp
 	points []Point
-	name   string // opDrop
-	before int64  // opDeleteBefore
+	name   string     // opDrop, opClearRange
+	before int64      // opDeleteBefore
+	start  int64      // opClearRange
+	end    int64      // opClearRange
+	ops    []rollupOp // opBatch
+}
+
+// decodeWALPoints parses a length-prefixed point list. Each point needs
+// at least measurement len + tag count + field count + time = 20 bytes;
+// inflated counts are rejected before allocating.
+func decodeWALPoints(d *walDecoder) ([]Point, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) > int64(d.remaining()/20)+1 {
+		return nil, fmt.Errorf("tsdb: wal: point count %d exceeds record", n)
+	}
+	points := make([]Point, 0, n)
+	for i := uint32(0); i < n; i++ {
+		p, err := decodeWALPoint(d)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
 }
 
 // decodeWALRecord parses a payload. Every length is bounds-checked and
@@ -592,23 +660,8 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 	rec := walRecord{op: walOp(op)}
 	switch rec.op {
 	case walOpWrite:
-		n, err := d.u32()
-		if err != nil {
+		if rec.points, err = decodeWALPoints(d); err != nil {
 			return walRecord{}, err
-		}
-		// Each point needs at least measurement len + tag count + field
-		// count + time = 20 bytes; reject inflated counts before
-		// allocating.
-		if int64(n) > int64(d.remaining()/20)+1 {
-			return walRecord{}, fmt.Errorf("tsdb: wal: point count %d exceeds record", n)
-		}
-		rec.points = make([]Point, 0, n)
-		for i := uint32(0); i < n; i++ {
-			p, err := decodeWALPoint(d)
-			if err != nil {
-				return walRecord{}, err
-			}
-			rec.points = append(rec.points, p)
 		}
 	case walOpDrop:
 		if rec.name, err = d.str(); err != nil {
@@ -616,6 +669,46 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 		}
 	case walOpDeleteBefore:
 		if rec.before, err = d.i64(); err != nil {
+			return walRecord{}, err
+		}
+	case walOpBatch:
+		if rec.points, err = decodeWALPoints(d); err != nil {
+			return walRecord{}, err
+		}
+		nOps, err := d.u32()
+		if err != nil {
+			return walRecord{}, err
+		}
+		// Each op needs at least target len + two i64 bounds + point
+		// count = 24 bytes.
+		if int64(nOps) > int64(d.remaining()/24)+1 {
+			return walRecord{}, fmt.Errorf("tsdb: wal: rollup op count %d exceeds record", nOps)
+		}
+		rec.ops = make([]rollupOp, 0, nOps)
+		for i := uint32(0); i < nOps; i++ {
+			var ro rollupOp
+			if ro.target, err = d.str(); err != nil {
+				return walRecord{}, err
+			}
+			if ro.clearStart, err = d.i64(); err != nil {
+				return walRecord{}, err
+			}
+			if ro.clearEnd, err = d.i64(); err != nil {
+				return walRecord{}, err
+			}
+			if ro.points, err = decodeWALPoints(d); err != nil {
+				return walRecord{}, err
+			}
+			rec.ops = append(rec.ops, ro)
+		}
+	case walOpClearRange:
+		if rec.name, err = d.str(); err != nil {
+			return walRecord{}, err
+		}
+		if rec.start, err = d.i64(); err != nil {
+			return walRecord{}, err
+		}
+		if rec.end, err = d.i64(); err != nil {
 			return walRecord{}, err
 		}
 	default:

@@ -96,6 +96,12 @@ type (
 	// CompressionStats reports the sealed-block tier's raw vs
 	// compressed data volume (DB.Compression).
 	CompressionStats = tsdb.CompressionStats
+	// CacheStats reports the sealed-block decode cache's hit/miss/
+	// eviction counters and resident bytes (DB.CacheStats).
+	CacheStats = tsdb.CacheStats
+	// TierStats describes one registered rollup tier: its source,
+	// aggregate, materialized point count, and watermark (DB.TierStats).
+	TierStats = tsdb.TierStats
 )
 
 // DefaultBlockSize is the storage engine's default seal threshold in
