@@ -1,18 +1,26 @@
 // Command monsterlint runs the project's static-analysis suite: the
 // go/analysis-style analyzers in internal/lint that enforce the
-// engine's concurrency, clock, and error-handling invariants.
+// engine's concurrency, clock, and error-handling invariants, plus the
+// interprocedural call-graph analyzers (lockorder, goroutineleak,
+// walexhaustive, statssurface).
 //
 // Usage:
 //
-//	monsterlint [-analyzers list] [-tests] [-list] [patterns ...]
+//	monsterlint [-analyzers list] [-tests] [-list] [-json] [patterns ...]
 //
-// Patterns default to ./... relative to the enclosing module.
-// Exit status: 0 clean, 3 findings, 1 operational error — the same
-// convention as x/tools' multichecker, so CI can distinguish "code
-// has findings" from "the linter broke".
+// Patterns default to ./... relative to the enclosing module. The
+// -analyzers list accepts names and the group aliases "syntactic" and
+// "deep". -json emits every finding — including suppressed ones — as a
+// machine-readable array for CI artifacts.
+//
+// Exit status: 0 clean, 3 unsuppressed findings, 1 operational error —
+// the same convention as x/tools' multichecker, so CI can distinguish
+// "code has findings" from "the linter broke". Suppressed findings are
+// printed (and serialized) but never fail the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +28,22 @@ import (
 	"monster/internal/lint"
 )
 
+// jsonFinding is the machine-readable finding shape for -json.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	var (
-		analyzers = flag.String("analyzers", "all", "comma-separated analyzer subset to run")
+		analyzers = flag.String("analyzers", "all", "comma-separated analyzer subset to run (names or the groups \"syntactic\"/\"deep\")")
 		tests     = flag.Bool("tests", false, "also analyze _test.go files (most analyzers exempt them)")
 		list      = flag.Bool("list", false, "list analyzers and exit")
+		asJSON    = flag.Bool("json", false, "emit findings as a JSON array (includes suppressed findings)")
 	)
 	flag.Parse()
 
@@ -49,11 +68,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	unsuppressed := 0
 	for _, f := range findings {
-		fmt.Println(f)
+		if !f.Suppressed {
+			unsuppressed++
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "monsterlint: %d finding(s)\n", len(findings))
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:       f.Position.Filename,
+				Line:       f.Position.Line,
+				Column:     f.Position.Column,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "monsterlint: %d unsuppressed finding(s)\n", unsuppressed)
 		os.Exit(3)
+	}
+	if n := len(findings) - unsuppressed; n > 0 {
+		fmt.Fprintf(os.Stderr, "monsterlint: clean (%d suppressed)\n", n)
 	}
 }

@@ -242,21 +242,34 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	comp := db.Compression()
 	out := struct {
 		Points          int64         `json:"points"`
+		PointsWritten   int64         `json:"points_written"`
 		DataBytes       int64         `json:"data_bytes"`
 		IndexBytes      int64         `json:"index_bytes"`
 		StorageRaw      int64         `json:"storage_bytes_raw"`
 		StorageComp     int64         `json:"storage_bytes_compressed"`
 		CompressionRate float64       `json:"compression_ratio"`
 		BlocksSealed    int64         `json:"blocks_sealed"`
+		BlocksLive      int64         `json:"blocks_live"`
+		BlocksCached    int64         `json:"blocks_cached"`
+		SealedPoints    int64         `json:"sealed_points"`
+		TailPoints      int64         `json:"tail_points"`
 		Shards          int           `json:"shards"`
 		Epoch           int64         `json:"epoch"`
 		Batches         int64         `json:"batches_written"`
+		SeriesCreated   int64         `json:"series_created"`
+		MeasurementN    int           `json:"measurement_count"`
 		WriteWaitNs     int64         `json:"write_wait_ns"`
 		WriteErrors     int64         `json:"write_errors"`
 		WALSegments     int           `json:"wal_segments"`
 		WALBytes        int64         `json:"wal_bytes"`
+		WALAppends      int64         `json:"wal_appends"`
+		WALSyncs        int64         `json:"wal_syncs"`
+		WALRotations    int64         `json:"wal_rotations"`
+		WALCheckpoints  int64         `json:"wal_checkpoints"`
 		WALReplayed     int64         `json:"wal_replayed"`
+		WALReplayedPts  int64         `json:"wal_replayed_points"`
 		WALTorn         int64         `json:"wal_torn_frames"`
+		WALTruncated    int64         `json:"wal_truncated_bytes"`
 		Measurements    []measurement `json:"measurements"`
 		Ingest          any           `json:"ingest,omitempty"`
 		// StorageCache is the sealed-block decode cache: hit/miss/eviction
@@ -270,21 +283,34 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		StorageTiers any `json:"storage_tiers,omitempty"`
 	}{
 		Points:          disk.Points,
+		PointsWritten:   dbStats.PointsWritten,
 		DataBytes:       disk.DataBytes,
 		IndexBytes:      disk.IndexBytes,
 		StorageRaw:      comp.BytesRaw,
 		StorageComp:     comp.BytesCompressed,
 		CompressionRate: comp.Ratio(),
 		BlocksSealed:    comp.BlocksSealed,
+		BlocksLive:      comp.Blocks,
+		BlocksCached:    comp.BlocksCached,
+		SealedPoints:    comp.SealedPoints,
+		TailPoints:      comp.TailPoints,
 		Shards:          disk.Shards,
 		Epoch:           db.Epoch(),
 		Batches:         dbStats.BatchesWritten,
+		SeriesCreated:   dbStats.SeriesCreated,
+		MeasurementN:    dbStats.Measurements,
 		WriteWaitNs:     dbStats.WriteWaitNs,
 		WriteErrors:     a.writeErrs.Load(),
 		WALSegments:     walStats.Segments,
 		WALBytes:        walStats.Bytes,
+		WALAppends:      walStats.Appends,
+		WALSyncs:        walStats.Syncs,
+		WALRotations:    walStats.Rotations,
+		WALCheckpoints:  walStats.Checkpoints,
 		WALReplayed:     walStats.Replayed,
+		WALReplayedPts:  walStats.ReplayedPoints,
 		WALTorn:         walStats.TornFrames,
+		WALTruncated:    walStats.TruncatedBytes,
 	}
 	for _, name := range db.Measurements() {
 		out.Measurements = append(out.Measurements, measurement{Name: name, Series: db.SeriesCardinality(name)})

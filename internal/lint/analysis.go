@@ -48,6 +48,36 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *facts
+}
+
+// facts caches the interprocedural structures built for one package so
+// every analyzer in a RunPackage shares one call graph and one set of
+// function summaries.
+type facts struct {
+	cg   *CallGraph
+	sums map[*CGNode]*funcSummary
+}
+
+// callGraph returns the package's call graph, building it on first use.
+func (p *Pass) callGraph() *CallGraph {
+	if p.facts == nil {
+		p.facts = &facts{}
+	}
+	if p.facts.cg == nil {
+		p.facts.cg = buildCallGraph(p)
+	}
+	return p.facts.cg
+}
+
+// summaries returns the per-function lock summaries, computed
+// bottom-up over the call graph on first use.
+func (p *Pass) summaries() map[*CGNode]*funcSummary {
+	g := p.callGraph()
+	if p.facts.sums == nil {
+		p.facts.sums = computeSummaries(p, g)
+	}
+	return p.facts.sums
 }
 
 // Reportf records one finding at pos.
@@ -77,18 +107,27 @@ type Diagnostic struct {
 }
 
 // A Finding is a diagnostic resolved to a file position, the unit the
-// driver prints and the tests assert on.
+// driver prints and the tests assert on. Suppressed findings are kept
+// (for the -json report and the stale-suppression audit) but do not
+// fail the run.
 type Finding struct {
-	Position token.Position
-	Analyzer string
-	Message  string
+	Position   token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+	s := fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+	if f.Suppressed {
+		s += " [suppressed]"
+	}
+	return s
 }
 
-// All returns the full monsterlint analyzer suite.
+// All returns the full monsterlint analyzer suite: the six syntactic
+// analyzers from the original suite plus the four interprocedural ones
+// built on the call-graph/dataflow engine.
 func All() []*Analyzer {
 	return []*Analyzer{
 		ClockDiscipline,
@@ -97,11 +136,27 @@ func All() []*Analyzer {
 		LockCopy,
 		AtomicField,
 		CtxPropagate,
+		LockOrder,
+		GoroutineLeak,
+		WALExhaustive,
+		StatsSurface,
 	}
 }
 
-// ByName resolves a comma-separated analyzer list ("" or "all" selects
-// the whole suite).
+// Deep returns the interprocedural analyzers — the ones that need the
+// call graph. The CI lint-deep step runs exactly these.
+func Deep() []*Analyzer {
+	return []*Analyzer{LockOrder, GoroutineLeak, WALExhaustive, StatsSurface}
+}
+
+// Syntactic returns the original per-function analyzers.
+func Syntactic() []*Analyzer {
+	return []*Analyzer{ClockDiscipline, ViewMutate, ErrDrop, LockCopy, AtomicField, CtxPropagate}
+}
+
+// ByName resolves a comma-separated analyzer list. "" or "all" selects
+// the whole suite; the group names "syntactic" and "deep" select the
+// per-function and interprocedural halves.
 func ByName(names string) ([]*Analyzer, error) {
 	if names == "" || names == "all" {
 		return All(), nil
@@ -113,6 +168,14 @@ func ByName(names string) ([]*Analyzer, error) {
 	var out []*Analyzer
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
+		switch n {
+		case "syntactic":
+			out = append(out, Syntactic()...)
+			continue
+		case "deep":
+			out = append(out, Deep()...)
+			continue
+		}
 		a, ok := byName[n]
 		if !ok {
 			return nil, fmt.Errorf("lint: unknown analyzer %q", n)

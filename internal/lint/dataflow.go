@@ -1,0 +1,758 @@
+package lint
+
+// The forward dataflow walker: a branch-cloning interpretation of one
+// function body that tracks which mutex acquisitions are live at every
+// call site and channel operation. Analyzers subscribe through
+// flowEvents; lockorder uses the full machinery, goroutineleak reuses
+// the channel-escape helpers at the bottom of the file.
+//
+// The abstraction is deliberately simple and over-approximate in the
+// safe direction for ordering checks:
+//
+//   - at a branch the state is cloned per arm and the exits of
+//     non-terminated arms are unioned;
+//   - `defer mu.Unlock()` keeps the lock in the set for the rest of
+//     the body (it really is held until return) but removes it from
+//     the net-held summary the caller sees;
+//   - a call applies its callee's summary: locks the callee leaves
+//     held at return enter the set (db.lockWrite), locks it releases
+//     leave it (db.unlockWrite);
+//   - break/continue/goto conservatively terminate their path.
+//
+// Summaries are computed bottom-up over the call graph's SCC
+// condensation, so helper pairs like lockWrite/unlockWrite are modeled
+// precisely and recursion degrades to a sound-enough fixpoint rather
+// than non-termination.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A lockClass identifies one mutex for ordering purposes: a (named
+// type, field) pair for struct-held mutexes, the variable for
+// package-level and local ones.
+type lockClass struct {
+	key   string // stable identity
+	label string // rendered in diagnostics
+}
+
+// lockInfo is what the walker knows about one held lock.
+type lockInfo struct {
+	pos   token.Pos // acquisition site (rewritten to the call site when propagated)
+	rlock bool      // RLock rather than Lock
+	expr  string    // receiver expression as written, "" when propagated loses it
+}
+
+// A lockSet maps held locks to how they were acquired.
+type lockSet map[lockClass]lockInfo
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// union keeps the first acquisition seen for a class.
+func (s lockSet) union(o lockSet) {
+	for k, v := range o {
+		if _, ok := s[k]; !ok {
+			s[k] = v
+		}
+	}
+}
+
+// sortedClasses returns the held classes in deterministic order.
+func (s lockSet) sortedClasses() []lockClass {
+	out := make([]lockClass, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// funcSummary is the caller-visible lock behavior of one node.
+type funcSummary struct {
+	netHeld     lockSet            // held at return (beyond the caller's set)
+	netReleased map[lockClass]bool // released at return without a local acquire
+	acq         lockSet            // every acquisition anywhere inside (transitive)
+	// blockingSend is the first channel send with no default/ctx escape
+	// anywhere inside (transitive); NoPos when none.
+	blockingSend token.Pos
+}
+
+// flowEvents subscribes an analyzer to the walker. Nil members are
+// skipped. held is the state before the event applies.
+type flowEvents struct {
+	// acquire fires when a Lock/RLock executes.
+	acquire func(c lockClass, info lockInfo, held lockSet)
+	// call fires for every call that is not a lock operation, before
+	// the callee's summary is applied.
+	call func(call *ast.CallExpr, held lockSet)
+	// chanop fires for channel sends and receives; sel is the
+	// enclosing select statement when the op is a communication clause.
+	chanop func(n ast.Node, send bool, ch ast.Expr, sel *ast.SelectStmt, held lockSet)
+}
+
+type flowWalker struct {
+	p    *Pass
+	g    *CallGraph
+	sums map[*CGNode]*funcSummary
+	ev   flowEvents
+
+	acquired        lockSet // every acquisition in this body, incl. propagated
+	released        map[lockClass]bool
+	deferredRelease map[lockClass]bool
+	exits           []lockSet
+}
+
+// flowFunc interprets one node with an empty entry set and returns its
+// summary. sums supplies callee summaries (may be missing entries
+// during the bottom-up pass; missing callees contribute nothing).
+func flowFunc(p *Pass, g *CallGraph, n *CGNode, sums map[*CGNode]*funcSummary, ev flowEvents) *funcSummary {
+	w := &flowWalker{
+		p:               p,
+		g:               g,
+		sums:            sums,
+		ev:              ev,
+		acquired:        make(lockSet),
+		released:        make(map[lockClass]bool),
+		deferredRelease: make(map[lockClass]bool),
+	}
+	st, terminated := w.block(n.Body().List, make(lockSet))
+	if !terminated {
+		w.exits = append(w.exits, st)
+	}
+	sum := &funcSummary{
+		netHeld:     make(lockSet),
+		netReleased: w.released,
+		acq:         w.acquired,
+	}
+	for _, exit := range w.exits {
+		for c, info := range exit {
+			if w.deferredRelease[c] {
+				continue
+			}
+			if _, ok := sum.netHeld[c]; !ok {
+				sum.netHeld[c] = info
+			}
+		}
+	}
+	// Transitive closure pieces that come from callees.
+	walkOwnStmts(n.Body(), func(m ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, c := range calleeNodesOf(w.g, call) {
+			if cs := sums[c]; cs != nil {
+				sum.acq.union(cs.acq)
+				if sum.blockingSend == token.NoPos && cs.blockingSend != token.NoPos {
+					sum.blockingSend = cs.blockingSend
+				}
+			}
+		}
+	})
+	if sum.blockingSend == token.NoPos {
+		sum.blockingSend = w.directBlockingSend(n)
+	}
+	return sum
+}
+
+// directBlockingSend finds the first send in n's own statements with no
+// default/ctx escape.
+func (w *flowWalker) directBlockingSend(n *CGNode) token.Pos {
+	pos := token.NoPos
+	walkOwnStmts(n.Body(), func(m ast.Node) {
+		if pos != token.NoPos {
+			return
+		}
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			if sel := enclosingSelect(n.Body(), m.Pos()); sel == nil || !selectEscapes(w.p, sel) {
+				pos = m.Pos()
+			}
+		}
+	})
+	return pos
+}
+
+// computeSummaries produces summaries for every node, bottom-up over
+// the SCC condensation of the call graph. Nodes in a cycle get a
+// second pass so mutually recursive acquisitions converge.
+func computeSummaries(p *Pass, g *CallGraph) map[*CGNode]*funcSummary {
+	sums := make(map[*CGNode]*funcSummary)
+	sccs := condense(g)
+	for _, scc := range sccs { // already reverse-topological: callees first
+		rounds := 1
+		if len(scc) > 1 || selfLoop(scc[0]) {
+			rounds = 2
+		}
+		for r := 0; r < rounds; r++ {
+			for _, n := range scc {
+				sums[n] = flowFunc(p, g, n, sums, flowEvents{})
+			}
+		}
+	}
+	return sums
+}
+
+func selfLoop(n *CGNode) bool {
+	for _, c := range n.callees {
+		if c == n {
+			return true
+		}
+	}
+	return false
+}
+
+// condense returns the strongly connected components of the call graph
+// in reverse topological order (callees before callers) via Tarjan.
+func condense(g *CallGraph) [][]*CGNode {
+	index := make(map[*CGNode]int)
+	low := make(map[*CGNode]int)
+	onStack := make(map[*CGNode]bool)
+	var stack []*CGNode
+	var sccs [][]*CGNode
+	next := 0
+
+	var strong func(n *CGNode)
+	strong = func(n *CGNode) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, c := range n.callees {
+			if _, seen := index[c]; !seen {
+				strong(c)
+				if low[c] < low[n] {
+					low[n] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[n] {
+				low[n] = index[c]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []*CGNode
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range g.Nodes() {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+	return sccs
+}
+
+// ---- statement interpretation ----
+
+func (w *flowWalker) block(list []ast.Stmt, st lockSet) (lockSet, bool) {
+	for _, s := range list {
+		var terminated bool
+		st, terminated = w.stmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *flowWalker) stmt(s ast.Stmt, st lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.block(s.List, st)
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+		w.emitChanop(s, true, s.Chan, nil, st)
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, st)
+		}
+		w.exits = append(w.exits, st.clone())
+		return st, true
+	case *ast.BranchStmt:
+		return st, true // conservative: break/continue/goto end this path
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		thenSt, thenTerm := w.block(s.Body.List, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, s.Else != nil // both arms gone; without else the path continues
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			thenSt.union(elseSt)
+			return thenSt, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		bodySt, bodyTerm := w.block(s.Body.List, st.clone())
+		if s.Post != nil && !bodyTerm {
+			bodySt, _ = w.stmt(s.Post, bodySt)
+		}
+		out := st.clone() // zero iterations
+		if !bodyTerm {
+			out.union(bodySt)
+		}
+		return out, false
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		if t := w.p.TypesInfo.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.emitChanop(s, false, s.X, nil, st)
+			}
+		}
+		bodySt, bodyTerm := w.block(s.Body.List, st.clone())
+		out := st.clone()
+		if !bodyTerm {
+			out.union(bodySt)
+		}
+		return out, false
+	case *ast.SwitchStmt:
+		return w.switchLike(s.Init, s.Tag, nil, s.Body, st)
+	case *ast.TypeSwitchStmt:
+		return w.switchLike(s.Init, nil, s.Assign, s.Body, st)
+	case *ast.SelectStmt:
+		var out lockSet
+		allTerm := len(s.Body.List) > 0
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			cst := st.clone()
+			if cc.Comm != nil {
+				w.commClause(cc.Comm, s, cst)
+			}
+			bodySt, bodyTerm := w.block(cc.Body, cst)
+			if !bodyTerm {
+				allTerm = false
+				if out == nil {
+					out = bodySt
+				} else {
+					out.union(bodySt)
+				}
+			}
+		}
+		if out == nil {
+			out = st
+		}
+		return out, allTerm
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, st)
+	case *ast.GoStmt:
+		// Receiver and arguments evaluate now; the spawned body runs
+		// with its own empty lock set and is analyzed as its own node.
+		if se, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+			w.expr(se.X, st)
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, st)
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	}
+	return st, false
+}
+
+func (w *flowWalker) switchLike(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, st lockSet) (lockSet, bool) {
+	if init != nil {
+		st, _ = w.stmt(init, st)
+	}
+	if tag != nil {
+		w.expr(tag, st)
+	}
+	if assign != nil {
+		st, _ = w.stmt(assign, st)
+	}
+	var out lockSet
+	hasDefault := false
+	for _, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.expr(e, st)
+		}
+		bodySt, bodyTerm := w.block(cc.Body, st.clone())
+		if !bodyTerm {
+			if out == nil {
+				out = bodySt
+			} else {
+				out.union(bodySt)
+			}
+		}
+	}
+	if !hasDefault || out == nil {
+		if out == nil {
+			out = st.clone()
+		} else {
+			out.union(st)
+		}
+	}
+	return out, false
+}
+
+// commClause interprets a select communication statement so its channel
+// operation carries the enclosing select.
+func (w *flowWalker) commClause(comm ast.Stmt, sel *ast.SelectStmt, st lockSet) {
+	switch comm := comm.(type) {
+	case *ast.SendStmt:
+		w.expr(comm.Chan, st)
+		w.expr(comm.Value, st)
+		w.emitChanop(comm, true, comm.Chan, sel, st)
+	case *ast.ExprStmt:
+		if ue, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			w.expr(ue.X, st)
+			w.emitChanop(ue, false, ue.X, sel, st)
+		}
+	case *ast.AssignStmt:
+		for _, e := range comm.Rhs {
+			if ue, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				w.expr(ue.X, st)
+				w.emitChanop(ue, false, ue.X, sel, st)
+			} else {
+				w.expr(e, st)
+			}
+		}
+	}
+}
+
+// deferCall handles `defer f(...)`: a deferred Unlock (or a deferred
+// call to a function that releases locks) keeps the lock held for the
+// rest of the body but drops it from the net-held summary.
+func (w *flowWalker) deferCall(call *ast.CallExpr, st lockSet) {
+	if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.expr(se.X, st)
+	}
+	for _, a := range call.Args {
+		w.expr(a, st)
+	}
+	if c, _, op, ok := w.lockOp(call); ok {
+		if op == "Unlock" || op == "RUnlock" {
+			w.deferredRelease[c] = true
+		}
+		return
+	}
+	for _, node := range calleeNodesOf(w.g, call) {
+		if cs := w.sums[node]; cs != nil {
+			for c := range cs.netReleased {
+				w.deferredRelease[c] = true
+			}
+		}
+	}
+}
+
+// ---- expression interpretation ----
+
+func (w *flowWalker) expr(e ast.Expr, st lockSet) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		w.call(e, st)
+	case *ast.UnaryExpr:
+		w.expr(e.X, st)
+		if e.Op == token.ARROW {
+			w.emitChanop(e, false, e.X, nil, st)
+		}
+	case *ast.BinaryExpr:
+		w.expr(e.X, st)
+		w.expr(e.Y, st)
+	case *ast.ParenExpr:
+		w.expr(e.X, st)
+	case *ast.SelectorExpr:
+		w.expr(e.X, st)
+	case *ast.IndexExpr:
+		w.expr(e.X, st)
+		w.expr(e.Index, st)
+	case *ast.IndexListExpr:
+		w.expr(e.X, st)
+	case *ast.SliceExpr:
+		w.expr(e.X, st)
+		for _, x := range []ast.Expr{e.Low, e.High, e.Max} {
+			if x != nil {
+				w.expr(x, st)
+			}
+		}
+	case *ast.StarExpr:
+		w.expr(e.X, st)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, st)
+		w.expr(e.Value, st)
+	case *ast.FuncLit:
+		// A literal's body is its own graph node; nothing executes here.
+	}
+}
+
+func (w *flowWalker) call(call *ast.CallExpr, st lockSet) {
+	if tv, ok := w.p.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			w.expr(a, st)
+		}
+		return // conversion
+	}
+	if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.expr(se.X, st)
+	}
+	for _, a := range call.Args {
+		w.expr(a, st)
+	}
+
+	if c, info, op, ok := w.lockOp(call); ok {
+		switch op {
+		case "Lock", "RLock":
+			if w.ev.acquire != nil {
+				w.ev.acquire(c, info, st)
+			}
+			w.acquired[c] = info
+			st[c] = info
+		case "Unlock", "RUnlock":
+			if _, held := st[c]; held {
+				delete(st, c)
+			} else {
+				w.released[c] = true
+			}
+		}
+		return
+	}
+
+	if w.ev.call != nil {
+		w.ev.call(call, st)
+	}
+	// Apply callee summaries: what the callee leaves held or releases.
+	for _, node := range calleeNodesOf(w.g, call) {
+		cs := w.sums[node]
+		if cs == nil {
+			continue
+		}
+		for c, info := range cs.netHeld {
+			if _, held := st[c]; !held {
+				st[c] = lockInfo{pos: call.Pos(), rlock: info.rlock, expr: info.expr}
+				w.acquired[c] = st[c]
+			}
+		}
+		for c := range cs.netReleased {
+			if _, held := st[c]; held {
+				delete(st, c)
+			} else {
+				w.released[c] = true
+			}
+		}
+	}
+}
+
+func (w *flowWalker) emitChanop(n ast.Node, send bool, ch ast.Expr, sel *ast.SelectStmt, st lockSet) {
+	if w.ev.chanop != nil {
+		w.ev.chanop(n, send, ch, sel, st)
+	}
+}
+
+// ---- mutex recognition ----
+
+// lockOp recognizes mu.Lock / mu.Unlock / mu.RLock / mu.RUnlock calls
+// on sync.Mutex and sync.RWMutex values (including mutexes promoted
+// from embedded fields) and classifies the receiver.
+func (w *flowWalker) lockOp(call *ast.CallExpr) (lockClass, lockInfo, string, bool) {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockClass{}, lockInfo{}, "", false
+	}
+	op := se.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockClass{}, lockInfo{}, "", false
+	}
+	info := w.p.TypesInfo
+	recvT := info.TypeOf(se.X)
+	if isSyncMutex(recvT) {
+		c := w.classOf(se.X)
+		return c, lockInfo{pos: call.Pos(), rlock: op == "RLock", expr: types.ExprString(se.X)}, op, true
+	}
+	// Promoted method from an embedded mutex: the whole struct is the
+	// lock identity.
+	if sel, ok := info.Selections[se]; ok && sel.Kind() == types.MethodVal {
+		if fn, ok := sel.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			if n := namedType(recvT); n != nil {
+				c := lockClass{key: "type:" + n.Obj().Pkg().Name() + "." + n.Obj().Name(), label: n.Obj().Pkg().Name() + "." + n.Obj().Name()}
+				return c, lockInfo{pos: call.Pos(), rlock: op == "RLock", expr: types.ExprString(se.X)}, op, true
+			}
+		}
+	}
+	return lockClass{}, lockInfo{}, "", false
+}
+
+func isSyncMutex(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// classOf derives the ordering identity of a mutex expression: the
+// (owner type, field) pair for struct fields, the variable for
+// package-level and local mutexes.
+func (w *flowWalker) classOf(mu ast.Expr) lockClass {
+	info := w.p.TypesInfo
+	switch mu := ast.Unparen(mu).(type) {
+	case *ast.SelectorExpr:
+		if owner := namedType(info.TypeOf(mu.X)); owner != nil {
+			pkg := ""
+			if owner.Obj().Pkg() != nil {
+				pkg = owner.Obj().Pkg().Name() + "."
+			}
+			label := pkg + owner.Obj().Name() + "." + mu.Sel.Name
+			return lockClass{key: "field:" + label, label: label}
+		}
+	case *ast.Ident:
+		if obj := info.ObjectOf(mu); obj != nil {
+			if obj.Parent() == w.p.Pkg.Scope() {
+				label := w.p.Pkg.Name() + "." + obj.Name()
+				return lockClass{key: "pkgvar:" + label, label: label}
+			}
+			return lockClass{
+				key:   "local:" + w.p.Fset.Position(obj.Pos()).String(),
+				label: obj.Name(),
+			}
+		}
+	}
+	s := types.ExprString(mu)
+	return lockClass{key: "expr:" + s, label: s}
+}
+
+// ---- channel escape helpers (shared with goroutineleak) ----
+
+// selectEscapes reports whether a select statement can always make
+// progress without the blocked communication: it has a default clause,
+// or a case observing ctx.Done()/a timer channel.
+func selectEscapes(p *Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc := clause.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default
+		}
+		if ch, recv := commRecvChan(cc.Comm); recv && isCtxDoneOrTimerChan(p, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// commRecvChan extracts the channel of a receive communication clause.
+func commRecvChan(comm ast.Stmt) (ast.Expr, bool) {
+	var x ast.Expr
+	switch comm := comm.(type) {
+	case *ast.ExprStmt:
+		x = comm.X
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			x = comm.Rhs[0]
+		}
+	}
+	if ue, ok := ast.Unparen(x).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+		return ue.X, true
+	}
+	return nil, false
+}
+
+// isCtxDoneOrTimerChan reports whether a received-from channel is a
+// cancellation or clock signal: ctx.Done(), or any <-chan time.Time
+// (time.After, Ticker.C, the clock package's After).
+func isCtxDoneOrTimerChan(p *Pass, ch ast.Expr) bool {
+	if call, ok := ast.Unparen(ch).(*ast.CallExpr); ok {
+		if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && se.Sel.Name == "Done" {
+			if isContextType(p.TypesInfo.TypeOf(se.X)) {
+				return true
+			}
+		}
+	}
+	t := p.TypesInfo.TypeOf(ch)
+	if t == nil {
+		return false
+	}
+	chT, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	if n := namedType(chT.Elem()); n != nil {
+		obj := n.Obj()
+		if obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingSelect returns the innermost select statement containing
+// pos, searching only body's own statements (not nested literals).
+func enclosingSelect(body *ast.BlockStmt, pos token.Pos) *ast.SelectStmt {
+	var found *ast.SelectStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok && sel.Pos() <= pos && pos < sel.End() {
+			found = sel
+		}
+		return true
+	})
+	return found
+}

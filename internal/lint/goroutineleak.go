@@ -1,0 +1,248 @@
+package lint
+
+// Analyzer goroutineleak flags goroutines spawned in the long-running
+// packages (core, ingest, tsdb) whose bodies can block forever on a
+// channel operation with no way out: no select default, no
+// ctx.Done()/timer case, no close() of the channel anywhere in the
+// package, and no buffering. A monitoring daemon accumulates such
+// goroutines silently until the scheduler or the kernel notices; the
+// paper's always-on posture makes this the most expensive class of
+// "works in the demo" bug.
+//
+// The check is interprocedural within the package: the call graph
+// resolves the `go` target (function literal or declared function) and
+// every channel operation reachable from it is classified. The
+// escapes recognized, in order:
+//
+//   - the operation is a select communication and the select has a
+//     default clause or a case receiving from ctx.Done() or a
+//     <-chan time.Time (timers, tickers, the clock package);
+//   - a receive from ctx.Done() or a timer channel anywhere;
+//   - a receive (or range) from a channel that some function in the
+//     package close()s;
+//   - a send on a channel created with a non-zero buffer — bounded
+//     treatment: a full buffered channel still blocks, but flagging
+//     every bounded-queue send would drown the real findings.
+//
+// Calls through interfaces or unresolved function values are not
+// followed (bounded), and a channel whose identity cannot be resolved
+// is assumed escapable: the analyzer prefers missed findings over
+// false alarms on production code.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+var goroutineLeakScopedPackages = map[string]bool{
+	"core":   true,
+	"ingest": true,
+	"tsdb":   true,
+}
+
+// GoroutineLeak reports goroutines that can block forever.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "report goroutines that can block forever on a channel operation with no ctx, close, default, or buffer escape",
+	Run:  runGoroutineLeak,
+}
+
+// chanFacts indexes the package's channel lifecycle: which channel
+// identities are ever close()d and which are created buffered.
+type chanFacts struct {
+	closed   map[string]bool
+	buffered map[string]bool
+}
+
+func runGoroutineLeak(p *Pass) error {
+	if !goroutineLeakScopedPackages[p.Pkg.Name()] {
+		return nil
+	}
+	g := p.callGraph()
+	cf := collectChanFacts(p)
+
+	inspectFiles(p, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		t := g.CalleesOf(gs.Call)
+		if t.dynamic || len(t.cha) > 0 {
+			return true // unresolved target: bounded out
+		}
+		var starts []*CGNode
+		for _, lit := range t.lits {
+			if ln := g.LitNode(lit); ln != nil {
+				starts = append(starts, ln)
+			}
+		}
+		for _, fn := range t.static {
+			if fnode := g.NodeOf(fn); fnode != nil {
+				starts = append(starts, fnode)
+			}
+		}
+		reported := make(map[token.Pos]bool)
+		for _, node := range reachableInOrder(g, starts) {
+			for _, op := range chanOpsOf(p, node) {
+				if reported[op.pos] || opEscapes(p, cf, op) {
+					continue
+				}
+				reported[op.pos] = true
+				pos := p.Fset.Position(op.pos)
+				p.Reportf(gs.Pos(), "goroutine can block forever on channel %s at %s:%d: no ctx, close, default, or buffer escape",
+					op.kind(), filepath.Base(pos.Filename), pos.Line)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// chanOp is one channel operation found in a function body.
+type chanOp struct {
+	pos  token.Pos
+	send bool
+	ch   ast.Expr
+	sel  *ast.SelectStmt // enclosing select, when any
+}
+
+func (o chanOp) kind() string {
+	if o.send {
+		return "send"
+	}
+	return "receive"
+}
+
+// chanOpsOf collects the channel operations in node's own statements.
+func chanOpsOf(p *Pass, node *CGNode) []chanOp {
+	var ops []chanOp
+	body := node.Body()
+	walkOwnStmts(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			ops = append(ops, chanOp{pos: n.Pos(), send: true, ch: n.Chan, sel: enclosingSelect(body, n.Pos())})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ops = append(ops, chanOp{pos: n.Pos(), send: false, ch: n.X, sel: enclosingSelect(body, n.Pos())})
+			}
+		case *ast.RangeStmt:
+			if t := p.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					ops = append(ops, chanOp{pos: n.Pos(), send: false, ch: n.X, sel: nil})
+				}
+			}
+		}
+	})
+	return ops
+}
+
+// opEscapes reports whether a blocked op can always be released.
+func opEscapes(p *Pass, cf *chanFacts, op chanOp) bool {
+	if op.sel != nil && selectEscapes(p, op.sel) {
+		return true
+	}
+	if !op.send && isCtxDoneOrTimerChan(p, op.ch) {
+		return true
+	}
+	id, ok := chanIdentity(p, op.ch)
+	if !ok {
+		return true // unresolvable identity: assume escapable
+	}
+	if !op.send && cf.closed[id] {
+		return true
+	}
+	if op.send && cf.buffered[id] {
+		return true
+	}
+	return false
+}
+
+// chanIdentity resolves a channel expression to a stable identity: the
+// declaring object for variables, the field object for struct fields.
+func chanIdentity(p *Pass, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		// Covers local and package variables and composite-literal field
+		// keys alike: the identity is the declaring object.
+		if obj := p.TypesInfo.ObjectOf(e); obj != nil {
+			return "obj:" + p.Fset.Position(obj.Pos()).String(), true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return "obj:" + p.Fset.Position(sel.Obj().Pos()).String(), true
+		}
+	}
+	return "", false
+}
+
+// collectChanFacts scans every non-test file once for close() calls
+// and buffered make()s.
+func collectChanFacts(p *Pass) *chanFacts {
+	cf := &chanFacts{closed: make(map[string]bool), buffered: make(map[string]bool)}
+	markBuffered := func(target, value ast.Expr) {
+		call, ok := ast.Unparen(value).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if _, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "make" {
+			return
+		}
+		if tv, ok := p.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+			return // make(chan T, 0) is unbuffered
+		}
+		if cid, ok := chanIdentity(p, target); ok {
+			cf.buffered[cid] = true
+		}
+	}
+	inspectFiles(p, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if cid, ok := chanIdentity(p, n.Args[0]); ok {
+						cf.closed[cid] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					markBuffered(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					markBuffered(n.Names[i], n.Values[i])
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					markBuffered(kv.Key, kv.Value)
+				}
+			}
+		}
+		return true
+	})
+	return cf
+}
+
+// reachableInOrder returns the nodes reachable from the starts in
+// deterministic source order.
+func reachableInOrder(g *CallGraph, starts []*CGNode) []*CGNode {
+	set := g.Reachable(starts...)
+	var out []*CGNode
+	for _, n := range g.Nodes() {
+		if set[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

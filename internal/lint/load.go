@@ -1,17 +1,22 @@
 package lint
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"io/fs"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -25,9 +30,17 @@ type Package struct {
 
 // Loader parses and type-checks packages of the enclosing module
 // without external tooling: module-internal imports are resolved by
-// walking the module tree, and standard-library imports are
-// type-checked from source via go/importer's "source" compiler mode
-// (which needs no pre-built export data and no network).
+// walking the module tree, and dependency (standard-library) imports
+// are resolved from the toolchain's compiled export data when `go
+// list -export` is available, falling back to go/importer's "source"
+// compiler mode (which needs no pre-built export data and no network)
+// otherwise.
+//
+// Loaders rooted at the same module share one process-wide cache —
+// file set, importers, and checked packages — so every driver in a
+// process (the repo sweep, the fixture suite, the selftest harness,
+// the fuzz targets) parses and type-checks each package exactly once.
+// Loaders are not safe for concurrent use.
 type Loader struct {
 	Fset *token.FileSet
 	// IncludeTests loads _test.go files in-package. Off by default:
@@ -37,14 +50,118 @@ type Loader struct {
 
 	moduleRoot string
 	modulePath string
-	std        types.Importer
-	pkgs       map[string]*loadEntry
+	shared     *moduleCache
+}
+
+// moduleCache is the per-module-root state every Loader for that root
+// shares: one FileSet (so cached positions stay resolvable), one
+// dependency importer, and the memoized package entries.
+type moduleCache struct {
+	fset *token.FileSet
+	deps *depImporter
+	pkgs map[string]*loadEntry
 }
 
 type loadEntry struct {
 	pkg      *Package
 	checking bool
 	err      error
+}
+
+var (
+	moduleCaches   = make(map[string]*moduleCache)
+	moduleCachesMu sync.Mutex
+)
+
+func moduleCacheFor(root string) *moduleCache {
+	moduleCachesMu.Lock()
+	defer moduleCachesMu.Unlock()
+	if c, ok := moduleCaches[root]; ok {
+		return c
+	}
+	fset := token.NewFileSet()
+	c := &moduleCache{
+		fset: fset,
+		deps: newDepImporter(fset, root),
+		pkgs: make(map[string]*loadEntry),
+	}
+	moduleCaches[root] = c
+	return c
+}
+
+// depImporter resolves non-module imports. It prefers the toolchain's
+// compiled export data — one `go list -export -deps ./...` run indexes
+// the export file of every dependency the module uses, and the gc
+// importer reads those binary summaries in milliseconds — because the
+// source importer re-type-checks the whole dependency closure from
+// source on every monsterlint process, which dominated `make lint`
+// wall time. The source importer remains as the fallback for hosts
+// without a usable go command and for paths outside the indexed
+// closure (fixture-only imports).
+type depImporter struct {
+	fset *token.FileSet
+
+	once    sync.Once
+	root    string
+	exports map[string]string // import path -> export data file
+	gc      types.Importer
+	src     types.Importer
+}
+
+func newDepImporter(fset *token.FileSet, moduleRoot string) *depImporter {
+	return &depImporter{fset: fset, root: moduleRoot}
+}
+
+// exportIndex runs `go list -export` once to map the module's
+// dependency closure to compiled export files. Any failure (no go
+// binary, broken build) leaves the index empty and every import on the
+// source path.
+func (d *depImporter) exportIndex() map[string]string {
+	d.once.Do(func() {
+		d.exports = make(map[string]string)
+		cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", "./...")
+		cmd.Dir = d.root
+		out, err := cmd.Output()
+		if err != nil {
+			return
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var e struct{ ImportPath, Export string }
+			if err := dec.Decode(&e); err != nil {
+				break
+			}
+			if e.Export != "" {
+				d.exports[e.ImportPath] = e.Export
+			}
+		}
+	})
+	return d.exports
+}
+
+func (d *depImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := d.exportIndex()[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import resolves one dependency package: export data when indexed,
+// source type-checking otherwise.
+func (d *depImporter) Import(path string) (*types.Package, error) {
+	if _, ok := d.exportIndex()[path]; ok {
+		if d.gc == nil {
+			d.gc = importer.ForCompiler(d.fset, "gc", d.lookup)
+		}
+		if pkg, err := d.gc.Import(path); err == nil {
+			return pkg, nil
+		}
+	}
+	if d.src == nil {
+		d.src = importer.ForCompiler(d.fset, "source", nil)
+	}
+	return d.src.Import(path)
 }
 
 // NewLoader finds the enclosing module starting from dir ("" means the
@@ -61,13 +178,12 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
+	shared := moduleCacheFor(root)
 	return &Loader{
-		Fset:       fset,
+		Fset:       shared.fset,
 		moduleRoot: root,
 		modulePath: path,
-		std:        importer.ForCompiler(fset, "source", nil),
-		pkgs:       make(map[string]*loadEntry),
+		shared:     shared,
 	}, nil
 }
 
@@ -216,17 +332,28 @@ func (l *Loader) dirForImport(path string) (string, bool) {
 	return "", false
 }
 
-// loadDir parses and type-checks the package in dir (memoized).
+// cacheKey distinguishes test-inclusive loads: the same directory
+// checked with and without _test.go files yields different packages.
+func (l *Loader) cacheKey(path string) string {
+	if l.IncludeTests {
+		return path + "\x00tests"
+	}
+	return path
+}
+
+// loadDir parses and type-checks the package in dir (memoized in the
+// module's shared cache).
 func (l *Loader) loadDir(dir string) (*Package, error) {
 	path := l.importPathFor(dir)
-	if e, ok := l.pkgs[path]; ok {
+	key := l.cacheKey(path)
+	if e, ok := l.shared.pkgs[key]; ok {
 		if e.checking {
 			return nil, fmt.Errorf("lint: import cycle through %s", path)
 		}
 		return e.pkg, e.err
 	}
 	e := &loadEntry{checking: true}
-	l.pkgs[path] = e
+	l.shared.pkgs[key] = e
 	pkg, err := l.check(dir, path)
 	e.pkg, e.err, e.checking = pkg, err, false
 	return pkg, err
@@ -312,7 +439,7 @@ func (l *Loader) check(dir, path string) (*Package, error) {
 
 // importPkg resolves one import during type checking: module-internal
 // paths recurse through the loader, everything else (the standard
-// library) goes to the source importer.
+// library) goes to the dependency importer (export data, then source).
 func (l *Loader) importPkg(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
@@ -327,7 +454,7 @@ func (l *Loader) importPkg(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
-	return l.std.Import(path)
+	return l.shared.deps.Import(path)
 }
 
 type importerFunc func(string) (*types.Package, error)

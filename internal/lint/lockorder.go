@@ -1,0 +1,228 @@
+package lint
+
+// Analyzer lockorder builds a lock-acquisition-order graph for the
+// concurrency-heavy packages and reports potential deadlocks:
+//
+//   - cycles in the acquisition order (goroutine 1 takes A then B,
+//     goroutine 2 takes B then A),
+//   - a mutex re-acquired through the same receiver expression while
+//     already held (guaranteed self-deadlock),
+//   - a channel send executed while holding a mutex, with no default
+//     or ctx escape — a blocked receiver then holds the lock
+//     indefinitely, which is how monitoring daemons die quietly.
+//
+// Acquisition edges are discovered by the forward dataflow walker
+// (dataflow.go) with function summaries applied at call sites, so the
+// lockWrite/unlockWrite-style helper pairs and locks held across calls
+// into other functions are modeled interprocedurally within the
+// package. Cross-package calls are leaves: each subsystem owns its
+// lock order.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+var lockOrderScopedPackages = map[string]bool{
+	"tsdb":    true,
+	"ingest":  true,
+	"builder": true,
+}
+
+// LockOrder reports lock-ordering cycles and locks held across
+// blocking channel sends.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report mutex acquisition-order cycles, self-deadlocks, and locks held across blocking channel sends",
+	Run:  runLockOrder,
+}
+
+type lockEdge struct {
+	from, to lockClass
+	pos      token.Pos // where `to` was acquired (or the call that acquires it)
+	note     string
+}
+
+func runLockOrder(p *Pass) error {
+	if !lockOrderScopedPackages[p.Pkg.Name()] {
+		return nil
+	}
+	g := p.callGraph()
+	sums := p.summaries()
+
+	edges := make(map[[2]string]lockEdge)
+	addEdge := func(from, to lockClass, pos token.Pos, note string) {
+		k := [2]string{from.key, to.key}
+		if _, ok := edges[k]; !ok {
+			edges[k] = lockEdge{from: from, to: to, pos: pos, note: note}
+		}
+	}
+
+	for _, node := range g.Nodes() {
+		flowFunc(p, g, node, sums, flowEvents{
+			acquire: func(c lockClass, info lockInfo, held lockSet) {
+				if prev, ok := held[c]; ok {
+					if info.expr != "" && prev.expr == info.expr && !(info.rlock && prev.rlock) {
+						p.Reportf(info.pos, "%s acquired while already held (self-deadlock)", c.label)
+					}
+					return
+				}
+				for _, o := range held.sortedClasses() {
+					addEdge(o, c, info.pos, "")
+				}
+			},
+			call: func(call *ast.CallExpr, held lockSet) {
+				if len(held) == 0 {
+					return
+				}
+				for _, callee := range calleeNodesOf(g, call) {
+					cs := sums[callee]
+					if cs == nil {
+						continue
+					}
+					for _, m := range cs.acq.sortedClasses() {
+						if _, already := held[m]; already {
+							continue
+						}
+						for _, o := range held.sortedClasses() {
+							if o != m {
+								addEdge(o, m, call.Pos(), " via call to "+callee.Name())
+							}
+						}
+					}
+					if cs.blockingSend != token.NoPos {
+						p.Reportf(call.Pos(), "%s held across call to %s, which can block on a channel send with no default or ctx escape",
+							heldLabels(held), callee.Name())
+					}
+				}
+			},
+			chanop: func(n ast.Node, send bool, ch ast.Expr, sel *ast.SelectStmt, held lockSet) {
+				if !send || len(held) == 0 {
+					return
+				}
+				if sel != nil && selectEscapes(p, sel) {
+					return
+				}
+				p.Reportf(n.Pos(), "channel send while holding %s with no default or ctx escape; a blocked receiver holds the lock indefinitely",
+					heldLabels(held))
+			},
+		})
+	}
+
+	reportLockCycles(p, edges)
+	return nil
+}
+
+func heldLabels(held lockSet) string {
+	var parts []string
+	for _, c := range held.sortedClasses() {
+		parts = append(parts, c.label)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func calleeNodesOf(g *CallGraph, call *ast.CallExpr) []*CGNode {
+	t := g.CalleesOf(call)
+	var out []*CGNode
+	for _, fn := range t.static {
+		if n := g.NodeOf(fn); n != nil {
+			out = append(out, n)
+		}
+	}
+	for _, fn := range t.cha {
+		if n := g.NodeOf(fn); n != nil {
+			out = append(out, n)
+		}
+	}
+	for _, lit := range t.lits {
+		if n := g.LitNode(lit); n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// reportLockCycles finds cycles in the acquisition-order graph and
+// reports one finding per cycle, positioned at the edge that closes it.
+func reportLockCycles(p *Pass, edges map[[2]string]lockEdge) {
+	// Adjacency, deterministic.
+	adj := make(map[string][]lockEdge)
+	classes := make(map[string]lockClass)
+	for _, e := range edges {
+		adj[e.from.key] = append(adj[e.from.key], e)
+		classes[e.from.key] = e.from
+		classes[e.to.key] = e.to
+	}
+	for k := range adj {
+		sort.Slice(adj[k], func(i, j int) bool { return adj[k][i].to.key < adj[k][j].to.key })
+	}
+	keys := make([]string, 0, len(classes))
+	for k := range classes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	reported := make(map[string]bool) // canonical cycle id
+	for _, start := range keys {
+		path := []lockEdge{}
+		onPath := map[string]bool{start: true}
+		var dfs func(at string) bool
+		dfs = func(at string) bool {
+			for _, e := range adj[at] {
+				if e.to.key == start {
+					cycle := append(append([]lockEdge{}, path...), e)
+					id := cycleID(cycle)
+					if !reported[id] {
+						reported[id] = true
+						reportCycle(p, cycle)
+					}
+					continue
+				}
+				if onPath[e.to.key] {
+					continue
+				}
+				onPath[e.to.key] = true
+				path = append(path, e)
+				dfs(e.to.key)
+				path = path[:len(path)-1]
+				delete(onPath, e.to.key)
+			}
+			return false
+		}
+		dfs(start)
+	}
+}
+
+// cycleID canonicalizes a cycle (rotation-invariant) so each distinct
+// cycle is reported once.
+func cycleID(cycle []lockEdge) string {
+	keys := make([]string, len(cycle))
+	for i, e := range cycle {
+		keys[i] = e.from.key
+	}
+	min := 0
+	for i := range keys {
+		if keys[i] < keys[min] {
+			min = i
+		}
+	}
+	rotated := make([]string, 0, len(keys))
+	rotated = append(rotated, keys[min:]...)
+	rotated = append(rotated, keys[:min]...)
+	return strings.Join(rotated, "->")
+}
+
+func reportCycle(p *Pass, cycle []lockEdge) {
+	var b strings.Builder
+	b.WriteString(cycle[0].from.label)
+	for _, e := range cycle {
+		pos := p.Fset.Position(e.pos)
+		fmt.Fprintf(&b, " -> %s (%s:%d%s)", e.to.label, filepath.Base(pos.Filename), pos.Line, e.note)
+	}
+	last := cycle[len(cycle)-1]
+	p.Reportf(last.pos, "lock acquisition order cycle: %s", b.String())
+}

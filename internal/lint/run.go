@@ -6,12 +6,17 @@ import (
 	"sort"
 )
 
-// RunPackage runs analyzers over one loaded package and returns the
-// findings that survive suppression, sorted by position. Malformed
-// suppression directives (missing reason) are reported as findings of
-// the pseudo-analyzer "suppression".
+// RunPackage runs analyzers over one loaded package and returns every
+// finding, sorted by position. Findings matched by a //lint:ignore
+// directive are returned with Suppressed set rather than dropped, so
+// drivers can report them without failing on them. Malformed
+// directives (missing reason) and stale directives (naming an analyzer
+// that ran and matched nothing) are findings of the pseudo-analyzer
+// "suppression". One facts cache — the call graph and the function
+// summaries — is shared by every analyzer in the run.
 func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 	var diags []Diagnostic
+	shared := &facts{}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -20,6 +25,7 @@ func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Finding, erro
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
+			facts:     shared,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
@@ -42,10 +48,28 @@ func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Finding, erro
 	}
 	for _, d := range diags {
 		pos := l.Fset.Position(d.Pos)
+		suppressed := false
 		if s := supp[pos.Filename]; s != nil && s.suppresses(d.Analyzer, pos.Line) {
-			continue
+			suppressed = true
 		}
-		findings = append(findings, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+		findings = append(findings, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message, Suppressed: suppressed})
+	}
+
+	// With every diagnostic matched, unmatched directives are stale.
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	for _, s := range supp {
+		for _, st := range s.stale(active) {
+			pos := l.Fset.Position(st.pos)
+			findings = append(findings, Finding{
+				Position:   pos,
+				Analyzer:   "suppression",
+				Message:    fmt.Sprintf("stale suppression: %s matches no finding on these lines", st.name),
+				Suppressed: s.suppresses("suppression", pos.Line),
+			})
+		}
 	}
 	sortFindings(findings)
 	return findings, nil

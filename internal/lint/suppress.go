@@ -19,19 +19,33 @@ import (
 // suppresses the named analyzers for the whole file. A reason is
 // mandatory: a suppression without one is itself reported as a
 // finding, so deliberate exceptions stay documented.
+//
+// Each directive also tracks whether it ever matched a finding: a
+// directive naming an analyzer that ran and produced nothing on its
+// lines is stale — dead armor that outlived the code it excused — and
+// is reported by the pseudo-analyzer "suppression".
+
+// A directive is one parsed lint:ignore / lint:file-ignore comment.
+type directive struct {
+	pos      token.Pos
+	fileWide bool
+	names    []string
+	matched  map[string]bool // analyzer name -> matched a finding
+}
 
 // suppressions indexes the directives of one file.
 type suppressions struct {
-	fileWide  map[string]bool  // analyzer name (or "*") -> suppressed
-	byLine    map[int][]string // line -> analyzer names
-	malformed []token.Pos      // directives missing a reason
+	fileWide   map[string][]*directive // analyzer name (or "*") -> directives
+	byLine     map[int][]*directive    // line -> directives in scope
+	directives []*directive
+	malformed  []token.Pos // directives missing a reason
 }
 
 // collectSuppressions scans a file's comments.
 func collectSuppressions(fset *token.FileSet, f *ast.File) *suppressions {
 	s := &suppressions{
-		fileWide: make(map[string]bool),
-		byLine:   make(map[int][]string),
+		fileWide: make(map[string][]*directive),
+		byLine:   make(map[int][]*directive),
 	}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -53,30 +67,69 @@ func collectSuppressions(fset *token.FileSet, f *ast.File) *suppressions {
 				s.malformed = append(s.malformed, c.Pos())
 				continue
 			}
-			names := strings.Split(fields[0], ",")
+			d := &directive{
+				pos:      c.Pos(),
+				fileWide: fileWide,
+				names:    strings.Split(fields[0], ","),
+				matched:  make(map[string]bool),
+			}
+			s.directives = append(s.directives, d)
 			if fileWide {
-				for _, n := range names {
-					s.fileWide[n] = true
+				for _, n := range d.names {
+					s.fileWide[n] = append(s.fileWide[n], d)
 				}
 				continue
 			}
 			line := fset.Position(c.Pos()).Line
-			s.byLine[line] = append(s.byLine[line], names...)
-			s.byLine[line+1] = append(s.byLine[line+1], names...)
+			s.byLine[line] = append(s.byLine[line], d)
+			s.byLine[line+1] = append(s.byLine[line+1], d)
 		}
 	}
 	return s
 }
 
-// suppresses reports whether a finding by analyzer at line is silenced.
+// suppresses reports whether a finding by analyzer at line is silenced,
+// and records the match on every directive that covers it.
 func (s *suppressions) suppresses(analyzer string, line int) bool {
-	if s.fileWide["*"] || s.fileWide[analyzer] {
-		return true
-	}
-	for _, n := range s.byLine[line] {
-		if n == "*" || n == analyzer {
-			return true
+	hit := false
+	for _, key := range []string{"*", analyzer} {
+		for _, d := range s.fileWide[key] {
+			d.matched[key] = true
+			hit = true
 		}
 	}
-	return false
+	for _, d := range s.byLine[line] {
+		for _, n := range d.names {
+			if n == "*" || n == analyzer {
+				d.matched[n] = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// stale returns, for every directive, the analyzer names that ran (are
+// in active) yet matched no finding. "*" directives are exempt: they
+// declare intent too broad to audit mechanically.
+func (s *suppressions) stale(active map[string]bool) []struct {
+	pos  token.Pos
+	name string
+} {
+	var out []struct {
+		pos  token.Pos
+		name string
+	}
+	for _, d := range s.directives {
+		for _, n := range d.names {
+			if n == "*" || !active[n] || d.matched[n] {
+				continue
+			}
+			out = append(out, struct {
+				pos  token.Pos
+				name string
+			}{d.pos, n})
+		}
+	}
+	return out
 }

@@ -1,0 +1,99 @@
+// Package ingest is the goroutineleak fixture: goroutines that can
+// block forever on a channel with no ctx, close, default, or buffer
+// escape — including one whose blocking op is only visible through the
+// call graph.
+package ingest
+
+import (
+	"context"
+	"time"
+)
+
+// leakSend: unbuffered, never closed, no select — the send can block
+// forever if the consumer goes away.
+func leakSend() {
+	ch := make(chan int)
+	go func() { // want "block forever on channel send"
+		ch <- 1
+	}()
+	_ = ch
+}
+
+// leakRecv: the receive side of the same bug.
+func leakRecv() {
+	ch := make(chan int)
+	go func() { // want "block forever on channel receive"
+		<-ch
+	}()
+}
+
+// drain blocks forever on its parameter: the leak is inside a named
+// function, invisible to any single-function analysis.
+func drain(ch chan int) {
+	for range ch {
+		// The range only ends when ch is closed, and nobody closes it.
+	}
+}
+
+func leakViaCall() {
+	ch := make(chan int)
+	go drain(ch) // want "block forever on channel receive"
+}
+
+// okClosed: the channel is closed in this package, so the range ends.
+func okClosed() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	close(ch)
+}
+
+// okDefault: a select with default never blocks.
+func okDefault() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// okCtx: a ctx.Done case bounds the wait.
+func okCtx(ctx context.Context) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// okBuffered: the send has somewhere to go (bounded treatment: a full
+// buffer still blocks, but flagging every bounded queue would drown
+// the real findings).
+func okBuffered() {
+	ch := make(chan int, 8)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// okTimer: <-chan time.Time receives always fire eventually.
+func okTimer() {
+	go func() {
+		<-time.After(time.Second)
+	}()
+}
+
+// suppressedLeak documents a deliberate forever-goroutine.
+func suppressedLeak() {
+	ch := make(chan int)
+	//lint:ignore goroutineleak the process exits by os.Exit; this worker is meant to die with it
+	go func() {
+		<-ch
+	}()
+}

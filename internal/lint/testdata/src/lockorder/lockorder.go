@@ -1,0 +1,139 @@
+// Package tsdb is the lockorder fixture: acquisition-order cycles,
+// self-deadlocks, and sends under a held mutex — including a cycle
+// that only exists through a helper call, which the syntactic suite
+// cannot see.
+package tsdb
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// lockAB establishes the order A.mu -> B.mu.
+func lockAB() {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockBA closes the cycle: B.mu -> A.mu.
+func lockBA() {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock acquisition order cycle"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+var (
+	c C
+	d D
+)
+
+// acquireC leaves C.mu held at return — the summary the dataflow
+// walker propagates to callers.
+func acquireC() {
+	c.mu.Lock()
+}
+
+func releaseC() {
+	c.mu.Unlock()
+}
+
+// viaHelperCD takes C.mu through the helper, then D.mu directly:
+// order C.mu -> D.mu, invisible to any single-function analysis.
+func viaHelperCD() {
+	acquireC()
+	d.mu.Lock()
+	d.mu.Unlock()
+	releaseC()
+}
+
+// viaHelperDC closes the interprocedural cycle: D.mu -> C.mu, where
+// the second acquisition happens inside the callee.
+func viaHelperDC() {
+	d.mu.Lock()
+	acquireC() // want "lock acquisition order cycle"
+	releaseC()
+	d.mu.Unlock()
+}
+
+type S struct{ mu sync.Mutex }
+
+var s S
+
+// double re-locks the same receiver: guaranteed self-deadlock.
+func double() {
+	s.mu.Lock()
+	s.mu.Lock() // want "acquired while already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// sendLocked blocks on an unguarded send with the mutex held.
+func (q *Q) sendLocked(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want "channel send while holding"
+}
+
+// sendGuarded is the escape shape: select with default makes the send
+// non-blocking, so holding the lock across it is fine.
+func (q *Q) sendGuarded(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+	default:
+	}
+}
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+var (
+	e E
+	f F
+)
+
+// consistentOne and consistentTwo take E.mu -> F.mu in the same order:
+// edges, but no cycle, no finding.
+func consistentOne() {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func consistentTwo() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+type G struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// sendSuppressed documents a deliberate send-under-lock.
+func (g *G) sendSuppressed(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//lint:ignore lockorder the receiver is a same-process drain that never blocks
+	g.ch <- v
+}

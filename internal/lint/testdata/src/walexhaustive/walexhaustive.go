@@ -1,0 +1,90 @@
+// Package tsdb is the walexhaustive fixture: a miniature WAL with one
+// op that is decoded but never applied (the exact bug class the
+// kill-point matrix only catches dynamically), one op never encoded,
+// and one composite-record field replay never reads. Deliberately
+// import-free so the fuzz harness can type-check mutations of it
+// without an importer.
+package tsdb
+
+type walOp byte
+
+const (
+	opWrite walOp = 1
+	opClear walOp = 2
+	opBatch walOp = 3
+	opGhost walOp = 4 // want "never encoded"
+)
+
+type rollupOp struct {
+	target string
+	n      int
+}
+
+type walRecord struct {
+	op     walOp
+	points []int
+	name   string
+	extra  int // want "never read by WAL replay"
+	//lint:ignore walexhaustive retained for wire compatibility with v1 segments
+	legacy int
+	ops    []rollupOp
+}
+
+// encode writes every op as a single byte — except opGhost, which is
+// the seeded "forgot the encode arm" bug.
+func encode(rec walRecord) []byte {
+	var b []byte
+	switch rec.op { // want "missing case opGhost"
+	case opWrite:
+		b = append(b, byte(opWrite))
+	case opClear:
+		b = append(b, byte(opClear))
+	case opBatch:
+		b = append(b, byte(opBatch))
+	}
+	b = append(b, byte(len(rec.points)))
+	return b
+}
+
+// decode covers every op: the wire can still carry ghosts written by
+// an older binary.
+func decode(data []byte) walRecord {
+	var rec walRecord
+	if len(data) == 0 {
+		return rec
+	}
+	op := walOp(data[0])
+	switch op {
+	case opWrite, opClear, opBatch, opGhost:
+		rec.op = op
+	}
+	rec.points = append(rec.points, int(data[0]))
+	return rec
+}
+
+// OpenDurable is the recovery entry point the reachability check
+// anchors on.
+func OpenDurable(data []byte) int {
+	rec := decode(data)
+	return apply(rec)
+}
+
+// apply replays one record. The missing opGhost arm means a ghost
+// record written by an older binary is silently dropped on replay —
+// the default clause does not excuse it.
+func apply(rec walRecord) int {
+	total := 0
+	switch rec.op { // want "missing case opGhost"
+	case opWrite:
+		total += len(rec.points)
+	case opClear:
+		total += len(rec.name)
+	case opBatch:
+		for _, op := range rec.ops {
+			total += op.n + len(op.target)
+		}
+	default:
+		total++
+	}
+	return total
+}

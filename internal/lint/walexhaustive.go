@@ -1,0 +1,223 @@
+package lint
+
+// Analyzer walexhaustive pins the WAL's structural invariant: every
+// operation the log can record must be encodable and replayable, and
+// every field of a composite record must actually be consumed by
+// replay. PR 7's kill-point matrix probes this dynamically — it only
+// catches a missing replay arm if a crash test happens to exercise
+// that op. This analyzer catches it at compile time:
+//
+//   - every package-level constant of the `walOp` type must appear as
+//     the operand of a byte conversion (the encode path writes ops as
+//     single bytes);
+//   - every switch over a walOp-typed value must list every walOp
+//     constant as a case — a default clause does not excuse a missing
+//     replay arm, because "unknown op" handling is exactly where a
+//     forgotten op hides;
+//   - every field of the `walRecord` struct (and of the record structs
+//     nested in its slice fields, e.g. rollupOp) must be read by some
+//     function reachable from OpenDurable, the recovery entry point.
+//     A field that is encoded and decoded but never applied is dead
+//     durability: data paid for on every write and dropped on replay.
+//
+// Packages that declare no walOp type are skipped, so the analyzer is
+// self-scoping to the storage engine (and its fixtures).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// WALExhaustive reports walOp constants missing from the encode path
+// or a replay switch, and walRecord fields replay never reads.
+var WALExhaustive = &Analyzer{
+	Name: "walexhaustive",
+	Doc:  "every walOp must be encoded and replayed, and every walRecord field must be read by replay",
+	Run:  runWALExhaustive,
+}
+
+func runWALExhaustive(p *Pass) error {
+	scope := p.Pkg.Scope()
+	opTN, _ := scope.Lookup("walOp").(*types.TypeName)
+	if opTN == nil {
+		return nil
+	}
+	opType := opTN.Type()
+
+	// The walOp constants, in declaration order.
+	var opConsts []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), opType) {
+			opConsts = append(opConsts, c)
+		}
+	}
+	sort.Slice(opConsts, func(i, j int) bool { return opConsts[i].Pos() < opConsts[j].Pos() })
+	if len(opConsts) == 0 {
+		return nil
+	}
+
+	encoded := make(map[*types.Const]bool)
+	type opSwitch struct {
+		pos     token.Pos
+		covered map[*types.Const]bool
+	}
+	var switches []opSwitch
+
+	constOf := func(e ast.Expr) *types.Const {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		c, _ := p.TypesInfo.Uses[id].(*types.Const)
+		if c != nil && types.Identical(c.Type(), opType) {
+			return c
+		}
+		return nil
+	}
+
+	inspectFiles(p, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// byte(walOpX) / uint8(walOpX): the encode-path marker.
+			tv, ok := p.TypesInfo.Types[n.Fun]
+			if !ok || !tv.IsType() || len(n.Args) != 1 {
+				return true
+			}
+			b, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok || b.Kind() != types.Uint8 {
+				return true
+			}
+			if c := constOf(n.Args[0]); c != nil {
+				encoded[c] = true
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return true
+			}
+			if t := p.TypesInfo.TypeOf(n.Tag); t == nil || !types.Identical(t, opType) {
+				return true
+			}
+			sw := opSwitch{pos: n.Pos(), covered: make(map[*types.Const]bool)}
+			for _, clause := range n.Body.List {
+				for _, e := range clause.(*ast.CaseClause).List {
+					if c := constOf(e); c != nil {
+						sw.covered[c] = true
+					}
+				}
+			}
+			switches = append(switches, sw)
+		}
+		return true
+	})
+
+	for _, c := range opConsts {
+		if !encoded[c] {
+			p.Reportf(c.Pos(), "walOp constant %s is never encoded: no byte(%s) conversion in the write path", c.Name(), c.Name())
+		}
+	}
+	for _, sw := range switches {
+		for _, c := range opConsts {
+			if !sw.covered[c] {
+				p.Reportf(sw.pos, "switch on walOp is missing case %s; a default clause does not excuse a missing replay arm", c.Name())
+			}
+		}
+	}
+
+	checkRecordFields(p)
+	return nil
+}
+
+// checkRecordFields verifies every field of walRecord (and of the
+// record structs nested in its slice fields) is read by some function
+// reachable from OpenDurable.
+func checkRecordFields(p *Pass) {
+	scope := p.Pkg.Scope()
+	recTN, _ := scope.Lookup("walRecord").(*types.TypeName)
+	if recTN == nil {
+		return
+	}
+	rec, ok := recTN.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	g := p.callGraph()
+	entries := g.FuncsNamed("OpenDurable")
+	if len(entries) == 0 {
+		return
+	}
+
+	// The record structs: walRecord plus named structs that are slice
+	// or array elements of its fields.
+	structs := []struct {
+		name string
+		st   *types.Struct
+	}{{recTN.Name(), rec}}
+	for i := 0; i < rec.NumFields(); i++ {
+		t := rec.Field(i).Type()
+		switch t := t.Underlying().(type) {
+		case *types.Slice:
+			if n := namedType(t.Elem()); n != nil {
+				if st, ok := n.Underlying().(*types.Struct); ok {
+					structs = append(structs, struct {
+						name string
+						st   *types.Struct
+					}{n.Obj().Name(), st})
+				}
+			}
+		case *types.Array:
+			if n := namedType(t.Elem()); n != nil {
+				if st, ok := n.Underlying().(*types.Struct); ok {
+					structs = append(structs, struct {
+						name string
+						st   *types.Struct
+					}{n.Obj().Name(), st})
+				}
+			}
+		}
+	}
+
+	// Collect field reads inside the replay-reachable nodes. A selector
+	// on the sole left side of a plain assignment is a write, anything
+	// else is a read.
+	read := make(map[*types.Var]bool)
+	for node := range g.Reachable(entries...) {
+		body := node.Body()
+		writes := make(map[*ast.SelectorExpr]bool)
+		walkOwnStmts(body, func(n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+				return
+			}
+			for _, lhs := range as.Lhs {
+				if se, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					writes[se] = true
+				}
+			}
+		})
+		walkOwnStmts(body, func(n ast.Node) {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok || writes[se] {
+				return
+			}
+			if sel, ok := p.TypesInfo.Selections[se]; ok && sel.Kind() == types.FieldVal {
+				if f, ok := sel.Obj().(*types.Var); ok {
+					read[f] = true
+				}
+			}
+		})
+	}
+
+	for _, s := range structs {
+		for i := 0; i < s.st.NumFields(); i++ {
+			f := s.st.Field(i)
+			if f.Embedded() {
+				continue
+			}
+			if !read[f] {
+				p.Reportf(f.Pos(), "%s field %s is never read by WAL replay (no read reachable from OpenDurable)", s.name, f.Name())
+			}
+		}
+	}
+}

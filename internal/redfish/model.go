@@ -8,6 +8,8 @@
 // mechanisms Section III-B1 describes — that the collector uses.
 package redfish
 
+//lint:file-ignore statssurface the Redfish specification mandates PascalCase member names on the wire
+
 // Status is the Redfish Status object.
 type Status struct {
 	Health string `json:"Health"` // "OK" | "Warning" | "Critical"
