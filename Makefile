@@ -92,6 +92,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzBlockDecode$$' -run '^FuzzBlockDecode$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -fuzz '^FuzzLineProtocol$$' -run '^FuzzLineProtocol$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -fuzz '^FuzzRollupPlanner$$' -run '^FuzzRollupPlanner$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+	$(GO) test -fuzz '^FuzzColdBlockRead$$' -run '^FuzzColdBlockRead$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -fuzz '^FuzzWALExhaustive$$' -run '^FuzzWALExhaustive$$' -fuzztime $(FUZZTIME) ./internal/lint
 
 # ingest re-runs the pipeline suite on its own under the race
@@ -114,12 +115,14 @@ bench:
 
 # bench-json prints the storage-compression benchmarks and regenerates
 # BENCH_compression.json (bytes/point, encode+decode ns/point, sealed
-# vs raw scan) and BENCH_rollup.json (month-long-dashboard scan
-# reduction through the tier planner, decode-cache budget stress) from
-# the same harnesses.
+# vs raw scan), BENCH_rollup.json (month-long-dashboard scan reduction
+# through the tier planner, decode-cache budget stress), and
+# BENCH_coldtier.json (spilled footprint under budget, cold-scan
+# correctness and latency ratio) from the same harnesses.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkBlockEncode|BenchmarkBlockDecode|BenchmarkCompressedScan' -benchtime 50x ./internal/tsdb
 	$(GO) test -run '^$$' -bench 'BenchmarkMixedReadWrite' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkTieredDashboard|BenchmarkRawDashboard' -benchtime 5x ./internal/tsdb
 	BENCH_JSON=$(CURDIR)/BENCH_compression.json $(GO) test -run '^TestBenchJSON$$' -count=1 -v ./internal/tsdb
 	BENCH_JSON=$(CURDIR)/BENCH_rollup.json $(GO) test -run '^TestBenchRollupJSON$$' -count=1 -v ./internal/tsdb
+	BENCH_JSON=$(CURDIR)/BENCH_coldtier.json $(GO) test -run '^TestBenchColdTierJSON$$' -count=1 -v ./internal/tsdb

@@ -46,6 +46,9 @@ func main() {
 		snapInterval  = flag.Duration("snapshot-interval", 5*time.Minute, "background checkpoint (snapshot + WAL truncation) cadence when -wal-dir is set")
 
 		decodeCacheMB = flag.Int64("decode-cache-mb", 0, "sealed-block decode cache budget in MiB (0 = default 64, negative = unbounded)")
+		coldDir       = flag.String("cold-dir", "", "enable the file-backed cold tier: sealed blocks past -cold-after spill compressed payloads to segment files in this directory")
+		coldAfter     = flag.Duration("cold-after", time.Hour, "age past which sealed blocks spill to -cold-dir")
+		coldMaxMB     = flag.Int64("cold-max-resident-mb", 0, "resident compressed sealed-block budget in MiB: oldest blocks past it spill to -cold-dir regardless of age (0 = age-only)")
 		plannerOff    = flag.Bool("planner-off", false, "disable the tier-aware query planner (A/B baseline: aggregates always scan raw storage)")
 		rawRetention  = flag.Duration("raw-retention", 0, "expire raw samples older than this once every covering -rollup tier has materialized them (0 = keep raw forever)")
 
@@ -79,6 +82,14 @@ func main() {
 	if cacheBytes > 0 {
 		cacheBytes <<= 20
 	}
+	// -cold-max-resident-mb likewise speaks MiB; 0 = age-only spilling.
+	coldBudget := *coldMaxMB
+	if coldBudget > 0 {
+		coldBudget <<= 20
+	}
+	if coldBudget != 0 && *coldDir == "" {
+		log.Fatalf("monsterd: -cold-max-resident-mb needs -cold-dir")
+	}
 	cfg := monster.Config{
 		Nodes: *nodes, Seed: *seed, ConcurrentQueries: true,
 		Retention:         *retention,
@@ -94,6 +105,11 @@ func main() {
 		RawRetention:      *rawRetention,
 		DecodeCacheBytes:  cacheBytes,
 		StoragePlannerOff: *plannerOff,
+	}
+	if *coldDir != "" {
+		cfg.ColdDir = *coldDir
+		cfg.ColdAfter = *coldAfter
+		cfg.ColdMaxResidentBytes = coldBudget
 	}
 	if *rawRetention > 0 && len(rollups) == 0 {
 		log.Fatalf("monsterd: -raw-retention needs at least one -rollup tier to cover the expired range")

@@ -119,9 +119,9 @@ func printBuilderStats(st monster.BuilderStats) {
 		cached = " (cache hit)"
 	}
 	fmt.Printf("builder: %d queries, %d series, %d points merged%s\n", st.Queries, st.Series, st.Points, cached)
-	fmt.Printf("scanned: %d series, %d points, %d bytes (%d blocks decoded, %d pruned)\n",
+	fmt.Printf("scanned: %d series, %d points, %d bytes (%d blocks decoded, %d from cold tier, %d pruned)\n",
 		st.TSDB.SeriesScanned, st.TSDB.PointsScanned, st.TSDB.BytesScanned,
-		st.TSDB.BlocksDecoded, st.TSDB.BlocksSkipped)
+		st.TSDB.BlocksDecoded, st.TSDB.BlocksFromDisk, st.TSDB.BlocksSkipped)
 	if st.TSDB.Tier != "" {
 		// PointsScanned spans every query the builder merged (including
 		// non-tiered ones), so only the absolute avoidance is meaningful.
@@ -203,6 +203,18 @@ func printStats(baseURL string, timeout time.Duration) {
 			Points    int64  `json:"points"`
 			Watermark int64  `json:"watermark"`
 		} `json:"storage_tiers"`
+		StorageCold *struct {
+			BlocksCold     int64 `json:"blocks_cold"`
+			ColdBytes      int64 `json:"cold_bytes"`
+			ResidentBlocks int64 `json:"resident_blocks"`
+			ResidentBytes  int64 `json:"resident_bytes"`
+			BudgetBytes    int64 `json:"budget_bytes"`
+			Files          int   `json:"files"`
+			FileBytes      int64 `json:"file_bytes"`
+			Spills         int64 `json:"spills"`
+			Reads          int64 `json:"reads"`
+			Compactions    int64 `json:"compactions"`
+		} `json:"storage_cold"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		log.Fatalf("mquery: %v", err)
@@ -225,6 +237,15 @@ func printStats(baseURL string, timeout time.Duration) {
 		}
 		fmt.Printf("decode cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %.2f MB resident of %s budget, %d blocks\n",
 			c.Hits, c.Misses, rate, c.Evictions, float64(c.Resident)/1e6, budget, c.Entries)
+	}
+	if c := body.StorageCold; c != nil {
+		budget := "no budget"
+		if c.BudgetBytes > 0 {
+			budget = fmt.Sprintf("%.2f MB budget", float64(c.BudgetBytes)/1e6)
+		}
+		fmt.Printf("cold tier: %d blocks spilled (%.2f MB), %d resident (%.2f MB, %s), %d files (%.2f MB), %d spills, %d reads, %d compactions\n",
+			c.BlocksCold, float64(c.ColdBytes)/1e6, c.ResidentBlocks, float64(c.ResidentBytes)/1e6, budget,
+			c.Files, float64(c.FileBytes)/1e6, c.Spills, c.Reads, c.Compactions)
 	}
 	if len(body.StorageTiers) > 0 {
 		fmt.Println("rollup tiers:")

@@ -251,6 +251,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		BlocksSealed    int64         `json:"blocks_sealed"`
 		BlocksLive      int64         `json:"blocks_live"`
 		BlocksCached    int64         `json:"blocks_cached"`
+		BlocksCold      int64         `json:"blocks_cold"`
 		SealedPoints    int64         `json:"sealed_points"`
 		TailPoints      int64         `json:"tail_points"`
 		Shards          int           `json:"shards"`
@@ -281,6 +282,11 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		// interval, materialized points, watermark). Omitted when no
 		// rollups are registered.
 		StorageTiers any `json:"storage_tiers,omitempty"`
+		// StorageCold is the file-backed cold tier: block placement
+		// (resident vs spilled), segment-file footprint, and spill/read/
+		// compaction counters. Omitted when no cold directory is
+		// configured.
+		StorageCold any `json:"storage_cold,omitempty"`
 	}{
 		Points:          disk.Points,
 		PointsWritten:   dbStats.PointsWritten,
@@ -292,6 +298,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		BlocksSealed:    comp.BlocksSealed,
 		BlocksLive:      comp.Blocks,
 		BlocksCached:    comp.BlocksCached,
+		BlocksCold:      comp.BlocksCold,
 		SealedPoints:    comp.SealedPoints,
 		TailPoints:      comp.TailPoints,
 		Shards:          disk.Shards,
@@ -323,6 +330,9 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if tiers := db.TierStats(); len(tiers) > 0 {
 		out.StorageTiers = tiers
+	}
+	if cold := db.ColdStats(); cold.Enabled {
+		out.StorageCold = cold
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {

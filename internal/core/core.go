@@ -103,6 +103,20 @@ type Config struct {
 	// cache (0 = engine default 64 MiB, negative = unbounded — the
 	// keep-everything A/B baseline).
 	DecodeCacheBytes int64
+	// ColdDir enables the file-backed cold tier: sealed blocks past
+	// ColdAfter (or past the resident budget) spill their compressed
+	// payloads to per-shard segment files under this directory and are
+	// read back transparently on scan. Empty keeps every sealed block
+	// resident (the pre-cold-tier behaviour).
+	ColdDir string
+	// ColdAfter is the age past which sealed blocks spill to ColdDir,
+	// measured against simulation time and enforced once per collection
+	// interval. Zero selects 1 h when ColdDir is set.
+	ColdAfter time.Duration
+	// ColdMaxResidentBytes bounds resident compressed sealed-block
+	// bytes: after the age pass, the oldest remaining blocks spill
+	// until the residue fits. 0 = no budget (age-only spilling).
+	ColdMaxResidentBytes int64
 	// StoragePlannerOff disables the tier-aware query planner so
 	// aggregate queries always scan raw storage — the A/B baseline for
 	// the rollup-rewrite experiment.
@@ -172,6 +186,9 @@ func (c *Config) applyDefaults() {
 	if c.WALDir != "" && c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 5 * time.Minute
 	}
+	if c.ColdDir != "" && c.ColdAfter == 0 {
+		c.ColdAfter = time.Hour
+	}
 }
 
 // System is a fully wired MonSTer deployment over a simulated cluster.
@@ -231,12 +248,14 @@ func NewSystem(cfg Config) (*System, error) {
 	qm := scheduler.NewQMaster(nodes.Nodes(), cfg.Start, scheduler.Options{})
 	api := scheduler.NewAPI(qm)
 	storageOpts := tsdb.Options{
-		ShardDuration:    cfg.ShardDuration,
-		ExecWorkers:      cfg.QueryWorkers,
-		BlockSize:        cfg.BlockSize,
-		GlobalLock:       cfg.StorageGlobalLock,
-		DecodeCacheBytes: cfg.DecodeCacheBytes,
-		PlannerOff:       cfg.StoragePlannerOff,
+		ShardDuration:        cfg.ShardDuration,
+		ExecWorkers:          cfg.QueryWorkers,
+		BlockSize:            cfg.BlockSize,
+		GlobalLock:           cfg.StorageGlobalLock,
+		DecodeCacheBytes:     cfg.DecodeCacheBytes,
+		PlannerOff:           cfg.StoragePlannerOff,
+		ColdDir:              cfg.ColdDir,
+		ColdMaxResidentBytes: cfg.ColdMaxResidentBytes,
 	}
 	var (
 		db       *tsdb.DB
@@ -440,6 +459,14 @@ func (s *System) advance(d, step time.Duration, collect bool, ctx context.Contex
 			if s.Config.RawRetention > 0 && s.Rollups != nil {
 				if _, err := s.DB.ExpireRaw(s.now.Add(-s.Config.RawRetention).Unix()); err != nil {
 					return fmt.Errorf("core: raw-tier expiry at %v: %w", s.now, err)
+				}
+			}
+			if s.Config.ColdDir != "" {
+				// After retention and raw expiry have dropped what they
+				// will, spill what remains past the age threshold (and
+				// past the resident budget) to the cold tier.
+				if _, err := s.DB.SpillCold(s.now.Add(-s.Config.ColdAfter).Unix()); err != nil {
+					return fmt.Errorf("core: cold spill at %v: %w", s.now, err)
 				}
 			}
 			if s.Alerts != nil {

@@ -3,6 +3,7 @@ package ingest
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,9 +38,11 @@ type PushOptions struct {
 // deployment listens (monsterd uses /v1/ingest/write).
 //
 // Responses: 204 on success, 400 with {"error": ...} on a parse
-// failure (the offending line number included), 405 on a non-POST,
-// 413 when the body exceeds MaxBody, 503 before the receiver is bound
-// to a pipeline, and 500 when an inline sink write fails.
+// failure (the offending line number included) or any other body-read
+// failure (client disconnect, truncated chunked encoding), 405 on a
+// non-POST, 413 only when the body exceeds MaxBody, 503 before the
+// receiver is bound to a pipeline, and 500 when an inline sink write
+// fails.
 type PushReceiver struct {
 	name    string
 	maxBody int64
@@ -99,7 +102,15 @@ func (r *PushReceiver) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.maxBody))
 	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		// 413 is reserved for the limiter itself; any other read error
+		// (client disconnect, truncated chunked encoding) is the
+		// client's malformed request, not an oversized one.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		} else {
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
 		return
 	}
 	r.bytesRead.Add(int64(len(body)))

@@ -1,7 +1,9 @@
 package ingest
 
 import (
+	"bufio"
 	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -93,6 +95,48 @@ func TestPushReceiverStatuses(t *testing.T) {
 	// Every request counts, including the unbound 503.
 	if pushStat.Extra["requests"] != 5 || pushStat.Extra["parse_errors"] != 1 {
 		t.Fatalf("extra = %+v", pushStat.Extra)
+	}
+}
+
+// TestPushReceiverTruncatedBody pins the 413/400 split: 413 is
+// reserved for the MaxBody limiter, while a body that dies mid-read
+// (Content-Length promising more bytes than ever arrive) is the
+// client's malformed request and must map to 400. The old handler
+// collapsed every read error into 413, telling well-behaved clients
+// with flaky connections to shrink their batches forever.
+func TestPushReceiverTruncatedBody(t *testing.T) {
+	push := NewPushReceiver(PushOptions{MaxBody: 1 << 20})
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddSink(NewTSDBSink(tsdb.Open(tsdb.Options{}), TSDBOptions{}))
+	p.AddReceiver(push)
+
+	srv := httptest.NewServer(push)
+	defer srv.Close()
+
+	// Speak raw TCP so we can promise 4096 bytes and hang up after 10:
+	// the handler's io.ReadAll sees an unexpected EOF, not the limiter.
+	conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := "POST / HTTP/1.1\r\nHost: x\r\nContent-Type: text/plain\r\nContent-Length: 4096\r\n\r\nPower,N=1 v"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body status = %d, want 400", resp.StatusCode)
 	}
 }
 

@@ -84,6 +84,13 @@ type block struct {
 	rawBytes   int64 // canonical encoded size of the sealed samples
 	data       []byte
 
+	// cold locates the compressed payload in a cold-tier segment file
+	// when data is nil: spilled blocks keep only this header plus the
+	// reference, so scan pruning stays in memory while the payload
+	// costs one pread on first touch. Exactly one of data/cold is set
+	// on a sealed block.
+	cold *coldRef
+
 	// cache memoizes the decoded payload: blocks are immutable, so the
 	// first scan that touches a block pays the decode and later scans
 	// read the cached slices. Resident raw bytes are therefore bounded
@@ -106,6 +113,32 @@ type blockPayload struct {
 // overlaps reports whether the block intersects [start, end).
 func (b *block) overlaps(start, end int64) bool {
 	return b.maxT >= start && b.minT < end
+}
+
+// payloadBytes returns the block's compressed payload, reading it
+// through the cold tier (one pread + CRC check) when the block has
+// been spilled. fromDisk reports which side served it.
+func (b *block) payloadBytes() (data []byte, fromDisk bool, err error) {
+	if b.data != nil {
+		return b.data, false, nil
+	}
+	if b.cold == nil {
+		return nil, false, fmt.Errorf("%w: block has neither payload nor cold reference", errBlockCorrupt)
+	}
+	data, err = b.cold.read()
+	return data, true, err
+}
+
+// compressedLen is the compressed payload size regardless of where it
+// lives.
+func (b *block) compressedLen() int {
+	if b.data != nil {
+		return len(b.data)
+	}
+	if b.cold != nil {
+		return int(b.cold.length)
+	}
+	return 0
 }
 
 // sealBlock compresses one sorted run of samples into an immutable
@@ -208,23 +241,29 @@ func sealBlock(times []int64, vals []Value) *block {
 // the payload against the global decode budget (and may evict other
 // blocks to admit it); nil keeps the unaccounted PR 5 behavior, used
 // by internal maintenance paths whose payloads are transient.
-func (b *block) decode(c *decodeCache) (*blockPayload, error) {
+// fromDisk reports whether the compressed payload came through the
+// cold tier rather than memory (always false on a memo hit).
+func (b *block) decode(c *decodeCache) (p *blockPayload, fromDisk bool, err error) {
 	if p := b.cache.Load(); p != nil {
 		if c != nil {
 			c.hit(p)
 		}
-		return p, nil
+		return p, false, nil
 	}
-	times, vals, err := decodeBlockData(b.data)
+	data, fromDisk, err := b.payloadBytes()
 	if err != nil {
-		return nil, err
+		return nil, fromDisk, err
 	}
-	p := &blockPayload{times: times, vals: vals}
+	times, vals, err := decodeBlockData(data)
+	if err != nil {
+		return nil, fromDisk, err
+	}
+	p = &blockPayload{times: times, vals: vals}
 	b.cache.Store(p)
 	if c != nil {
 		c.admit(b, p)
 	}
-	return p, nil
+	return p, fromDisk, nil
 }
 
 // validate fully decodes the block without caching and checks the
@@ -235,7 +274,11 @@ func (b *block) decode(c *decodeCache) (*blockPayload, error) {
 // returned for callers that need a peek (field-kind recovery) without
 // pinning it in the cache.
 func (b *block) validate() (*blockPayload, error) {
-	times, vals, err := decodeBlockData(b.data)
+	data, _, err := b.payloadBytes()
+	if err != nil {
+		return nil, err
+	}
+	times, vals, err := decodeBlockData(data)
 	if err != nil {
 		return nil, err
 	}
@@ -500,15 +543,30 @@ func (it *columnIterator) next(stats *QueryStats) (colChunk, bool) {
 			stats.BlocksSkipped++
 			continue
 		}
-		p, err := blk.decode(it.cache)
+		p, fromDisk, err := blk.decode(it.cache)
 		if err != nil {
-			// Blocks are validated when sealed and when restored; an
-			// undecodable block here is post-hoc corruption. Drop it
-			// from the scan rather than failing the whole query.
+			if blk.cold != nil {
+				// A spilled block that cannot be read back is an IO
+				// fault — a missing, truncated, or corrupt segment file.
+				// Latch it so the query fails instead of answering with
+				// durable data silently missing.
+				if stats.scanErr == nil {
+					stats.scanErr = err
+				}
+				stats.BlocksSkipped++
+				continue
+			}
+			// Resident blocks are validated when sealed and when
+			// restored; an undecodable one here is post-hoc memory
+			// corruption. Drop it from the scan rather than failing the
+			// whole query.
 			stats.BlocksSkipped++
 			continue
 		}
 		stats.BlocksDecoded++
+		if fromDisk {
+			stats.BlocksFromDisk++
+		}
 		lo, hi := 0, len(p.times)
 		if blk.minT < it.start {
 			lo = sort.Search(len(p.times), func(i int) bool { return p.times[i] >= it.start })

@@ -85,7 +85,7 @@ func TestBlockRoundTripProperty(t *testing.T) {
 			if _, err := blk.validate(); err != nil {
 				t.Fatalf("%s: validate: %v", style, err)
 			}
-			p, err := blk.decode(nil)
+			p, _, err := blk.decode(nil)
 			if err != nil {
 				t.Fatalf("%s: decode: %v", style, err)
 			}

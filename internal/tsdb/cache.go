@@ -49,6 +49,7 @@ type decodeCache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	purges    atomic.Int64
 	resident  atomic.Int64
 
 	mu      sync.Mutex
@@ -72,20 +73,25 @@ func (c *decodeCache) hit(p *blockPayload) {
 
 // admit registers a freshly decoded payload and evicts until the
 // budget holds. Racing decoders of the same block dedup on the entries
-// map: the loser's payload simply goes unaccounted (the block cache
-// pointer holds one of the identical payloads either way).
+// map: the loser converges the block's decode memo back onto the
+// winner's accounted payload (dropping its own duplicate), counts no
+// miss, and still runs the eviction sweep — the sweep must run on
+// every admit path, because a racing eviction of the winner can leave
+// the budget violated at exactly the moment the loser arrives.
 func (c *decodeCache) admit(blk *block, p *blockPayload) {
-	c.misses.Add(1)
 	bytes := int64(blk.count) * cachedPointBytes
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[blk]; ok {
-		return
+	if e, ok := c.entries[blk]; ok {
+		blk.cache.Store(e.p)
+		e.p.ref.Store(true)
+	} else {
+		c.misses.Add(1)
+		e := &cacheEntry{blk: blk, p: p, bytes: bytes}
+		c.entries[blk] = e
+		c.ring = append(c.ring, e)
+		c.resident.Add(bytes)
 	}
-	e := &cacheEntry{blk: blk, p: p, bytes: bytes}
-	c.entries[blk] = e
-	c.ring = append(c.ring, e)
-	c.resident.Add(bytes)
 	if c.budget < 0 {
 		return
 	}
@@ -111,6 +117,12 @@ func (c *decodeCache) admit(blk *block, p *blockPayload) {
 // payload pointer keep it alive until they finish; eviction only
 // severs the block's reference.
 func (c *decodeCache) evictLocked(i int) {
+	c.removeLocked(i)
+	c.evictions.Add(1)
+}
+
+// removeLocked is the shared removal core for eviction and purge.
+func (c *decodeCache) removeLocked(i int) {
 	victim := c.ring[i]
 	victim.blk.cache.Store(nil)
 	delete(c.entries, victim.blk)
@@ -119,7 +131,48 @@ func (c *decodeCache) evictLocked(i int) {
 	c.ring[last] = nil
 	c.ring = c.ring[:last]
 	c.resident.Add(-victim.bytes)
-	c.evictions.Add(1)
+}
+
+// purgeDead removes cache entries whose block is no longer reachable
+// from v. Drop, expiry, and spill paths call this after publishing the
+// shrunken view: without it, deleted blocks pin their payloads in
+// entries/ring forever and keep charging resident against the budget —
+// and since eviction only runs inside admit, a quiet database never
+// reclaims them while CLOCK pressure evicts live blocks first.
+//
+// A scan still running against an older view can re-decode and
+// re-admit a just-purged block; that readmission is bounded by the
+// budget sweep and dies on the next purge, so it is tolerated rather
+// than locked out.
+func (c *decodeCache) purgeDead(v *dbView) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) == 0 {
+		return
+	}
+	live := make(map[*block]struct{}, len(c.entries))
+	for _, sh := range v.shards {
+		for _, sr := range sh.series {
+			for _, col := range sr.fields {
+				for _, blk := range col.blocks {
+					if _, ok := c.entries[blk]; ok {
+						live[blk] = struct{}{}
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < len(c.ring); {
+		if _, ok := live[c.ring[i].blk]; ok {
+			i++
+			continue
+		}
+		c.removeLocked(i) // swap-removal refills i; do not advance
+		c.purges.Add(1)
+	}
 }
 
 // CacheStats is a point-in-time snapshot of the decode cache
@@ -128,6 +181,7 @@ type CacheStats struct {
 	Hits          int64 `json:"hits"`
 	Misses        int64 `json:"misses"`
 	Evictions     int64 `json:"evictions"`
+	Purges        int64 `json:"purges"` // entries dropped because their block was deleted
 	ResidentBytes int64 `json:"resident_bytes"`
 	BudgetBytes   int64 `json:"budget_bytes"` // <0 = unlimited
 	Entries       int   `json:"entries"`
@@ -146,6 +200,7 @@ func (db *DB) CacheStats() CacheStats {
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
 		Evictions:     c.evictions.Load(),
+		Purges:        c.purges.Load(),
 		ResidentBytes: c.resident.Load(),
 		BudgetBytes:   c.budget,
 		Entries:       n,

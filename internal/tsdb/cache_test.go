@@ -92,6 +92,116 @@ func TestDecodeCacheBudgetEviction(t *testing.T) {
 	}
 }
 
+// TestDecodeCachePurgeOnDelete pins the drop-path lifecycle: deleting
+// shards must purge their decode-cache entries. Before the purge hook,
+// DeleteBefore left dead blocks charged against the budget forever —
+// a quiet database never reclaimed them, and CLOCK pressure evicted
+// live blocks while the corpses stayed resident.
+func TestDecodeCachePurgeOnDelete(t *testing.T) {
+	db := cacheFixture(t, 1<<30, 4, 256)
+	if _, err := db.Query(`SELECT count("Reading") FROM "Power"`); err != nil {
+		t.Fatal(err)
+	}
+	before := db.CacheStats()
+	if before.ResidentBytes == 0 || before.Entries == 0 {
+		t.Fatalf("scan admitted nothing: %+v", before)
+	}
+	if _, err := db.DeleteBefore(1 << 40); err != nil { // everything
+		t.Fatal(err)
+	}
+	after := db.CacheStats()
+	if after.Entries != 0 || after.ResidentBytes != 0 {
+		t.Fatalf("deleted blocks still cached: %+v", after)
+	}
+	if after.Purges == 0 {
+		t.Fatalf("purge counter did not move: %+v", after)
+	}
+	// The empty database must not re-decode anything.
+	if _, err := db.Query(`SELECT count("Reading") FROM "Power"`); err != nil {
+		t.Fatal(err)
+	}
+	if final := db.CacheStats(); final.Misses != after.Misses {
+		t.Fatalf("post-delete scan decoded: %+v after %+v", final, after)
+	}
+}
+
+// TestDecodeCacheAdmitDedup pins the racing-decoder loser path in
+// admit: when a block is already admitted, a second admit must count
+// no miss, converge the block's memo back onto the winner's accounted
+// payload, and leave resident bytes charged exactly once. The old path
+// double-counted the miss and left the loser's duplicate payload as
+// the block memo, splitting accounting from reality.
+func TestDecodeCacheAdmitDedup(t *testing.T) {
+	c := newDecodeCache(1 << 20)
+	blk := &block{count: 10}
+	p1 := &blockPayload{}
+	blk.cache.Store(p1)
+	c.admit(blk, p1)
+	want := int64(10) * cachedPointBytes
+	if m := c.misses.Load(); m != 1 {
+		t.Fatalf("first admit: misses = %d, want 1", m)
+	}
+	if r := c.resident.Load(); r != want {
+		t.Fatalf("first admit: resident = %d, want %d", r, want)
+	}
+
+	// A racing decoder lost: it stored its own payload into the memo
+	// and now admits it.
+	p2 := &blockPayload{}
+	blk.cache.Store(p2)
+	c.admit(blk, p2)
+	if m := c.misses.Load(); m != 1 {
+		t.Fatalf("dedup admit counted a miss: misses = %d, want 1", m)
+	}
+	if r := c.resident.Load(); r != want {
+		t.Fatalf("dedup admit double-charged: resident = %d, want %d", r, want)
+	}
+	if got := blk.cache.Load(); got != p1 {
+		t.Fatalf("memo not converged onto winner payload: got %p, want %p", got, p1)
+	}
+	if !p1.ref.Load() {
+		t.Fatal("winner payload not marked recently used")
+	}
+}
+
+// TestDecodeCacheAdmitRace hammers admit with racing decoders of the
+// same blocks under -race: accounting must stay consistent — one miss
+// and one charge per distinct block, no duplicate ring entries.
+func TestDecodeCacheAdmitRace(t *testing.T) {
+	c := newDecodeCache(-1)
+	blocks := make([]*block, 16)
+	for i := range blocks {
+		blocks[i] = &block{count: 8}
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for _, blk := range blocks {
+				p := &blockPayload{}
+				blk.cache.Store(p)
+				c.admit(blk, p)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if m := c.misses.Load(); m != int64(len(blocks)) {
+		t.Fatalf("misses = %d, want %d (one per distinct block)", m, len(blocks))
+	}
+	want := int64(len(blocks)) * 8 * cachedPointBytes
+	if r := c.resident.Load(); r != want {
+		t.Fatalf("resident = %d, want %d", r, want)
+	}
+	c.mu.Lock()
+	entries, ring := len(c.entries), len(c.ring)
+	c.mu.Unlock()
+	if entries != len(blocks) || ring != len(blocks) {
+		t.Fatalf("entries = %d, ring = %d, want %d each", entries, ring, len(blocks))
+	}
+}
+
 // TestDecodeCacheUnbounded checks the A/B baseline: a negative budget
 // disables eviction entirely (PR 5 keep-everything behavior).
 func TestDecodeCacheUnbounded(t *testing.T) {

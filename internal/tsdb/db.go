@@ -58,6 +58,18 @@ type Options struct {
 	// DES experiments inject a virtual clock so replayed runs stay
 	// deterministic.
 	Clock clock.Clock
+
+	// ColdDir, when non-empty, enables the file-backed cold tier:
+	// SpillCold moves sealed block payloads into CRC-framed segment
+	// files under this directory and queries read them back on demand
+	// (see coldtier.go). Empty keeps every sealed block resident.
+	ColdDir string
+
+	// ColdMaxResidentBytes bounds the compressed bytes of sealed
+	// blocks kept in memory when the cold tier is enabled: SpillCold
+	// spills oldest-first past the budget even before the age cutoff.
+	// Zero or negative means age-based spilling only.
+	ColdMaxResidentBytes int64
 }
 
 // DB is an in-process time-series database: a set of measurements, each
@@ -81,6 +93,11 @@ type DB struct {
 	// cache charge-accounts decoded block payloads against one global
 	// budget (see cache.go). Set once at Open, never nil.
 	cache *decodeCache
+
+	// cold is the file-backed segment tier sealed blocks spill into
+	// (see coldtier.go). Nil unless Options.ColdDir is set; set once at
+	// Open and never changed.
+	cold *coldTier
 
 	writeMu sync.Mutex
 	view    atomic.Pointer[dbView]
@@ -160,6 +177,12 @@ func Open(opts Options) *DB {
 		clock:         clk,
 		cache:         newDecodeCache(budget),
 		rollupWM:      make(map[string]int64),
+	}
+	if opts.ColdDir != "" {
+		// Directory creation is deferred to the first spill (and
+		// latched): Open cannot return an error, and a read-only
+		// restore should not need write access.
+		db.cold = newColdTier(opts.ColdDir, opts.ColdMaxResidentBytes)
 	}
 	db.view.Store(&dbView{
 		shards: make(map[int64]*shard),
@@ -389,6 +412,7 @@ type CompressionStats struct {
 	BlocksSealed    int64 // cumulative seals since open (DBStats counter)
 	Blocks          int64 // sealed blocks currently live
 	BlocksCached    int64 // live blocks holding a decoded payload cache
+	BlocksCold      int64 // live blocks whose compressed payload lives on disk
 	SealedPoints    int64 // samples inside sealed blocks
 	TailPoints      int64 // samples in raw hot tails
 	BytesRaw        int64
@@ -418,7 +442,13 @@ func (db *DB) Compression() CompressionStats {
 					cs.Blocks++
 					cs.SealedPoints += int64(blk.count)
 					cs.BytesRaw += blk.rawBytes
-					cs.BytesCompressed += int64(len(blk.data)) + blockHeaderBytes
+					// Cold payloads still count: BytesCompressed is the
+					// sealed representation's storage volume wherever it
+					// lives; the memory split is ColdStats' job.
+					cs.BytesCompressed += int64(blk.compressedLen()) + blockHeaderBytes
+					if blk.cold != nil {
+						cs.BlocksCold++
+					}
 					if blk.cache.Load() != nil {
 						cs.BlocksCached++
 					}
@@ -463,6 +493,7 @@ func (db *DB) DropMeasurement(name string) (bool, error) {
 		}
 	}
 	db.publish(nv)
+	db.cache.purgeDead(nv)
 	return true, nil
 }
 
@@ -484,6 +515,7 @@ func (db *DB) DeleteBefore(t int64) (int, error) {
 		}
 	}
 	db.publish(nv)
+	db.cache.purgeDead(nv)
 	return dropped, nil
 }
 
@@ -507,6 +539,7 @@ func (db *DB) DeleteMeasurementBefore(name string, t int64) (int64, error) {
 		}
 	}
 	db.publish(nv)
+	db.cache.purgeDead(nv)
 	return removed, nil
 }
 

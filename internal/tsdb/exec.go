@@ -25,6 +25,11 @@ type QueryStats struct {
 	// is all skips, no decodes).
 	BlocksDecoded int64
 	BlocksSkipped int64
+	// BlocksFromDisk counts decoded blocks whose compressed payload was
+	// read back from the cold tier (a pread + CRC check) rather than
+	// memory — the cold tier's read-amplification signal. Always <=
+	// BlocksDecoded; zero once the hot set is cached or resident.
+	BlocksFromDisk int64
 
 	// SnapshotEpoch is the mutation epoch of the snapshot the query ran
 	// against (the consistency token of the snapshot-isolated read path).
@@ -50,6 +55,14 @@ type QueryStats struct {
 	// rewrite. The ratio TierRawEquivalent / PointsScanned is the
 	// planner's read amplification win.
 	TierRawEquivalent int64
+
+	// scanErr latches the first cold-tier read failure hit during the
+	// scan. Resident-block decode failures are post-hoc memory
+	// corruption and keep the legacy skip-and-continue behaviour, but a
+	// spilled block that cannot be read back is an IO fault (missing or
+	// truncated segment, checksum mismatch) that must fail the query —
+	// silently skipping it would return answers missing durable data.
+	scanErr error
 }
 
 // Add accumulates other into s. Counters sum; SnapshotEpoch and
@@ -63,6 +76,7 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.Rows += o.Rows
 	s.BlocksDecoded += o.BlocksDecoded
 	s.BlocksSkipped += o.BlocksSkipped
+	s.BlocksFromDisk += o.BlocksFromDisk
 	s.LockWaitNs += o.LockWaitNs
 	s.Groups += o.Groups
 	s.TierRawEquivalent += o.TierRawEquivalent
@@ -74,6 +88,9 @@ func (s *QueryStats) Add(o QueryStats) {
 	}
 	if o.ParallelWorkers > s.ParallelWorkers {
 		s.ParallelWorkers = o.ParallelWorkers
+	}
+	if s.scanErr == nil {
+		s.scanErr = o.scanErr
 	}
 }
 
@@ -236,6 +253,9 @@ func (db *DB) execView(v *dbView, q *Query, lockWaitNs int64) (*Result, error) {
 		for w := range workerStats {
 			res.Stats.Add(workerStats[w])
 		}
+	}
+	if res.Stats.scanErr != nil {
+		return nil, res.Stats.scanErr
 	}
 
 	res.Series = make([]ResultSeries, 0, len(out))

@@ -7,17 +7,21 @@ import (
 )
 
 // SaveFile writes a snapshot of the database to path atomically (via a
-// temp file + rename in the same directory).
+// temp file + rename in the same directory). Cold-tier payloads are
+// read back and inlined so the file is portable — restoring it needs
+// no cold directory.
 func (db *DB) SaveFile(path string) error {
 	v := db.acquireView()
 	defer db.releaseView()
-	return saveViewFile(v, db.shardDuration, path)
+	return saveViewFile(v, db.shardDuration, path, true)
 }
 
 // saveViewFile serializes one pinned view to path atomically: temp
 // file in the same directory, fsync, then rename. Checkpoint uses it
-// with the view it cut the WAL boundary against.
-func saveViewFile(v *dbView, shardDuration int64, path string) error {
+// with the view it cut the WAL boundary against and inlineCold=false
+// (cold blocks stay file references — their bytes are already
+// durable); export paths pass true for a self-contained file.
+func saveViewFile(v *dbView, shardDuration int64, path string, inlineCold bool) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".monster-snapshot-*")
 	if err != nil {
@@ -25,7 +29,7 @@ func saveViewFile(v *dbView, shardDuration int64, path string) error {
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after successful rename
-	if err := snapshotView(v, shardDuration, tmp); err != nil {
+	if err := snapshotView(v, shardDuration, tmp, inlineCold); err != nil {
 		_ = tmp.Close() // the snapshot error is the one worth reporting
 		return fmt.Errorf("tsdb: save %s: %w", path, err)
 	}

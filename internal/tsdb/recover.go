@@ -93,12 +93,14 @@ func OpenDurable(opts Options, wopts WALOptions) (*DB, RecoveryInfo, error) {
 	}
 	var boundary uint64
 	var db *DB
+	var restoredView *dbView // the snapshot's view, pre-replay
 	if len(snaps) > 0 {
 		newest := snaps[len(snaps)-1]
 		db, err = loadFileOptions(newest.path, opts)
 		if err != nil {
 			return nil, info, fmt.Errorf("tsdb: open durable: %w", err)
 		}
+		restoredView = db.view.Load()
 		boundary = newest.boundary
 		info.SnapshotLoaded = true
 		info.SnapshotPoints = db.Stats().PointsWritten
@@ -128,6 +130,17 @@ func OpenDurable(opts Options, wopts WALOptions) (*DB, RecoveryInfo, error) {
 	surviving, err := replayWAL(db, live, &info)
 	if err != nil {
 		return nil, info, err
+	}
+
+	if db.cold != nil {
+		// Sweep cold segments neither the on-disk snapshot nor the
+		// replayed state references: crashed spills, crashed
+		// compactions, and files for data the replay dropped. The
+		// snapshot's own references must survive — this same recovery
+		// may run again from the same snapshot after another crash.
+		if err := db.cold.sweepOrphans(restoredView, db.view.Load()); err != nil {
+			return nil, info, fmt.Errorf("tsdb: open durable: %w", err)
+		}
 	}
 
 	w, err := openWAL(wopts, surviving)
@@ -317,9 +330,20 @@ func (db *DB) applyClearRange(name string, start, end int64) error {
 // after it, recovery loads the new snapshot and skips (deletes) the
 // covered segments, so no record is ever applied twice. It is an error
 // on a DB without a WAL.
+//
+// With a cold tier attached, Checkpoint is also the tier's maintenance
+// point: mostly-garbage segment files are compacted (rewritten into a
+// fresh generation) before the cut so the snapshot records the new
+// layout, and after the snapshot is durable, segment files that
+// neither it nor the live view references are deleted. The ordering
+// means a crash anywhere leaves at worst extra garbage files — never a
+// referenced frame missing.
 func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return fmt.Errorf("tsdb: checkpoint: no WAL attached (use OpenDurable)")
+	}
+	if err := db.compactCold(); err != nil {
+		return fmt.Errorf("tsdb: checkpoint: cold compaction: %w", err)
 	}
 	_ = db.lockWrite()
 	boundary, err := db.wal.cut()
@@ -328,11 +352,21 @@ func (db *DB) Checkpoint() error {
 	if err != nil {
 		return fmt.Errorf("tsdb: checkpoint: %w", err)
 	}
-	if err := saveViewFile(v, db.shardDuration, snapshotPath(db.wal.dir, boundary)); err != nil {
+	if err := saveViewFile(v, db.shardDuration, snapshotPath(db.wal.dir, boundary), false); err != nil {
 		return fmt.Errorf("tsdb: checkpoint: %w", err)
 	}
 	if err := db.wal.truncateBefore(boundary); err != nil {
 		return fmt.Errorf("tsdb: checkpoint: %w", err)
+	}
+	if db.cold != nil {
+		// Under the write lock so no spill can create-and-reference a
+		// new segment file between the liveness scan and the deletes.
+		_ = db.lockWrite()
+		sweepErr := db.cold.sweepOrphans(v, db.view.Load())
+		db.unlockWrite()
+		if sweepErr != nil {
+			return fmt.Errorf("tsdb: checkpoint: cold sweep: %w", sweepErr)
+		}
 	}
 	return nil
 }

@@ -94,7 +94,7 @@ func (c *column) unseal() {
 	nt := make([]int64, 0, total)
 	nv := make([]Value, 0, total)
 	for _, b := range c.blocks {
-		p, err := b.decode(nil)
+		p, _, err := b.decode(nil)
 		if err != nil {
 			// Validated at seal/restore time; undecodable means
 			// post-hoc corruption — nothing recoverable to keep.

@@ -11,13 +11,13 @@ import (
 
 // Snapshot format: a length-prefixed binary stream.
 //
-// Version 2 (current writer) persists the sealed-block tier verbatim —
+// Version 3 (current writer) persists the sealed-block tier verbatim —
 // compressed payloads are copied byte-for-byte, never re-encoded — plus
 // each column's raw tail and the engine counters, so a restore
 // reconstructs the exact view (same blocks, same accounting) without
 // replaying writes:
 //
-//	magic "MTSD" | version u16 = 2 | shardDuration i64
+//	magic "MTSD" | version u16 = 3 | shardDuration i64
 //	epoch i64 | pointsWritten i64 | batchesWritten i64
 //	seriesCreated i64 | measurements i64 | writeWaitNs i64
 //	blocksSealed i64
@@ -27,12 +27,21 @@ import (
 //	              nTags u32 | (k,v)* | nFields u32
 //	    per field: name | nBlocks u32
 //	      per block: minT i64 | maxT i64 | count u32 | rawBytes i64
-//	                 dataLen u32 | data
+//	                 loc u8
+//	        loc 0 (inline): dataLen u32 | data
+//	        loc 1 (cold):   fileName str | off i64 | len u32 | crc u32
 //	    tail: nSamples u32 | (time i64, value)*
 //
-// Version 1 stored every sample raw (per field: nSamples + samples,
-// no per-shard accounting, no engine counters); readers still accept
-// it — see restoreV1 — and rebuild through the ordinary write path.
+// A cold location references the payload inside a cold-tier segment
+// file instead of re-serializing it — the already-durable frame is the
+// payload's home, so a checkpoint stays O(hot set). Checkpoint
+// snapshots therefore restore only next to their cold directory;
+// Snapshot/SaveFile (the portable export paths) always inline, reading
+// cold payloads back through the tier, so an exported file is
+// self-contained. Version 2 is identical minus the loc byte (always
+// inline); version 1 stored every sample raw (per field: nSamples +
+// samples, no per-shard accounting, no engine counters). Readers
+// accept all three.
 //
 // Strings are u32 length + bytes. Integers are little-endian. Values
 // are a kind byte + payload.
@@ -44,7 +53,14 @@ const snapshotMagic = "MTSD"
 const (
 	snapshotV1      = 1
 	snapshotV2      = 2
-	snapshotVersion = snapshotV2
+	snapshotV3      = 3
+	snapshotVersion = snapshotV3
+)
+
+// Block payload locations (v3).
+const (
+	blockLocInline byte = 0
+	blockLocCold   byte = 1
 )
 
 // Snapshot serializes the whole database to w. It pins the current
@@ -53,13 +69,16 @@ const (
 func (db *DB) Snapshot(w io.Writer) error {
 	v := db.acquireView()
 	defer db.releaseView()
-	return snapshotView(v, db.shardDuration, w)
+	return snapshotView(v, db.shardDuration, w, true)
 }
 
 // snapshotView serializes one pinned view — the same body Snapshot
 // uses, shared with Checkpoint, which must serialize the exact view it
-// cut the WAL boundary against.
-func snapshotView(v *dbView, shardDuration int64, w io.Writer) error {
+// cut the WAL boundary against. inlineCold controls spilled blocks:
+// true reads their payloads back and inlines them (portable export);
+// false writes file references (checkpoint — the segment bytes are
+// already durable and fsynced before any referencing view publishes).
+func snapshotView(v *dbView, shardDuration int64, w io.Writer, inlineCold bool) error {
 	ew := &errWriter{w: bufio.NewWriter(w)}
 	ew.raw(snapshotMagic)
 	ew.u16(snapshotVersion)
@@ -108,8 +127,22 @@ func snapshotView(v *dbView, shardDuration int64, w io.Writer) error {
 					ew.i64(blk.maxT)
 					ew.u32(uint32(blk.count))
 					ew.i64(blk.rawBytes)
-					ew.u32(uint32(len(blk.data)))
-					ew.bytes(blk.data)
+					if blk.cold != nil && !inlineCold {
+						ew.byteVal(blockLocCold)
+						ew.str(blk.cold.file)
+						ew.i64(blk.cold.off)
+						ew.u32(blk.cold.length)
+						ew.u32(blk.cold.crc)
+						continue
+					}
+					data, _, err := blk.payloadBytes()
+					if err != nil {
+						ew.fail(err)
+						continue
+					}
+					ew.byteVal(blockLocInline)
+					ew.u32(uint32(len(data)))
+					ew.bytes(data)
 				}
 				ew.u32(uint32(len(col.times)))
 				for i := range col.times {
@@ -154,8 +187,8 @@ func RestoreOptions(r io.Reader, opts Options) (*DB, error) {
 	switch ver {
 	case snapshotV1:
 		return restoreV1(br, opts)
-	case snapshotV2:
-		return restoreV2(br, opts, sd)
+	case snapshotV2, snapshotV3:
+		return restoreSealed(br, opts, sd, ver)
 	default:
 		return nil, fmt.Errorf("tsdb: restore: unsupported version %d", ver)
 	}
@@ -192,11 +225,16 @@ func restoreV1(br *bufio.Reader, opts Options) (*DB, error) {
 // the payload disproves it.
 const maxRestoreCount = 1 << 28
 
-// restoreV2 rebuilds the exact serialized view: sealed blocks are
-// adopted verbatim (after validation), tails and accounting are
-// restored directly, and the finished dbView is published in one shot.
-// Nothing is re-encoded and no write batches run.
-func restoreV2(br *bufio.Reader, opts Options, sd int64) (*DB, error) {
+// restoreSealed rebuilds the exact serialized view (formats v2 and
+// v3): sealed blocks are adopted verbatim (after validation), tails
+// and accounting are restored directly, and the finished dbView is
+// published in one shot. Nothing is re-encoded and no write batches
+// run. v3 cold references are resolved against the DB's cold tier and
+// validated by reading the payload through it, so a missing,
+// truncated, or bit-flipped segment file fails the restore loudly
+// instead of surfacing as silently skipped blocks in later scans.
+func restoreSealed(br *bufio.Reader, opts Options, sd int64, ver uint16) (*DB, error) {
+	db := Open(opts)
 	corrupt := func(format string, args ...any) error {
 		return fmt.Errorf("tsdb: restore: "+format, args...)
 	}
@@ -334,16 +372,51 @@ func restoreV2(br *bufio.Reader, opts Options, sd int64) (*DB, error) {
 					if blk.rawBytes, err = readI64(br); err != nil {
 						return nil, err
 					}
-					dataLen, err := readU32(br)
-					if err != nil {
-						return nil, err
+					loc := blockLocInline
+					if ver >= snapshotV3 {
+						if loc, err = br.ReadByte(); err != nil {
+							return nil, err
+						}
 					}
-					if dataLen > maxRestoreCount {
-						return nil, corrupt("block payload %d too large", dataLen)
-					}
-					blk.data = make([]byte, dataLen)
-					if _, err := io.ReadFull(br, blk.data); err != nil {
-						return nil, err
+					switch loc {
+					case blockLocInline:
+						dataLen, err := readU32(br)
+						if err != nil {
+							return nil, err
+						}
+						if dataLen > maxRestoreCount {
+							return nil, corrupt("block payload %d too large", dataLen)
+						}
+						blk.data = make([]byte, dataLen)
+						if _, err := io.ReadFull(br, blk.data); err != nil {
+							return nil, err
+						}
+					case blockLocCold:
+						if db.cold == nil {
+							return nil, corrupt("cold block reference but no cold directory configured (Options.ColdDir)")
+						}
+						file, err := readStr(br)
+						if err != nil {
+							return nil, err
+						}
+						off, err := readI64(br)
+						if err != nil {
+							return nil, err
+						}
+						length, err := readU32(br)
+						if err != nil {
+							return nil, err
+						}
+						crc, err := readU32(br)
+						if err != nil {
+							return nil, err
+						}
+						if length == 0 || length > maxColdFrame || off < coldHeaderSize+coldFrameHeader {
+							return nil, corrupt("field %q block %d: bad cold reference", name, bi)
+						}
+						blk.cold = &coldRef{ct: db.cold, file: file, off: off, length: length, crc: crc}
+					default:
+						return nil, corrupt("field %q block %d: bad payload location %d", name, bi, loc)
 					}
 					p, err := blk.validate()
 					if err != nil {
@@ -409,7 +482,6 @@ func restoreV2(br *bufio.Reader, opts Options, sd int64) (*DB, error) {
 		shardStarts = append(shardStarts, start)
 	}
 	sort.Slice(shardStarts, func(i, j int) bool { return shardStarts[i] < shardStarts[j] })
-	db := Open(opts)
 	db.publish(&dbView{
 		epoch:       hdr[0],
 		stats:       stats,
@@ -529,6 +601,14 @@ func (ew *errWriter) bin(v any) {
 		return
 	}
 	ew.err = binary.Write(ew.w, binary.LittleEndian, v)
+}
+
+// fail latches an externally produced error (e.g. a cold-tier read
+// feeding an inline block) into the writer.
+func (ew *errWriter) fail(err error) {
+	if ew.err == nil {
+		ew.err = err
+	}
 }
 
 func (ew *errWriter) u16(v uint16) { ew.bin(v) }

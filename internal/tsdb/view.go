@@ -429,7 +429,7 @@ func clearColumnRange(col *column, start, end int64, bs int) (*column, int, int6
 		}
 	}
 	for _, blk := range col.blocks {
-		p, err := blk.decode(nil)
+		p, _, err := blk.decode(nil)
 		if err != nil {
 			// Validated at seal/restore; undecodable is post-hoc
 			// corruption with nothing recoverable to keep.
@@ -563,4 +563,62 @@ func deleteBeforeView(base *dbView, t int64, waitNs int64) (*dbView, int) {
 	nv.stats.WriteWaitNs += waitNs
 	nv.epoch++
 	return &nv, dropped
+}
+
+// spillBlocksView derives, copy-on-write, a view with each block in
+// twins replaced by its cold (or compaction-relocated) twin: same
+// header and samples, payload living in a cold-tier segment file.
+// The epoch does not advance — the stored data is unchanged, only its
+// representation moved, so epoch-keyed caches layered above the DB
+// stay valid.
+func spillBlocksView(base *dbView, twins map[*block]*block, waitNs int64) *dbView {
+	nv := *base
+	clonedShards := false
+	for _, start := range base.shardStarts {
+		sh := base.shards[start]
+		var nsh *shard
+		for key, sr := range sh.series {
+			var nsr *series
+			for fk, col := range sr.fields {
+				hit := false
+				for _, blk := range col.blocks {
+					if _, ok := twins[blk]; ok {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					continue
+				}
+				nb := make([]*block, len(col.blocks))
+				for i, blk := range col.blocks {
+					if t, ok := twins[blk]; ok {
+						nb[i] = t
+					} else {
+						nb[i] = blk
+					}
+				}
+				nc := &column{blocks: nb, times: col.times, vals: col.vals}
+				if nsr == nil {
+					nsr = sr.clone()
+					if nsh == nil {
+						nsh = sh.clone()
+						if !clonedShards {
+							m := make(map[int64]*shard, len(nv.shards))
+							for k, v := range nv.shards {
+								m[k] = v
+							}
+							nv.shards = m
+							clonedShards = true
+						}
+						nv.shards[start] = nsh
+					}
+					nsh.series[key] = nsr
+				}
+				nsr.fields[fk] = nc
+			}
+		}
+	}
+	nv.stats.WriteWaitNs += waitNs
+	return &nv
 }

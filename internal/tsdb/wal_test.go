@@ -543,7 +543,7 @@ func TestWALCheckpointCrashBeforeTruncate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := saveViewFile(v, db.shardDuration, snapshotPath(dir, boundary)); err != nil {
+	if err := saveViewFile(v, db.shardDuration, snapshotPath(dir, boundary), false); err != nil {
 		t.Fatal(err)
 	}
 

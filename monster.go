@@ -102,6 +102,10 @@ type (
 	// TierStats describes one registered rollup tier: its source,
 	// aggregate, materialized point count, and watermark (DB.TierStats).
 	TierStats = tsdb.TierStats
+	// ColdStats reports the file-backed cold tier's block placement
+	// (resident vs spilled), segment footprint, and spill/read/
+	// compaction counters (DB.ColdStats).
+	ColdStats = tsdb.ColdStats
 )
 
 // DefaultBlockSize is the storage engine's default seal threshold in
